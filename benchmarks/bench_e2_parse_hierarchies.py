@@ -1,0 +1,38 @@
+"""E2 — SACX parse time vs number of hierarchies (fixed text size).
+
+Companion of E1: hold the text at 4000 words and sweep the hierarchy
+count k = 1..6.  Expected shape: time grows roughly linearly in the
+total markup volume, which itself grows with k.
+"""
+
+import pytest
+
+from repro.sacx import parse_concurrent
+
+from conftest import paper_row, workload_sources
+
+HIERARCHY_COUNTS = [1, 2, 3, 4, 6]
+
+
+@pytest.mark.parametrize("k", HIERARCHY_COUNTS)
+def test_e2_sacx_hierarchies(benchmark, k):
+    sources = workload_sources(words=4000, hierarchies=k)
+    document = benchmark(parse_concurrent, sources)
+    assert len(document.hierarchy_names()) == k
+    paper_row(
+        benchmark,
+        experiment="E2",
+        hierarchies=k,
+        elements=document.element_count(),
+        leaves=len(document.spans),
+    )
+
+
+def test_e2_leaf_refinement_grows_with_k():
+    """More hierarchies → more boundaries → finer shared leaf level;
+    the census the original experiment reports alongside timings."""
+    leaves = []
+    for k in HIERARCHY_COUNTS:
+        document = parse_concurrent(workload_sources(words=4000, hierarchies=k))
+        leaves.append(len(document.spans))
+    assert leaves == sorted(leaves)

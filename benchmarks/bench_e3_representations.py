@@ -1,0 +1,95 @@
+"""E3 — GODDAG construction cost per input representation.
+
+The DKE'05 framework paper compares the representations of concurrent
+markup.  For one fixed document (4000 words, 4 hierarchies) this bench
+builds the GODDAG from each supported representation:
+
+* distributed documents (SACX native),
+* standoff JSON,
+* milestones (marker re-promotion),
+* fragmentation (glue-group reassembly).
+
+Expected shape: distributed ≈ standoff < milestones < fragmentation —
+fragmentation pays for fragment grouping and attribute reconciliation
+on top of a full parse of a *larger* document (splitting inflates it).
+"""
+
+import pytest
+
+from repro.sacx import (
+    parse_concurrent,
+    parse_fragmentation,
+    parse_milestones,
+    parse_standoff,
+)
+from repro.serialize import (
+    export_fragmentation,
+    export_milestones,
+    export_standoff,
+    fragment_blowup,
+)
+
+from conftest import paper_row, workload, workload_sources
+
+WORDS = 4000
+
+
+@pytest.fixture(scope="module")
+def representations():
+    document = workload(words=WORDS, overlap_density=0.25)
+    return {
+        "distributed": workload_sources(words=WORDS, overlap_density=0.25),
+        "standoff": export_standoff(document),
+        "milestones": export_milestones(document, primary="physical"),
+        "fragmentation": export_fragmentation(document),
+        "_document": document,
+    }
+
+
+def test_e3_from_distributed(benchmark, representations):
+    document = benchmark(parse_concurrent, representations["distributed"])
+    paper_row(benchmark, experiment="E3", representation="distributed",
+              elements=document.element_count())
+
+
+def test_e3_from_standoff(benchmark, representations):
+    document = benchmark(parse_standoff, representations["standoff"])
+    paper_row(benchmark, experiment="E3", representation="standoff",
+              elements=document.element_count())
+
+
+def test_e3_from_milestones(benchmark, representations):
+    document = benchmark(parse_milestones, representations["milestones"])
+    paper_row(benchmark, experiment="E3", representation="milestones",
+              elements=document.element_count())
+
+
+def test_e3_from_fragmentation(benchmark, representations):
+    document = benchmark(parse_fragmentation, representations["fragmentation"])
+    paper_row(benchmark, experiment="E3", representation="fragmentation",
+              elements=document.element_count())
+
+
+def test_e3_all_agree(representations):
+    """All four routes produce the same GODDAG — the framework's
+    flexibility claim (demo section 'Document manipulation')."""
+    from repro.compare import documents_isomorphic
+
+    reference = representations["_document"]
+    for name in ("distributed", "milestones", "fragmentation"):
+        if name == "distributed":
+            rebuilt = parse_concurrent(representations[name])
+        elif name == "milestones":
+            rebuilt = parse_milestones(representations[name])
+        else:
+            rebuilt = parse_fragmentation(representations[name])
+        assert documents_isomorphic(reference, rebuilt), name
+    assert documents_isomorphic(
+        reference, parse_standoff(representations["standoff"])
+    )
+
+
+def test_e3_fragmentation_blowup_reported(representations):
+    """The motivating number: how many fragments overlap forces."""
+    blowup = fragment_blowup(representations["_document"])
+    assert blowup > 1.0

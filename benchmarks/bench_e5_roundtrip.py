@@ -1,0 +1,74 @@
+"""E5/F3 — representation round-trips: fidelity and export throughput.
+
+Figure 3 of the paper shows the framework's pipeline: concurrent XML
+flows between the GODDAG and a wide range of representations.  This
+bench times each export on a 4000-word document and asserts fidelity
+of every import∘export loop.
+"""
+
+import pytest
+
+from repro.compare import documents_isomorphic
+from repro.sacx import (
+    parse_concurrent,
+    parse_fragmentation,
+    parse_milestones,
+    parse_standoff,
+)
+from repro.serialize import (
+    export_distributed,
+    export_fragmentation,
+    export_milestones,
+    export_standoff,
+)
+
+from conftest import paper_row, workload
+
+WORDS = 4000
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return workload(words=WORDS, overlap_density=0.25)
+
+
+def test_e5_export_distributed(benchmark, doc):
+    sources = benchmark(export_distributed, doc)
+    assert documents_isomorphic(doc, parse_concurrent(sources))
+    paper_row(benchmark, experiment="E5", representation="distributed",
+              output_chars=sum(len(s) for s in sources.values()))
+
+
+def test_e5_export_fragmentation(benchmark, doc):
+    source = benchmark(export_fragmentation, doc)
+    assert documents_isomorphic(doc, parse_fragmentation(source))
+    paper_row(benchmark, experiment="E5", representation="fragmentation",
+              output_chars=len(source))
+
+
+def test_e5_export_milestones(benchmark, doc):
+    source = benchmark(export_milestones, doc, "physical")
+    assert documents_isomorphic(doc, parse_milestones(source))
+    paper_row(benchmark, experiment="E5", representation="milestones",
+              output_chars=len(source))
+
+
+def test_e5_export_standoff(benchmark, doc):
+    source = benchmark(export_standoff, doc)
+    assert documents_isomorphic(doc, parse_standoff(source))
+    paper_row(benchmark, experiment="E5", representation="standoff",
+              output_chars=len(source))
+
+
+def test_f3_full_pipeline(benchmark, doc):
+    """The Figure 3 loop: GODDAG → every representation → GODDAG."""
+
+    def pipeline():
+        step = parse_concurrent(export_distributed(doc))
+        step = parse_fragmentation(export_fragmentation(step))
+        step = parse_milestones(export_milestones(step, primary="verse"))
+        return parse_standoff(export_standoff(step))
+
+    final = benchmark.pedantic(pipeline, rounds=3, iterations=1)
+    assert documents_isomorphic(doc, final)
+    paper_row(benchmark, experiment="F3", hops=4)

@@ -1,0 +1,95 @@
+"""E6 — prevalidation cost per edit vs full revalidation.
+
+Reconstructs the xTagger/WebDB'04 claim: checking *potential validity*
+of one edit touches only the affected content models, so its cost is
+(near-)independent of document size, while classical full revalidation
+grows linearly.  Sweeps document size and measures both.
+"""
+
+import pytest
+
+from repro.dtd import PotentialValidity, parse_dtd, validate_hierarchy
+
+from conftest import paper_row, workload
+
+PHYS_DTD = parse_dtd(
+    """
+    <!ELEMENT page (line+)>
+    <!ELEMENT line (#PCDATA | pb | dmg | res)*>
+    <!ELEMENT pb EMPTY>
+    <!ELEMENT dmg (#PCDATA)>
+    <!ELEMENT res (#PCDATA)>
+    <!ATTLIST page n NMTOKEN #IMPLIED>
+    <!ATTLIST line n NMTOKEN #IMPLIED>
+    """,
+    name="physical",
+)
+
+SIZES = [1000, 4000, 16000]
+
+
+def _document(words):
+    document = workload(words=words, hierarchies=2)
+    document.hierarchy("physical").dtd = PHYS_DTD
+    return document
+
+
+def _second_line(document):
+    lines = document.elements(tag="line")
+    next(lines)
+    return next(lines)
+
+
+@pytest.mark.parametrize("words", SIZES)
+def test_e6_prevalidate_one_edit(benchmark, words):
+    document = _document(words)
+    checker = PotentialValidity(PHYS_DTD)
+    # A legal edit: wrap the first word of a line in a dmg range.  The
+    # *second* line, because page starts carry a pb milestone that a
+    # (#PCDATA)-only dmg could not adopt.
+    line = _second_line(document)
+    start, end = line.start, min(line.start + 4, line.end)
+
+    def edit():
+        ok, reason = checker.can_insert(document, "physical", "dmg", start, end)
+        assert ok, reason
+
+    benchmark(edit)
+    paper_row(benchmark, experiment="E6", check="per-edit", words=words)
+
+
+@pytest.mark.parametrize("words", SIZES)
+def test_e6_full_revalidation(benchmark, words):
+    document = _document(words)
+
+    def revalidate():
+        return validate_hierarchy(document, "physical", PHYS_DTD)
+
+    violations = benchmark(revalidate)
+    assert violations == []
+    paper_row(benchmark, experiment="E6", check="full", words=words)
+
+
+def test_e6_per_edit_is_size_independent():
+    """Shape assertion: growing the document 16× must not grow the
+    per-edit prevalidation cost anywhere near 16× (allow 4× noise)."""
+    import time
+
+    def best_of(fn, n=10):
+        times = []
+        for _ in range(n):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    timings = {}
+    for words in (1000, 16000):
+        document = _document(words)
+        checker = PotentialValidity(PHYS_DTD)
+        line = _second_line(document)
+        start, end = line.start, min(line.start + 4, line.end)
+        timings[words] = best_of(
+            lambda: checker.can_insert(document, "physical", "dmg", start, end)
+        )
+    assert timings[16000] < timings[1000] * 4 + 0.01, timings

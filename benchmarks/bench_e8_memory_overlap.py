@@ -1,0 +1,131 @@
+"""E8 — shared-leaf memory economics and the overlap-density sweep.
+
+Two properties of the GODDAG the paper's data model section implies:
+
+1. **Memory**: k DOM trees store the character data k times (each tree
+   owns its text chunks); the GODDAG stores the text once and shares
+   the leaf level.  Measured as total retained bytes via a deep-size
+   walk.
+
+2. **Overlap sweep**: the native ``overlapping`` axis degrades
+   gracefully as overlap density rises, while the fragmentation
+   baseline's pairwise join degrades faster (more fragments *and* more
+   pairs) — the crossover argument of E4, swept explicitly.
+"""
+
+import sys
+
+import pytest
+
+from repro.baselines import FragmentationBaseline, parse_dom
+from repro.serialize import export_distributed, export_fragmentation
+from repro.xpath import ExtendedXPath
+
+from conftest import paper_row, workload
+
+WORDS = 3000
+DENSITIES = [0.05, 0.2, 0.4]
+
+
+def deep_size(root: object) -> tuple[int, int]:
+    """Retained-size estimate over the object graph.
+
+    Returns ``(total_bytes, string_bytes)``: the sum of sys.getsizeof
+    over all reachable objects (memo'd), and the share held in ``str``
+    objects — the character data.  The *string* component is what the
+    shared-leaf design of the GODDAG economizes; total bytes also
+    reflect incidental per-node implementation weight, reported but not
+    asserted on.
+    """
+    seen: set[int] = set()
+    stack = [root]
+    total = 0
+    strings = 0
+    while stack:
+        obj = stack.pop()
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        size = sys.getsizeof(obj)
+        total += size
+        if isinstance(obj, str):
+            strings += size
+            continue
+        if isinstance(obj, dict):
+            stack.extend(obj.keys())
+            stack.extend(obj.values())
+        elif isinstance(obj, (list, tuple, set, frozenset)):
+            stack.extend(obj)
+        elif hasattr(obj, "__dict__"):
+            stack.append(obj.__dict__)
+        if hasattr(obj, "__slots__"):
+            for slot in obj.__slots__:
+                if hasattr(obj, slot):
+                    stack.append(getattr(obj, slot))
+    return total, strings
+
+
+def test_e8_memory_goddag_vs_doms(benchmark):
+    document = workload(words=WORDS)
+    sources = export_distributed(document)
+    k = len(sources)
+
+    def measure():
+        doms = {name: parse_dom(source) for name, source in sources.items()}
+        return deep_size(doms), deep_size(document)
+
+    (dom_total, dom_strings), (goddag_total, goddag_strings) = (
+        benchmark.pedantic(measure, rounds=2, iterations=1)
+    )
+    # The DOM fleet stores the character data once per hierarchy; the
+    # GODDAG stores the text once.  With k=4 hierarchies the fleet must
+    # hold clearly more string data.
+    assert dom_strings > goddag_strings * 1.5, (dom_strings, goddag_strings)
+    paper_row(
+        benchmark,
+        experiment="E8",
+        hierarchies=k,
+        goddag_total=goddag_total,
+        goddag_strings=goddag_strings,
+        dom_fleet_total=dom_total,
+        dom_fleet_strings=dom_strings,
+        text_chars=len(document.text),
+    )
+
+
+@pytest.mark.parametrize("density", DENSITIES)
+def test_e8_overlap_sweep_goddag(benchmark, density):
+    document = workload(words=WORDS, overlap_density=density, seed=17)
+    query = ExtendedXPath("//vline/overlapping::line")
+    query.nodes(document)  # warm the interval indexes
+    result = benchmark(query.nodes, document)
+    paper_row(benchmark, experiment="E8", system="GODDAG", density=density,
+              answers=len(result))
+
+
+@pytest.mark.parametrize("density", DENSITIES)
+def test_e8_overlap_sweep_baseline(benchmark, density):
+    document = workload(words=WORDS, overlap_density=density, seed=17)
+    baseline = FragmentationBaseline(export_fragmentation(document))
+    baseline.logical_elements()  # warm, like the GODDAG index
+    pairs = benchmark(baseline.overlap_pairs, "vline", "line")
+    expected = {
+        (e.start, e.end)
+        for e in ExtendedXPath("//vline/overlapping::line").nodes(document)
+    }
+    assert {(b.start, b.end) for (_, b) in pairs} == expected
+    paper_row(benchmark, experiment="E8", system="frag", density=density,
+              answers=len(pairs))
+
+
+def test_e8_fragment_blowup_grows_with_density():
+    """More overlap → more forced fragments: the representation-cost
+    curve behind the paper's motivation."""
+    from repro.serialize import fragment_blowup
+
+    blowups = [
+        fragment_blowup(workload(words=WORDS, overlap_density=d, seed=17))
+        for d in DENSITIES
+    ]
+    assert blowups == sorted(blowups), blowups
+    assert blowups[-1] > blowups[0]

@@ -1,0 +1,53 @@
+"""F1/F2 — the paper's Figure 1 and Figure 2, made executable.
+
+Figure 1: one manuscript fragment, four conflicting encodings.  Figure
+2: the GODDAG uniting them.  The benchmark parses the shipped corpus
+through SACX, asserts the node/edge census of the resulting GODDAG, and
+times the operation; the assertions are the figure reproduction, the
+timing is a bonus.
+"""
+
+from repro.sacx import parse_concurrent
+from repro.workloads import (
+    FIGURE_CENSUS,
+    FRAGMENT_SOURCES,
+    figure_one_conflicts,
+    figure_one_document,
+)
+
+from conftest import paper_row
+
+
+def test_f1_parse_figure_encodings(benchmark):
+    document = benchmark(parse_concurrent, FRAGMENT_SOURCES)
+    stats = document.stats()
+    for key, expected in FIGURE_CENSUS.items():
+        assert stats[key] == expected, key
+    paper_row(
+        benchmark,
+        experiment="F1",
+        hierarchies=stats["hierarchies"],
+        elements=stats["elements"],
+        leaves=stats["leaves"],
+    )
+
+
+def test_f2_goddag_census(benchmark):
+    document = figure_one_document()
+
+    def census():
+        return document.stats()
+
+    stats = benchmark(census)
+    # Figure 2's defining property: shared root + shared leaves, so the
+    # graph has more leaf edges than leaves (multiple parents).
+    assert stats["leaf_edges"] > stats["leaves"]
+    paper_row(benchmark, experiment="F2", leaf_edges=stats["leaf_edges"])
+
+
+def test_f1_conflict_pairs(benchmark):
+    pairs = benchmark(figure_one_conflicts)
+    # "some of <w> markup are in conflict with <line>, <res>, or <dmg>"
+    assert ("res", "w") in pairs
+    assert ("dmg", "w") in pairs
+    paper_row(benchmark, experiment="F1", conflicting_tag_pairs=len(pairs))

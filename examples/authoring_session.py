@@ -1,0 +1,80 @@
+"""A scripted xTagger session: range selection, tag menus,
+prevalidation, undo/redo.
+
+The demo's editor lets a user select a fragment and choose markup for
+it from any hierarchy; *prevalidation* rejects edits that could never
+be completed into a valid document.  This script drives the same engine
+programmatically.
+
+Run:  python examples/authoring_session.py
+"""
+
+from repro import GoddagBuilder
+from repro.dtd import parse_dtd
+from repro.editing import Editor
+from repro.errors import PotentialValidityError
+
+EDITION_DTD = parse_dtd(
+    """
+    <!ELEMENT r (page+)>
+    <!ELEMENT page (head?, line+)>
+    <!ELEMENT head (#PCDATA)>
+    <!ELEMENT line (#PCDATA | pb | dmg)*>
+    <!ELEMENT pb EMPTY>
+    <!ELEMENT dmg (#PCDATA)>
+    <!ATTLIST dmg type (rubbed | torn) "rubbed">
+    """,
+    name="edition",
+)
+
+TEXT = "On the Consolation first the prisoner laments then philosophy appears"
+
+
+def main() -> None:
+    builder = GoddagBuilder(TEXT)
+    builder.add_hierarchy("phys", dtd=EDITION_DTD)
+    builder.add_hierarchy("notes")  # free hierarchy, no DTD
+    editor = Editor(builder.build())
+
+    print("=== tagging the page ===")
+    editor.insert_markup("phys", "page", 0, len(TEXT))
+    start, end = editor.find_text("On the Consolation")
+    editor.insert_markup("phys", "head", start, end)
+    start, end = editor.find_text("first the prisoner laments")
+    editor.insert_markup("phys", "line", start, end)
+    start, end = editor.find_text("then philosophy appears")
+    editor.insert_markup("phys", "line", start, end)
+    print("\n".join("  " + line for line in editor.transcript()))
+
+    print("\n=== the tag menu (what prevalidation allows here) ===")
+    start, end = editor.find_text("prisoner")
+    print(f"select {TEXT[start:end]!r}; insertable tags:",
+          sorted(editor.suggest_tags("phys", start, end)))
+
+    print("\n=== prevalidation rejects hopeless edits ===")
+    try:
+        # A second head after the lines can never satisfy (head?, line+).
+        s, e = editor.find_text("philosophy")
+        editor.insert_markup("phys", "head", s, e)
+    except PotentialValidityError as exc:
+        print("rejected:", exc)
+
+    print("\n=== cross-hierarchy annotation is unrestricted ===")
+    s, e = editor.find_text("laments then philosophy")
+    note = editor.insert_markup("notes", "theme", s, e)
+    print(f"inserted <theme> over {note.text!r} "
+          f"(overlaps {[el.tag for el in note.overlapping()]})")
+
+    print("\n=== undo / redo ===")
+    print("undo:", editor.undo())
+    print("undo:", editor.undo())
+    print("redo:", editor.redo())
+
+    print("\n=== final validity report ===")
+    print("classical violations:  ", editor.validate("phys") or "none")
+    print("potential-validity:    ",
+          editor.check_potential_validity("phys") or "ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Quickstart: build a concurrent document, query it, export it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GoddagBuilder
+from repro.serialize import export_distributed, export_fragmentation
+from repro.xpath import ExtendedXPath, xpath
+
+
+def main() -> None:
+    # One text, two conflicting hierarchies: physical lines vs a phrase
+    # that crosses a line break — the configuration a single XML tree
+    # cannot express.
+    text = "sing a song of sixpence a pocket full of rye"
+    builder = GoddagBuilder(text)
+    builder.add_hierarchy("physical")
+    builder.add_hierarchy("linguistic")
+    builder.add_annotation("physical", "line", 0, 23)
+    builder.add_annotation("physical", "line", 24, 44)
+    builder.add_annotation("linguistic", "phrase", 15, 31)  # "of sixpence a po..."
+    builder.add_annotation("linguistic", "w", 15, 17)
+    builder.add_annotation("linguistic", "w", 18, 26)
+    doc = builder.build()
+
+    print("document:", doc)
+    print("leaves:  ", [leaf.text for leaf in doc.leaves()])
+
+    # The overlapping axis: which lines does the phrase straddle?
+    for line in xpath(doc, "//phrase/overlapping::line"):
+        print(f"phrase overlaps line [{line.start},{line.end}): {line.text!r}")
+
+    # Compiled queries are reusable; extension functions know spans.
+    query = ExtendedXPath("overlap-text(//line[1])")
+    phrase = xpath(doc, "//phrase")[0]
+    print("shared text with line 1:", repr(query.evaluate(doc, phrase)))
+
+    # Export: one well-formed XML document per hierarchy...
+    for name, source in export_distributed(doc).items():
+        print(f"[{name}] {source}")
+    # ...or a single fragmented document with glue attributes.
+    print("[fragmented]", export_fragmentation(doc, hierarchy_attr=False))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Legacy setup shim: this environment's setuptools lacks bdist_wheel,
+so editable installs go through ``pip install -e . --no-use-pep517``."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "A framework for processing complex document-centric XML with "
+        "overlapping structures (GODDAG, SACX, Extended XPath)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

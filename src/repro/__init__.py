@@ -1,0 +1,135 @@
+"""repro — a framework for processing complex document-centric XML with
+overlapping structures.
+
+A faithful, from-scratch Python reproduction of the system demonstrated
+by Iacob & Dekhtyar at SIGMOD 2005: the GODDAG data model for concurrent
+markup hierarchies, the SACX concurrent parser and its representation
+drivers, the Extended XPath query language with the ``overlapping`` axis,
+the xTagger editing engine with potential-validity checking, hierarchy
+filtering, exporters for every supported representation, and a
+persistent storage layer.
+
+Quickstart::
+
+    from repro import GoddagBuilder, ExtendedXPath
+
+    builder = GoddagBuilder("sing a song of sixpence")
+    builder.add_hierarchy("physical")
+    builder.add_hierarchy("linguistic")
+    builder.add_annotation("physical", "line", 0, 11)
+    builder.add_annotation("physical", "line", 12, 23)
+    builder.add_annotation("linguistic", "phrase", 5, 23)
+    doc = builder.build()
+
+    query = ExtendedXPath("//phrase/overlapping::line")
+    for element in query.evaluate(doc):
+        print(element.tag, element.text)
+"""
+
+from .compare import canonical_form, describe_difference, documents_isomorphic
+from .core import (
+    ConcurrentSchema,
+    Element,
+    GoddagBuilder,
+    GoddagDocument,
+    Hierarchy,
+    Leaf,
+    Node,
+    Root,
+    Span,
+    SpanTable,
+)
+from .dtd import DTD, PotentialValidity, parse_dtd, validate_document
+from .editing import Editor
+from .filters import extract_range, filter_tags, project
+from .sacx import (
+    SACXParser,
+    parse_concurrent,
+    parse_distributed,
+    parse_flat_standoff,
+    parse_fragmentation,
+    parse_milestones,
+    parse_standoff,
+)
+from .serialize import (
+    export_distributed,
+    export_fragmentation,
+    export_milestones,
+    export_standoff,
+)
+from .storage import GoddagStore
+from .xpath import ExtendedXPath, xpath
+from .xquery import XQuery, xquery
+from .errors import (
+    DTDSyntaxError,
+    EditError,
+    HierarchyError,
+    MarkupConflictError,
+    PotentialValidityError,
+    ReproError,
+    SerializationError,
+    SpanError,
+    StorageError,
+    TextMismatchError,
+    ValidationError,
+    WellFormednessError,
+    XPathEvaluationError,
+    XPathSyntaxError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConcurrentSchema",
+    "DTD",
+    "DTDSyntaxError",
+    "EditError",
+    "Editor",
+    "Element",
+    "ExtendedXPath",
+    "GoddagBuilder",
+    "GoddagDocument",
+    "GoddagStore",
+    "Hierarchy",
+    "HierarchyError",
+    "Leaf",
+    "MarkupConflictError",
+    "Node",
+    "PotentialValidity",
+    "PotentialValidityError",
+    "ReproError",
+    "Root",
+    "SACXParser",
+    "SerializationError",
+    "Span",
+    "SpanError",
+    "SpanTable",
+    "StorageError",
+    "TextMismatchError",
+    "ValidationError",
+    "WellFormednessError",
+    "XPathEvaluationError",
+    "XPathSyntaxError",
+    "__version__",
+    "canonical_form",
+    "describe_difference",
+    "documents_isomorphic",
+    "export_distributed",
+    "export_fragmentation",
+    "export_milestones",
+    "export_standoff",
+    "extract_range",
+    "filter_tags",
+    "parse_concurrent",
+    "parse_distributed",
+    "parse_dtd",
+    "parse_flat_standoff",
+    "parse_fragmentation",
+    "parse_milestones",
+    "parse_standoff",
+    "project",
+    "validate_document",
+    "xpath",
+    "XQuery",
+    "xquery",
+]

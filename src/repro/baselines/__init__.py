@@ -1,0 +1,29 @@
+"""Baselines: the standard-XML-tooling comparators of the benchmarks.
+
+Three ways people actually cope with concurrent markup without the
+framework, implemented faithfully so the benchmarks compare against a
+real alternative rather than a strawman:
+
+* :mod:`~repro.baselines.domtree` — per-hierarchy DOM trees merged by
+  an offset-recovery pass (vs SACX, experiment E1);
+* :mod:`~repro.baselines.frag_xpath` — glue joins and pairwise span
+  tests over the fragmentation representation (vs Extended XPath, E4);
+* :mod:`~repro.baselines.milestone_scan` — marker pairing scans over
+  the milestone representation (E3/E4).
+"""
+
+from .domtree import DomDocument, DomNode, dom_offsets, parse_and_merge, parse_dom
+from .frag_xpath import FragmentationBaseline, LogicalElement
+from .milestone_scan import MilestoneBaseline, MilestoneRange
+
+__all__ = [
+    "DomDocument",
+    "DomNode",
+    "FragmentationBaseline",
+    "LogicalElement",
+    "MilestoneBaseline",
+    "MilestoneRange",
+    "dom_offsets",
+    "parse_and_merge",
+    "parse_dom",
+]

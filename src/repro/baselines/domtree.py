@@ -1,0 +1,145 @@
+"""Baseline: plain DOM trees, one per hierarchy, merged after the fact.
+
+This is what a user armed with standard XML tooling does with a
+distributed document: parse each part into its own DOM, then — when a
+cross-hierarchy question arises — walk every tree to recover character
+offsets and merge.  SACX's one merged pass produces the GODDAG
+directly; the benchmarks compare the two (experiment E1).
+
+The DOM implementation deliberately uses the same scanner as SACX so
+the comparison isolates the *architecture* (k separate trees + merge
+pass vs one shared structure), not tokenizer quality.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from ..sacx.events import EMPTY, END, START, content_events
+
+
+class DomNode:
+    """A classic DOM element node (children = elements and strings)."""
+
+    __slots__ = ("tag", "attributes", "children", "parent")
+
+    def __init__(self, tag: str, attributes: dict[str, str] | None = None) -> None:
+        self.tag = tag
+        self.attributes = attributes or {}
+        self.children: list["DomNode | str"] = []
+        self.parent: DomNode | None = None
+
+    def append(self, child: "DomNode | str") -> None:
+        self.children.append(child)
+        if isinstance(child, DomNode):
+            child.parent = self
+
+    def iter(self) -> Iterator["DomNode"]:
+        """Preorder element traversal (self included)."""
+        yield self
+        for child in self.children:
+            if isinstance(child, DomNode):
+                yield from child.iter()
+
+    def text_content(self) -> str:
+        """Concatenated character data under this node."""
+        parts: list[str] = []
+        for child in self.children:
+            if isinstance(child, str):
+                parts.append(child)
+            else:
+                parts.append(child.text_content())
+        return "".join(parts)
+
+    def find_all(self, tag: str) -> list["DomNode"]:
+        """All descendant elements with ``tag`` (self included if match)."""
+        return [node for node in self.iter() if node.tag == tag]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DomNode {self.tag} children={len(self.children)}>"
+
+
+class DomDocument:
+    """One parsed hierarchy document."""
+
+    def __init__(self, root: DomNode, text: str) -> None:
+        self.root = root
+        self.text = text
+
+    def element_count(self) -> int:
+        return sum(1 for _ in self.root.iter()) - 1  # root excluded
+
+
+def parse_dom(source: str) -> DomDocument:
+    """Build a plain DOM from one XML source (scanner-based)."""
+    parsed = content_events(source)
+    root = DomNode(parsed.root_tag, dict(parsed.root_attributes))
+    stack = [root]
+    cursor = 0
+    for event in parsed.events:
+        if event.offset > cursor:
+            stack[-1].append(parsed.text[cursor : event.offset])
+            cursor = event.offset
+        if event.kind == START:
+            node = DomNode(event.tag, event.attribute_dict)
+            stack[-1].append(node)
+            stack.append(node)
+        elif event.kind == END:
+            stack.pop()
+        elif event.kind == EMPTY:
+            stack[-1].append(DomNode(event.tag, event.attribute_dict))
+    if cursor < len(parsed.text):
+        stack[-1].append(parsed.text[cursor:])
+    return DomDocument(root, parsed.text)
+
+
+def dom_offsets(document: DomDocument) -> list[tuple[str, int, int, DomNode]]:
+    """Recover character spans of every element by walking the tree.
+
+    This walk is the hidden cost of the per-hierarchy DOM approach:
+    offsets are not stored, so every cross-hierarchy question pays for
+    recomputing them.
+    """
+    spans: list[tuple[str, int, int, DomNode]] = []
+
+    def walk(node: DomNode, offset: int) -> int:
+        start = offset
+        for child in node.children:
+            if isinstance(child, str):
+                offset += len(child)
+            else:
+                offset = walk(child, offset)
+        if node.parent is not None:  # skip the root
+            spans.append((node.tag, start, offset, node))
+        return offset
+
+    walk(document.root, 0)
+    return spans
+
+
+def parse_and_merge(sources: Mapping[str, str]) -> dict[str, object]:
+    """The full baseline pipeline for a distributed document:
+    k independent DOM parses + an offset-recovery merge pass.
+
+    Returns the merged structure a cross-hierarchy application needs:
+    the text, all element spans per hierarchy, and the union boundary
+    set (the leaf partition SACX gets for free).
+    """
+    documents = {name: parse_dom(source) for name, source in sources.items()}
+    texts = {dom.text for dom in documents.values()}
+    if len(texts) != 1:
+        raise ValueError("parts of the distributed document disagree on text")
+    spans = {name: dom_offsets(dom) for name, dom in documents.items()}
+    boundaries: set[int] = {0}
+    for records in spans.values():
+        for _, start, end, _ in records:
+            boundaries.add(start)
+            boundaries.add(end)
+    text = next(iter(texts))
+    boundaries.add(len(text))
+    return {
+        "text": text,
+        "documents": documents,
+        "spans": spans,
+        "boundaries": sorted(boundaries),
+    }

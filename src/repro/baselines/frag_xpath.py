@@ -1,0 +1,171 @@
+"""Baseline: standard XPath-style queries over the fragmented document.
+
+The paper's motivating complaint: once concurrent markup is squeezed
+into one tree by fragmentation, *"the underlying semantics of the
+markup and the DOM tree semantics of the XML document differ —
+in particular, this makes querying such XML documents a complicated
+task."*  This module implements that complicated task faithfully, as a
+baseline:
+
+* simple element queries must deduplicate fragments through their glue
+  ids (a "glue join");
+* span-based queries (overlap!) must first *reassemble* logical
+  elements — walking the DOM to recover offsets, grouping fragments —
+  and then test pairs of logical spans, with no index to help.
+
+The GODDAG side of experiment E4 answers the same queries natively.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..sacx.reserved import FRAGMENT_ID_ATTR, HIERARCHY_ATTR
+from .domtree import DomDocument, DomNode, dom_offsets, parse_dom
+
+
+class LogicalElement:
+    """A reassembled element: one or more fragments glued together."""
+
+    __slots__ = ("tag", "start", "end", "attributes", "fragments", "hierarchy")
+
+    def __init__(self, tag: str, start: int, end: int,
+                 attributes: dict[str, str], fragments: list[DomNode],
+                 hierarchy: str | None) -> None:
+        self.tag = tag
+        self.start = start
+        self.end = end
+        self.attributes = attributes
+        self.fragments = fragments
+        self.hierarchy = hierarchy
+
+    def overlaps(self, other: "LogicalElement") -> bool:
+        if self.start >= other.end or other.start >= self.end:
+            return False
+        contains = self.start <= other.start and other.end <= self.end
+        contained = other.start <= self.start and self.end <= other.end
+        return not contains and not contained
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Logical {self.tag} [{self.start},{self.end}) x{len(self.fragments)}>"
+
+
+class FragmentationBaseline:
+    """Query engine over one fragmented document, the standard-XML way."""
+
+    def __init__(self, source: str) -> None:
+        self.document: DomDocument = parse_dom(source)
+        self._logical: list[LogicalElement] | None = None
+
+    # -- queries that stay in the tree ----------------------------------------------
+
+    def count_logical(self, tag: str) -> int:
+        """Count logical elements with ``tag``: a descendant scan plus a
+        glue join on the fragment ids (XPath can express the scan but
+        not the dedup, which real users do in host code)."""
+        seen_groups: set[str] = set()
+        count = 0
+        for node in self.document.root.find_all(tag):
+            fid = node.attributes.get(FRAGMENT_ID_ATTR)
+            if fid is None:
+                count += 1
+            elif fid not in seen_groups:
+                seen_groups.add(fid)
+                count += 1
+        return count
+
+    def logical_text(self, tag: str) -> list[str]:
+        """Text content of each logical element (fragments concatenate)."""
+        pieces: dict[str, list[str]] = defaultdict(list)
+        singles: list[str] = []
+        for node in self.document.root.find_all(tag):
+            fid = node.attributes.get(FRAGMENT_ID_ATTR)
+            if fid is None:
+                singles.append(node.text_content())
+            else:
+                pieces[fid].append(node.text_content())
+        return singles + ["".join(parts) for parts in pieces.values()]
+
+    # -- queries that need reassembly ----------------------------------------------------
+
+    def logical_elements(self) -> list[LogicalElement]:
+        """Reassemble all logical elements (cached).
+
+        Pays the full price: offset recovery over the whole tree, then
+        fragment grouping.
+        """
+        if self._logical is not None:
+            return self._logical
+        groups: dict[tuple[str, str], list[tuple[int, int, DomNode]]] = (
+            defaultdict(list)
+        )
+        logical: list[LogicalElement] = []
+        for tag, start, end, node in dom_offsets(self.document):
+            fid = node.attributes.get(FRAGMENT_ID_ATTR)
+            if fid is None:
+                logical.append(
+                    LogicalElement(
+                        tag, start, end, node.attributes, [node],
+                        node.attributes.get(HIERARCHY_ATTR),
+                    )
+                )
+            else:
+                groups[(tag, fid)].append((start, end, node))
+        for (tag, _), fragments in groups.items():
+            fragments.sort()
+            nodes = [node for (_, _, node) in fragments]
+            logical.append(
+                LogicalElement(
+                    tag,
+                    fragments[0][0],
+                    max(end for (_, end, _) in fragments),
+                    nodes[0].attributes,
+                    nodes,
+                    nodes[0].attributes.get(HIERARCHY_ATTR),
+                )
+            )
+        self._logical = logical
+        return logical
+
+    def overlap_pairs(self, tag_a: str, tag_b: str) -> list[tuple[LogicalElement, LogicalElement]]:
+        """All (a, b) logical pairs that properly overlap.
+
+        Pairwise comparison over the reassembled elements — the only
+        strategy available without a span index, and the query class
+        where the GODDAG's native ``overlapping`` axis wins E4.
+        """
+        logical = self.logical_elements()
+        left = [e for e in logical if e.tag == tag_a]
+        right = [e for e in logical if e.tag == tag_b]
+        return [
+            (a, b)
+            for a in left
+            for b in right
+            if a.overlaps(b)
+        ]
+
+    def elements_overlapping(self, tag: str) -> set[LogicalElement]:
+        """Logical elements of ``tag`` overlapping *anything* else."""
+        logical = self.logical_elements()
+        targets = [e for e in logical if e.tag == tag]
+        out: set[LogicalElement] = set()
+        for target in targets:
+            for other in logical:
+                if other is target:
+                    continue
+                if target.overlaps(other):
+                    out.add(target)
+                    break
+        return out
+
+    def containment_pairs(self, outer_tag: str, inner_tag: str) -> int:
+        """Count (outer, inner) logical pairs with span containment."""
+        logical = self.logical_elements()
+        outer = [e for e in logical if e.tag == outer_tag]
+        inner = [e for e in logical if e.tag == inner_tag]
+        count = 0
+        for o in outer:
+            for i in inner:
+                if o.start <= i.start and i.end <= o.end and o is not i:
+                    count += 1
+        return count

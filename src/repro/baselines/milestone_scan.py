@@ -1,0 +1,129 @@
+"""Baseline: scanning a milestone document to reconstruct ranges.
+
+With the milestone workaround, secondary hierarchies exist only as
+paired empty markers.  Any query about them must scan the document,
+pair start/end markers, and recompute offsets — the DOM provides no
+help at all (the markers are leaves of the *primary* tree).  This is
+the "milestone scan" comparator of experiments E3/E4.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..errors import SerializationError
+from ..sacx.reserved import (
+    HIERARCHY_ATTR,
+    MILESTONE_ID_ATTR,
+    MILESTONE_KIND_ATTR,
+)
+from .domtree import DomDocument, DomNode, parse_dom
+
+
+class MilestoneRange:
+    """One reconstructed secondary-hierarchy element."""
+
+    __slots__ = ("tag", "start", "end", "attributes", "hierarchy")
+
+    def __init__(self, tag: str, start: int, end: int,
+                 attributes: dict[str, str], hierarchy: str | None) -> None:
+        self.tag = tag
+        self.start = start
+        self.end = end
+        self.attributes = attributes
+        self.hierarchy = hierarchy
+
+    def overlaps(self, other: "MilestoneRange") -> bool:
+        if self.start >= other.end or other.start >= self.end:
+            return False
+        contains = self.start <= other.start and other.end <= self.end
+        contained = other.start <= self.start and self.end <= other.end
+        return not contains and not contained
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Range {self.tag} [{self.start},{self.end})>"
+
+
+class MilestoneBaseline:
+    """Reconstructs ranges from a milestone document by linear scan."""
+
+    def __init__(self, source: str) -> None:
+        self.document: DomDocument = parse_dom(source)
+        self._ranges: list[MilestoneRange] | None = None
+
+    def ranges(self) -> list[MilestoneRange]:
+        """Pair all markers (cached); a full-document offset walk."""
+        if self._ranges is not None:
+            return self._ranges
+        open_markers: dict[tuple[str, str], tuple[int, dict[str, str]]] = {}
+        by_tag_stack: dict[str, list[tuple[int, dict[str, str]]]] = defaultdict(list)
+        out: list[MilestoneRange] = []
+
+        def walk(node: DomNode, offset: int) -> int:
+            for child in node.children:
+                if isinstance(child, str):
+                    offset += len(child)
+                    continue
+                kind = child.attributes.get(MILESTONE_KIND_ATTR)
+                if kind == "start":
+                    mid = child.attributes.get(MILESTONE_ID_ATTR)
+                    if mid is not None:
+                        open_markers[(child.tag, mid)] = (offset, child.attributes)
+                    else:
+                        by_tag_stack[child.tag].append((offset, child.attributes))
+                elif kind == "end":
+                    mid = child.attributes.get(MILESTONE_ID_ATTR)
+                    if mid is not None:
+                        try:
+                            start, attrs = open_markers.pop((child.tag, mid))
+                        except KeyError:
+                            raise SerializationError(
+                                f"unpaired end marker <{child.tag}> id {mid!r}"
+                            ) from None
+                    else:
+                        if not by_tag_stack[child.tag]:
+                            raise SerializationError(
+                                f"unpaired end marker <{child.tag}>"
+                            )
+                        start, attrs = by_tag_stack[child.tag].pop()
+                    user_attrs = {
+                        k: v for k, v in attrs.items()
+                        if k not in (MILESTONE_KIND_ATTR, MILESTONE_ID_ATTR,
+                                     HIERARCHY_ATTR)
+                    }
+                    out.append(
+                        MilestoneRange(
+                            child.tag, start, offset, user_attrs,
+                            attrs.get(HIERARCHY_ATTR),
+                        )
+                    )
+                else:
+                    offset = walk(child, offset)
+            return offset
+
+        walk(self.document.root, 0)
+        if open_markers or any(stack for stack in by_tag_stack.values()):
+            raise SerializationError("unterminated milestone ranges")
+        self._ranges = out
+        return out
+
+    def count(self, tag: str) -> int:
+        """Count reconstructed ranges of ``tag``."""
+        return sum(1 for r in self.ranges() if r.tag == tag)
+
+    def overlap_pairs(self, tag_a: str, tag_b: str) -> list[tuple]:
+        """Pairwise overlap test over reconstructed ranges and/or the
+        primary tree's elements (which need their own offset walk)."""
+        from .domtree import dom_offsets
+
+        ranges = self.ranges()
+        primary = [
+            MilestoneRange(tag, start, end, node.attributes,
+                           node.attributes.get(HIERARCHY_ATTR))
+            for tag, start, end, node in dom_offsets(self.document)
+            if MILESTONE_KIND_ATTR not in node.attributes
+        ]
+        pool = ranges + primary
+        left = [r for r in pool if r.tag == tag_a]
+        right = [r for r in pool if r.tag == tag_b]
+        return [(a, b) for a in left for b in right if a.overlaps(b)]

@@ -1,0 +1,69 @@
+"""Structural comparison of GODDAG documents.
+
+Round-tripping a document through any representation must preserve its
+structure — but two corner conventions make naive equality too strict:
+
+* zero-width elements are re-placed by the offset rule (deepest element
+  covering the anchor) whenever a document passes through an
+  offset-based path;
+* builder ordinals differ between originals and reimports.
+
+:func:`canonical_form` therefore normalizes a document by rebuilding it
+from its standoff listing (which applies the offset rule uniformly) and
+returns the rebuilt document's standoff dictionary — a deterministic,
+hashable-free structure two documents can be compared by.
+"""
+
+from __future__ import annotations
+
+from .core.goddag import GoddagDocument
+from .sacx.standoff import parse_standoff, standoff_dict
+
+
+def canonical_form(document: GoddagDocument) -> dict:
+    """A canonical, comparison-ready structure for ``document``.
+
+    Hierarchy blocks are sorted by name: importing a single-document
+    representation discovers hierarchies in first-encounter order, so
+    rank is a presentation detail, not structure.
+    """
+    rebuilt = parse_standoff(standoff_dict(document))
+    form = standoff_dict(rebuilt)
+    form["hierarchies"].sort(key=lambda block: block["name"])
+    return form
+
+
+def documents_isomorphic(a: GoddagDocument, b: GoddagDocument) -> bool:
+    """True when the two documents have the same text, hierarchies, and
+    markup structure (up to the normalizations documented above)."""
+    return canonical_form(a) == canonical_form(b)
+
+
+def describe_difference(a: GoddagDocument, b: GoddagDocument) -> str:
+    """Human-readable first difference between two documents (or '')."""
+    ca, cb = canonical_form(a), canonical_form(b)
+    if ca == cb:
+        return ""
+    if ca["text"] != cb["text"]:
+        return "texts differ"
+    if ca["root"] != cb["root"]:
+        return f"roots differ: {ca['root']} vs {cb['root']}"
+    names_a = [h["name"] for h in ca["hierarchies"]]
+    names_b = [h["name"] for h in cb["hierarchies"]]
+    if names_a != names_b:
+        return f"hierarchies differ: {names_a} vs {names_b}"
+    for block_a, block_b in zip(ca["hierarchies"], cb["hierarchies"]):
+        if block_a != block_b:
+            seen_a = {
+                (x["tag"], x["start"], x["end"]) for x in block_a["annotations"]
+            }
+            seen_b = {
+                (x["tag"], x["start"], x["end"]) for x in block_b["annotations"]
+            }
+            only_a = sorted(seen_a - seen_b)
+            only_b = sorted(seen_b - seen_a)
+            return (
+                f"hierarchy {block_a['name']!r} differs; "
+                f"only in first: {only_a[:5]}; only in second: {only_b[:5]}"
+            )
+    return "documents differ in attribute details"

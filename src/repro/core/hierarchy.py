@@ -1,0 +1,220 @@
+"""Concurrent markup hierarchies and the tag-conflict machinery.
+
+The paper's central schema notion: a *concurrent markup hierarchy* (CMH)
+groups the element types of a markup language into sets that never need
+to overlap internally — each set gets its own DTD and forms one tree of
+the GODDAG.  This module provides:
+
+* :class:`Hierarchy` — one named hierarchy (its rank fixes document-order
+  tie-breaking; it may carry a DTD for validation);
+* :class:`ConcurrentSchema` — an ordered collection of hierarchies with a
+  tag → hierarchy assignment;
+* the **conflict graph** over tags observed in an annotation soup, and a
+  greedy-coloring **auto-partition** that derives a small CMH from data —
+  used when importing standoff annotations that declare no schema.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..errors import HierarchyError
+
+
+class Hierarchy:
+    """One markup hierarchy: a named, ranked set of element types."""
+
+    __slots__ = ("name", "rank", "dtd", "_tags")
+
+    def __init__(self, name: str, rank: int = 0, dtd=None,
+                 tags: Iterable[str] = ()) -> None:
+        self.name = name
+        self.rank = rank
+        #: Optional :class:`repro.dtd.DTD` used by validation/prevalidation.
+        self.dtd = dtd
+        self._tags: set[str] = set(tags)
+
+    @property
+    def tags(self) -> frozenset[str]:
+        """Element types declared or observed in this hierarchy."""
+        return frozenset(self._tags)
+
+    def observe_tag(self, tag: str) -> None:
+        """Record that ``tag`` occurs in this hierarchy."""
+        self._tags.add(tag)
+
+    def declares(self, tag: str) -> bool:
+        return tag in self._tags
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Hierarchy({self.name!r}, rank={self.rank}, tags={sorted(self._tags)})"
+
+
+class ConcurrentSchema:
+    """An ordered collection of hierarchies with unique tag ownership.
+
+    A tag may belong to at most one hierarchy of a schema: the schema is
+    precisely the function that routes raw markup to the tree that can
+    hold it without internal overlap.
+    """
+
+    def __init__(self) -> None:
+        self._hierarchies: dict[str, Hierarchy] = {}
+        self._tag_owner: dict[str, str] = {}
+
+    def add_hierarchy(self, name: str, tags: Iterable[str] = (), dtd=None) -> Hierarchy:
+        """Declare a hierarchy owning ``tags``; order fixes rank."""
+        if name in self._hierarchies:
+            raise HierarchyError(f"duplicate hierarchy {name!r}")
+        hierarchy = Hierarchy(name, rank=len(self._hierarchies), dtd=dtd, tags=tags)
+        for tag in hierarchy.tags:
+            self._claim(tag, name)
+        self._hierarchies[name] = hierarchy
+        return hierarchy
+
+    def _claim(self, tag: str, name: str) -> None:
+        owner = self._tag_owner.get(tag)
+        if owner is not None and owner != name:
+            raise HierarchyError(
+                f"tag {tag!r} claimed by both {owner!r} and {name!r}"
+            )
+        self._tag_owner[tag] = name
+
+    def assign_tag(self, tag: str, hierarchy: str) -> None:
+        """Route ``tag`` to ``hierarchy`` (must not be claimed elsewhere)."""
+        if hierarchy not in self._hierarchies:
+            raise HierarchyError(f"unknown hierarchy {hierarchy!r}")
+        self._claim(tag, hierarchy)
+        self._hierarchies[hierarchy].observe_tag(tag)
+
+    def hierarchy(self, name: str) -> Hierarchy:
+        try:
+            return self._hierarchies[name]
+        except KeyError:
+            raise HierarchyError(f"unknown hierarchy {name!r}") from None
+
+    def hierarchy_names(self) -> tuple[str, ...]:
+        return tuple(self._hierarchies)
+
+    def owner_of(self, tag: str) -> str | None:
+        """The hierarchy owning ``tag``, or None if unassigned."""
+        return self._tag_owner.get(tag)
+
+    def __iter__(self) -> Iterator[Hierarchy]:
+        return iter(self._hierarchies.values())
+
+    def __len__(self) -> int:
+        return len(self._hierarchies)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._hierarchies
+
+    @classmethod
+    def from_annotations(
+        cls,
+        annotations: Iterable[tuple[str, int, int]],
+        name_format: str = "h{index}",
+    ) -> "ConcurrentSchema":
+        """Derive a small schema from raw ``(tag, start, end)`` annotations.
+
+        Builds the tag-conflict graph and greedy-colors it; each color
+        class becomes a hierarchy.  The number of hierarchies is minimal
+        for chordal conflict graphs and near-minimal in practice — the
+        point is not optimality but that the result is guaranteed
+        overlap-free within each hierarchy.
+        """
+        classes = partition_tags(annotations)
+        schema = cls()
+        for index, tags in enumerate(classes):
+            schema.add_hierarchy(name_format.format(index=index), tags=sorted(tags))
+        return schema
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ConcurrentSchema({list(self._hierarchies)})"
+
+
+def conflict_graph(
+    annotations: Iterable[tuple[str, int, int]],
+) -> dict[str, set[str]]:
+    """The tag-conflict graph of an annotation soup.
+
+    Tags ``a`` and ``b`` conflict iff some instance of ``a`` properly
+    overlaps some instance of ``b`` — i.e. they cannot coexist in one
+    well-formed hierarchy.  Self-conflicts (a tag overlapping itself) are
+    recorded as a self-loop, which no coloring can fix; callers that see
+    one must split instances instead (the library reports it loudly).
+
+    Sweep-line over start offsets; worst case ``O(n^2)`` when everything
+    is mutually nested (no edges result), which is fine at the scale of
+    editing sessions and import jobs this serves.
+    """
+    items = sorted(
+        ((start, end, tag) for (tag, start, end) in annotations if start < end),
+    )
+    graph: dict[str, set[str]] = {}
+    for tag in {tag for (_, _, tag) in items}:
+        graph[tag] = set()
+    active: list[tuple[int, int, str]] = []  # (end, start, tag)
+    for start, end, tag in items:
+        live: list[tuple[int, int, str]] = []
+        for other_end, other_start, other_tag in active:
+            if other_end <= start:
+                continue
+            live.append((other_end, other_start, other_tag))
+            # Proper overlap test: intervals intersect, neither contains.
+            contains = other_start <= start and end <= other_end
+            contained = start <= other_start and other_end <= end
+            if not contains and not contained:
+                graph[tag].add(other_tag)
+                graph[other_tag].add(tag)
+        live.append((end, start, tag))
+        active = live
+    return graph
+
+
+def greedy_color(graph: Mapping[str, set[str]]) -> dict[str, int]:
+    """Greedy largest-degree-first coloring; deterministic.
+
+    A self-loop in the graph is uncolorable and raises
+    :class:`HierarchyError` (it means one tag overlaps itself and must be
+    split across two hierarchies by *instance*, not by tag).
+    """
+    for tag, neighbours in graph.items():
+        if tag in neighbours:
+            raise HierarchyError(
+                f"tag {tag!r} overlaps itself; instance-level split required"
+            )
+    order = sorted(graph, key=lambda tag: (-len(graph[tag]), tag))
+    colors: dict[str, int] = {}
+    for tag in order:
+        used = {colors[n] for n in graph[tag] if n in colors}
+        color = 0
+        while color in used:
+            color += 1
+        colors[tag] = color
+    return colors
+
+
+def partition_tags(
+    annotations: Iterable[tuple[str, int, int]],
+) -> list[set[str]]:
+    """Partition the tags of an annotation soup into overlap-free classes.
+
+    Returns color classes ordered by color index; tags never observed to
+    conflict with anything end up in class 0.
+    """
+    graph = conflict_graph(annotations)
+    colors = greedy_color(graph)
+    if not colors:
+        return []
+    classes: list[set[str]] = [set() for _ in range(max(colors.values()) + 1)]
+    for tag, color in colors.items():
+        classes[color].add(tag)
+    return classes
+
+
+def minimal_hierarchies(
+    annotations: Sequence[tuple[str, int, int]],
+) -> int:
+    """Number of hierarchies the greedy auto-partition produces."""
+    return len(partition_tags(annotations))

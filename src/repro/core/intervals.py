@@ -1,0 +1,120 @@
+"""A static interval index over span-carrying items.
+
+Cross-hierarchy queries (the ``overlapping`` axis, leaf-parent lookup,
+containment sweeps) need *stabbing* and *intersection* queries over the
+element population of a hierarchy.  Within one hierarchy spans properly
+nest, but across hierarchies they form arbitrary interval sets, so the
+index makes no nesting assumption.
+
+The structure is the classic "sort by start + segment tree over maximum
+end" augmentation: a query descends only into subtrees whose max-end
+clears the threshold, giving ``O(log n + k)`` per query.  The index is
+static; the owning document rebuilds it lazily after mutations.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Callable, Generic, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class StaticIntervalIndex(Generic[T]):
+    """Index ``items`` by half-open spans for fast geometric queries."""
+
+    __slots__ = ("_items", "_starts", "_ends", "_tree", "_size")
+
+    def __init__(
+        self,
+        items: Sequence[T],
+        start_of: Callable[[T], int] = lambda item: item.start,  # type: ignore[attr-defined]
+        end_of: Callable[[T], int] = lambda item: item.end,  # type: ignore[attr-defined]
+    ) -> None:
+        decorated = sorted(
+            ((start_of(item), -end_of(item), i) for i, item in enumerate(items))
+        )
+        self._items: list[T] = [items[i] for (_, _, i) in decorated]
+        self._starts: list[int] = [s for (s, _, _) in decorated]
+        self._ends: list[int] = [-negated for (_, negated, _) in decorated]
+        n = len(self._items)
+        self._size = n
+        # Perfectly balanced implicit segment tree over max(end) per range.
+        tree_len = 1
+        while tree_len < max(1, n):
+            tree_len *= 2
+        self._tree = [-1] * (2 * tree_len)
+        for i, end in enumerate(self._ends):
+            self._tree[tree_len + i] = end
+        for i in range(tree_len - 1, 0, -1):
+            self._tree[i] = max(self._tree[2 * i], self._tree[2 * i + 1])
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- internal ------------------------------------------------------------
+
+    def _collect_end_gt(self, lo: int, hi: int, threshold: int) -> list[T]:
+        """All items with index in ``[lo, hi)`` whose end > ``threshold``."""
+        out: list[T] = []
+        if lo >= hi:
+            return out
+        leaves = len(self._tree) // 2
+
+        def descend(node: int, node_lo: int, node_hi: int) -> None:
+            if node_lo >= hi or node_hi <= lo or self._tree[node] <= threshold:
+                return
+            if node_hi - node_lo == 1:
+                out.append(self._items[node_lo])
+                return
+            mid = (node_lo + node_hi) // 2
+            descend(2 * node, node_lo, mid)
+            descend(2 * node + 1, mid, node_hi)
+
+        descend(1, 0, leaves)
+        return out
+
+    # -- queries ---------------------------------------------------------------
+
+    def intersecting(self, start: int, end: int) -> list[T]:
+        """Items sharing at least one character position with ``[start, end)``.
+
+        Result is ordered by ``(start, -end)``, i.e. outermost-first among
+        items that begin together.
+        """
+        hi = bisect_left(self._starts, end)
+        return self._collect_end_gt(0, hi, start)
+
+    def stabbing(self, offset: int) -> list[T]:
+        """Items whose span contains the character position ``offset``."""
+        return self.intersecting(offset, offset + 1)
+
+    def containing(self, start: int, end: int) -> list[T]:
+        """Items whose span contains ``[start, end)`` entirely (allows equal).
+
+        For zero-width targets (``start == end``) this returns the items
+        with ``item.start <= start`` and ``item.end >= end``.
+        """
+        hi = bisect_right(self._starts, start)
+        if start == end:
+            # Threshold is inclusive for zero-width anchors.
+            return self._collect_end_ge(0, hi, end)
+        return self._collect_end_gt(0, hi, end - 1)
+
+    def _collect_end_ge(self, lo: int, hi: int, threshold: int) -> list[T]:
+        """All items with index in ``[lo, hi)`` whose end >= ``threshold``."""
+        return self._collect_end_gt(lo, hi, threshold - 1)
+
+    def contained_in(self, start: int, end: int) -> list[T]:
+        """Items whose span lies entirely within ``[start, end)``."""
+        lo = bisect_left(self._starts, start)
+        hi = bisect_left(self._starts, end)
+        return [
+            item
+            for item, item_end in zip(self._items[lo:hi], self._ends[lo:hi])
+            if item_end <= end
+        ]
+
+    def all_items(self) -> list[T]:
+        """All indexed items ordered by ``(start, -end)``."""
+        return list(self._items)

@@ -1,0 +1,162 @@
+"""Structural relations between GODDAG nodes.
+
+These are the semantic primitives of the Extended XPath axes and of the
+document analytics the demo shows (e.g. "which damage regions overlap
+which words").  Everything reduces to span arithmetic plus hierarchy
+membership; all predicates are O(1) except dominance between elements,
+which walks one parent chain.
+
+The relations partition node pairs cleanly: for solid (non-empty)
+elements ``x != y`` exactly one of *dominates*, *is dominated by*,
+*precedes*, *follows*, *overlaps*, or *coextensive-in-another-hierarchy*
+holds.  That partition is what makes the ``overlapping`` axis a genuine
+complement of the classical XPath axes.
+"""
+
+from __future__ import annotations
+
+from .node import Element, Leaf, Node
+
+
+def dominates(a: Node, b: Node) -> bool:
+    """True iff ``b`` is reachable from ``a`` along child edges (a != b).
+
+    * the root dominates everything else;
+    * an element dominates the leaves its span covers;
+    * an element dominates an element only within its own hierarchy
+      (cross-hierarchy containment is :func:`contains_span`, not
+      dominance — there is no child path between the trees).
+    """
+    if a is b:
+        return False
+    if not isinstance(a, Element):
+        return False
+    if a.is_root:
+        return True
+    if isinstance(b, Leaf):
+        return not a.is_empty and a.span.contains(b.span)
+    if not isinstance(b, Element) or b.is_root:
+        return False
+    if a.hierarchy != b.hierarchy:
+        return False
+    node = b._parent
+    while node is not None:
+        if node is a:
+            return True
+        node = node._parent
+    return False
+
+
+def contains_span(a: Node, b: Node) -> bool:
+    """Pure span containment, ignoring hierarchies (used by the
+    ``containing``/``contained`` Extended XPath axes)."""
+    if a is b:
+        return False
+    if isinstance(a, Element) and a.is_empty:
+        return False
+    return a.span.contains(b.span)
+
+
+def overlaps(a: Node, b: Node) -> bool:
+    """Proper overlap: spans intersect, neither contains the other.
+
+    Only solid elements of *different* hierarchies can overlap; leaves
+    are boundary-free by construction so they never straddle anything.
+    """
+    if not (isinstance(a, Element) and isinstance(b, Element)):
+        return False
+    if a.is_root or b.is_root or a.is_empty or b.is_empty:
+        return False
+    if a.hierarchy == b.hierarchy:
+        return False
+    return a.span.overlaps(b.span)
+
+
+def left_overlaps(a: Node, b: Node) -> bool:
+    """``a`` straddles ``b``'s start boundary."""
+    return overlaps(a, b) and a.span.left_overlaps(b.span)
+
+
+def right_overlaps(a: Node, b: Node) -> bool:
+    """``a`` straddles ``b``'s end boundary."""
+    return overlaps(a, b) and a.span.right_overlaps(b.span)
+
+
+def coextensive(a: Node, b: Node) -> bool:
+    """Same span, different node (any hierarchies, both solid elements)."""
+    if a is b:
+        return False
+    if not (isinstance(a, Element) and isinstance(b, Element)):
+        return False
+    if a.is_root or b.is_root or a.is_empty or b.is_empty:
+        return False
+    return a.span.coextensive(b.span)
+
+
+def precedes(a: Node, b: Node) -> bool:
+    """``a`` lies entirely before ``b`` (a.end <= b.start, disjoint).
+
+    This is the GODDAG reading of XPath's ``following``/``preceding``:
+    nodes that straddle each other are in the ``overlapping`` axis, in
+    neither ``following`` nor ``preceding``.  Zero-width nodes use their
+    anchor point.
+    """
+    if a is b:
+        return False
+    return a.end <= b.start and not (
+        a.span.is_empty and b.span.is_empty and a.start == b.start
+    )
+
+
+def follows(a: Node, b: Node) -> bool:
+    """Mirror of :func:`precedes`."""
+    return precedes(b, a)
+
+
+def shared_leaves(a: Element, b: Element) -> list[Leaf]:
+    """The leaves two elements have in common (empty list when disjoint).
+
+    This realizes the demo's "requests for overlapping content given two
+    tags": the shared leaves *are* the overlapping content.
+    """
+    common = a.span.intersection(b.span)
+    if common is None:
+        return []
+    return a.document.leaves_in(common)
+
+
+def overlap_text(a: Element, b: Element) -> str:
+    """The text two elements share (empty string when disjoint)."""
+    common = a.span.intersection(b.span)
+    if common is None:
+        return ""
+    return a.document.text[common.start : common.end]
+
+
+def relation_name(a: Node, b: Node) -> str:
+    """Human-readable name of the relation from ``a`` to ``b``.
+
+    One of ``self``, ``dominates``, ``dominated-by``, ``overlaps``,
+    ``coextensive``, ``precedes``, ``follows``, or ``incomparable``
+    (zero-width corner cases).  Used by diagnostics and tests of the
+    partition property.
+    """
+    if a is b:
+        return "self"
+    if dominates(a, b):
+        return "dominates"
+    if dominates(b, a):
+        return "dominated-by"
+    if overlaps(a, b):
+        return "overlaps"
+    if coextensive(a, b):
+        return "coextensive"
+    if precedes(a, b):
+        return "precedes"
+    if follows(a, b):
+        return "follows"
+    if contains_span(a, b):
+        return "contains-span"
+    if contains_span(b, a):
+        return "contained-span"
+    return "incomparable"

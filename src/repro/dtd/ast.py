@@ -1,0 +1,275 @@
+"""Content-model ASTs and DTD declarations.
+
+A concurrent markup hierarchy is, per the paper, "a collection of DTD
+elements that are not in conflict with each other" — each hierarchy
+carries its own DTD.  This module models the DTD subset the framework
+needs: element declarations with the four XML content kinds (``EMPTY``,
+``ANY``, mixed, element content) and attribute-list declarations.
+
+Content models are regular expressions over element names; they are
+compiled to Glushkov automata by :mod:`repro.dtd.automaton`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+
+class ContentModel:
+    """Base class of content-model expression nodes."""
+
+    __slots__ = ()
+
+    def alphabet(self) -> frozenset[str]:
+        """All element names mentioned by the model."""
+        return frozenset(self._names())
+
+    def _names(self) -> Iterator[str]:
+        raise NotImplementedError
+
+    def to_source(self) -> str:
+        """Render back to DTD syntax (used by serializers and repr)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.to_source()})"
+
+
+@dataclass(frozen=True, repr=False)
+class Name(ContentModel):
+    """A single element name."""
+
+    tag: str
+
+    def _names(self) -> Iterator[str]:
+        yield self.tag
+
+    def to_source(self) -> str:
+        return self.tag
+
+
+@dataclass(frozen=True, repr=False)
+class Seq(ContentModel):
+    """Ordered sequence: ``(a, b, c)``."""
+
+    items: tuple[ContentModel, ...]
+
+    def _names(self) -> Iterator[str]:
+        for item in self.items:
+            yield from item._names()
+
+    def to_source(self) -> str:
+        return "(" + ", ".join(item.to_source() for item in self.items) + ")"
+
+
+@dataclass(frozen=True, repr=False)
+class Choice(ContentModel):
+    """Alternatives: ``(a | b | c)``."""
+
+    items: tuple[ContentModel, ...]
+
+    def _names(self) -> Iterator[str]:
+        for item in self.items:
+            yield from item._names()
+
+    def to_source(self) -> str:
+        return "(" + " | ".join(item.to_source() for item in self.items) + ")"
+
+
+@dataclass(frozen=True, repr=False)
+class Optional_(ContentModel):
+    """Zero or one: ``a?``."""
+
+    item: ContentModel
+
+    def _names(self) -> Iterator[str]:
+        yield from self.item._names()
+
+    def to_source(self) -> str:
+        return self.item.to_source() + "?"
+
+
+@dataclass(frozen=True, repr=False)
+class Star(ContentModel):
+    """Zero or more: ``a*``."""
+
+    item: ContentModel
+
+    def _names(self) -> Iterator[str]:
+        yield from self.item._names()
+
+    def to_source(self) -> str:
+        return self.item.to_source() + "*"
+
+
+@dataclass(frozen=True, repr=False)
+class Plus(ContentModel):
+    """One or more: ``a+``."""
+
+    item: ContentModel
+
+    def _names(self) -> Iterator[str]:
+        yield from self.item._names()
+
+    def to_source(self) -> str:
+        return self.item.to_source() + "+"
+
+
+#: Element content kinds.
+EMPTY = "EMPTY"
+ANY = "ANY"
+MIXED = "MIXED"
+CHILDREN = "CHILDREN"
+
+
+@dataclass(frozen=True)
+class ElementDecl:
+    """One ``<!ELEMENT ...>`` declaration.
+
+    * ``EMPTY``: no content at all;
+    * ``ANY``: any declared elements and text;
+    * ``MIXED``: ``(#PCDATA | a | b)*`` — text plus the listed elements
+      in any order (``model`` is the equivalent ``(a | b)*`` over the
+      element children);
+    * ``CHILDREN``: element content; ``model`` is the declared regular
+      expression and text is not allowed (whitespace-only leaves are
+      tolerated, as in standard XML validation practice).
+    """
+
+    name: str
+    kind: str
+    model: ContentModel | None = None
+
+    @property
+    def allows_text(self) -> bool:
+        """True when character data may appear directly inside."""
+        return self.kind in (MIXED, ANY)
+
+    def alphabet(self) -> frozenset[str]:
+        """Element names allowed as children (empty for EMPTY; None→all
+        declared names is the caller's job for ANY)."""
+        if self.model is None:
+            return frozenset()
+        return self.model.alphabet()
+
+    def to_source(self) -> str:
+        if self.kind == EMPTY:
+            spec = "EMPTY"
+        elif self.kind == ANY:
+            spec = "ANY"
+        elif self.kind == MIXED:
+            names = sorted(self.alphabet())
+            if names:
+                spec = "(#PCDATA | " + " | ".join(names) + ")*"
+            else:
+                spec = "(#PCDATA)"
+        else:
+            spec = self.model.to_source() if self.model else "EMPTY"
+            if not spec.startswith("("):
+                spec = f"({spec})"
+        return f"<!ELEMENT {self.name} {spec}>"
+
+
+#: Attribute default kinds.
+REQUIRED = "#REQUIRED"
+IMPLIED = "#IMPLIED"
+FIXED = "#FIXED"
+DEFAULTED = "default"
+
+
+@dataclass(frozen=True)
+class AttributeDef:
+    """One attribute definition from an ``<!ATTLIST ...>`` declaration."""
+
+    name: str
+    #: "CDATA", "ID", "IDREF", "IDREFS", "NMTOKEN", "NMTOKENS", or an
+    #: enumeration rendered as a tuple of permitted tokens.
+    type: str | tuple[str, ...]
+    default_kind: str = IMPLIED
+    default_value: str | None = None
+
+    def permits(self, value: str) -> bool:
+        """True when ``value`` is legal for this attribute's type."""
+        if isinstance(self.type, tuple):
+            return value in self.type
+        if self.type in ("NMTOKEN", "ID", "IDREF"):
+            return bool(value) and " " not in value
+        return True  # CDATA, NMTOKENS, IDREFS accept anything here
+
+
+@dataclass
+class DTD:
+    """A parsed DTD: element declarations plus attribute lists."""
+
+    name: str = ""
+    elements: dict[str, ElementDecl] = field(default_factory=dict)
+    attributes: dict[str, dict[str, AttributeDef]] = field(default_factory=dict)
+
+    def declares(self, tag: str) -> bool:
+        return tag in self.elements
+
+    def element(self, tag: str) -> ElementDecl:
+        try:
+            return self.elements[tag]
+        except KeyError:
+            raise KeyError(f"element {tag!r} not declared in DTD {self.name!r}") from None
+
+    def attributes_of(self, tag: str) -> Mapping[str, AttributeDef]:
+        return self.attributes.get(tag, {})
+
+    def declared_tags(self) -> frozenset[str]:
+        return frozenset(self.elements)
+
+    def add_element(self, decl: ElementDecl) -> None:
+        self.elements[decl.name] = decl
+
+    def add_attribute(self, element: str, definition: AttributeDef) -> None:
+        self.attributes.setdefault(element, {})[definition.name] = definition
+
+    def can_contain_text(self, tag: str) -> bool:
+        """True when ``tag`` can *transitively* reach character data:
+        its own content is mixed/ANY, or some descendant chain of
+        declared elements ends in one that is.
+
+        This closure is what prevalidation uses to decide whether an
+        uncovered text leaf could ever be legally covered by future
+        markup insertions below ``tag``.
+        """
+        reachable: set[str] = set()
+        frontier = [tag]
+        while frontier:
+            current = frontier.pop()
+            if current in reachable:
+                continue
+            reachable.add(current)
+            decl = self.elements.get(current)
+            if decl is None:
+                # Undeclared elements are treated permissively: they may
+                # hold text (the document is only *partially* schematized).
+                return True
+            if decl.allows_text:
+                return True
+            if decl.kind == ANY:
+                return True
+            frontier.extend(decl.alphabet() - reachable)
+        return False
+
+    def to_source(self) -> str:
+        """Render the whole DTD back to its declaration syntax."""
+        lines = [decl.to_source() for decl in self.elements.values()]
+        for element, attrs in self.attributes.items():
+            for definition in attrs.values():
+                if isinstance(definition.type, tuple):
+                    type_src = "(" + " | ".join(definition.type) + ")"
+                else:
+                    type_src = definition.type
+                default = definition.default_kind
+                if definition.default_kind == FIXED:
+                    default = f'#FIXED "{definition.default_value}"'
+                elif definition.default_kind == DEFAULTED:
+                    default = f'"{definition.default_value}"'
+                lines.append(
+                    f"<!ATTLIST {element} {definition.name} {type_src} {default}>"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,273 @@
+"""Glushkov automata for DTD content models.
+
+The classical construction: every occurrence of an element name in the
+content model becomes a *position*; the automaton's states are the start
+state plus the positions, and transitions follow the ``first``/
+``follow``/``last`` sets.  For 1-unambiguous content models (which XML
+requires of DTDs) the result is deterministic, but the runner simulates
+position *sets* so even ambiguous models are handled correctly.
+
+Besides ordinary acceptance (validation), the automaton exposes the
+*scattered-subword* machinery that potential-validity checking builds
+on: a child sequence is potentially valid iff it can be completed to a
+word of the content model language by inserting symbols anywhere, i.e.
+iff it is a scattered subword of the language.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from .ast import Choice, ContentModel, Name, Optional_, Plus, Seq, Star
+
+#: The start state of every automaton.
+START = 0
+
+
+class ContentAutomaton:
+    """The Glushkov automaton of one content model."""
+
+    __slots__ = (
+        "model",
+        "nullable",
+        "symbols",
+        "first",
+        "last",
+        "follow",
+        "_closure",
+        "_coaccessible",
+        "_by_symbol",
+    )
+
+    def __init__(self, model: ContentModel) -> None:
+        self.model = model
+        self.symbols: dict[int, str] = {}
+        self.follow: dict[int, set[int]] = {}
+        builder = _Glushkov(self)
+        self.nullable, self.first, self.last = builder.build(model)
+        for position in self.symbols:
+            self.follow.setdefault(position, set())
+        self._closure = self._transitive_closure()
+        self._coaccessible = self._compute_coaccessible()
+        self._by_symbol: dict[str, frozenset[int]] = {}
+        for position, symbol in self.symbols.items():
+            existing = self._by_symbol.get(symbol, frozenset())
+            self._by_symbol[symbol] = existing | {position}
+
+    # -- construction helpers --------------------------------------------------
+
+    def _successors(self, state: int) -> set[int]:
+        """Direct successor positions of a state (first for START)."""
+        if state == START:
+            return set(self.first)
+        return self.follow[state]
+
+    def _transitive_closure(self) -> dict[int, frozenset[int]]:
+        closure: dict[int, frozenset[int]] = {}
+        for state in (START, *self.symbols):
+            seen: set[int] = set()
+            frontier = list(self._successors(state))
+            while frontier:
+                node = frontier.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                frontier.extend(self.follow[node] - seen)
+            closure[state] = frozenset(seen)
+        return closure
+
+    def _compute_coaccessible(self) -> frozenset[int]:
+        """Positions from which an accepting position is reachable (>=0 steps)."""
+        result = set(self.last)
+        changed = True
+        while changed:
+            changed = False
+            for position, nexts in self.follow.items():
+                if position not in result and nexts & result:
+                    result.add(position)
+                    changed = True
+        return frozenset(result)
+
+    # -- classical acceptance (validation) ----------------------------------------
+
+    def initial(self) -> frozenset[int]:
+        return frozenset({START})
+
+    def step(self, states: frozenset[int], symbol: str) -> frozenset[int]:
+        """One NFA step: consume ``symbol`` from ``states``."""
+        targets: set[int] = set()
+        for state in states:
+            for nxt in self._successors(state):
+                if self.symbols[nxt] == symbol:
+                    targets.add(nxt)
+        return frozenset(targets)
+
+    def is_accepting(self, states: frozenset[int]) -> bool:
+        if START in states and self.nullable:
+            return True
+        return any(state in self.last for state in states if state != START)
+
+    def accepts(self, sequence: Sequence[str]) -> bool:
+        """True iff ``sequence`` is exactly a word of the model language."""
+        states = self.initial()
+        for symbol in sequence:
+            states = self.step(states, symbol)
+            if not states:
+                return False
+        return self.is_accepting(states)
+
+    def valid_next(self, states: frozenset[int]) -> frozenset[str]:
+        """Symbols the model accepts immediately after ``states``."""
+        return frozenset(
+            self.symbols[nxt]
+            for state in states
+            for nxt in self._successors(state)
+        )
+
+    # -- scattered-subword machinery (potential validity) -----------------------------
+
+    def reachable_from(self, states: Iterable[int]) -> frozenset[int]:
+        """Positions reachable from ``states`` in one or more steps."""
+        out: set[int] = set()
+        for state in states:
+            out |= self._closure[state]
+        return frozenset(out)
+
+    def scattered_initial(self) -> frozenset[int]:
+        """Positions consumable first, after any number of insertions."""
+        return self._closure[START]
+
+    def scattered_step(
+        self, reachable: frozenset[int], symbol: str
+    ) -> tuple[frozenset[int], frozenset[int]]:
+        """Consume ``symbol`` with insertions allowed before it.
+
+        ``reachable`` is the current set of consumable positions (as
+        produced by :meth:`scattered_initial` / previous steps).  Returns
+        ``(hits, next_reachable)`` where ``hits`` are the positions that
+        matched; empty ``hits`` means the sequence is not a scattered
+        subword.
+        """
+        hits = frozenset(
+            position for position in reachable if self.symbols[position] == symbol
+        )
+        return hits, self.reachable_from(hits)
+
+    def scattered_accepts(self, sequence: Sequence[str]) -> bool:
+        """True iff ``sequence`` is a scattered subword of the language:
+        symbols can be inserted anywhere (including the ends) to reach a
+        full word.  The empty sequence is a scattered subword of every
+        non-empty language, which every DTD content model has.
+        """
+        reachable = self.scattered_initial()
+        hits: frozenset[int] | None = None
+        for symbol in sequence:
+            hits, reachable = self.scattered_step(reachable, symbol)
+            if not hits:
+                return False
+        if hits is None:
+            return True
+        return any(position in self._coaccessible for position in hits)
+
+    def positions_of(self, symbol: str) -> frozenset[int]:
+        """All positions labelled ``symbol``."""
+        return self._by_symbol.get(symbol, frozenset())
+
+    @property
+    def coaccessible(self) -> frozenset[int]:
+        """Positions from which acceptance is reachable."""
+        return self._coaccessible
+
+    def insertable_symbols(self, reachable: frozenset[int]) -> frozenset[str]:
+        """Symbols insertable at the current scattered point."""
+        return frozenset(self.symbols[position] for position in reachable)
+
+    # -- oracles for testing --------------------------------------------------------
+
+    def enumerate_words(self, max_length: int, limit: int = 5000) -> Iterator[tuple[str, ...]]:
+        """Enumerate words of the language up to ``max_length`` (BFS).
+
+        Intended for tests: brute-force oracles compare automaton
+        answers against explicit language enumeration on small models.
+        """
+        from collections import deque
+
+        queue: deque[tuple[tuple[str, ...], frozenset[int]]] = deque()
+        queue.append(((), self.initial()))
+        produced = 0
+        while queue and produced < limit:
+            word, states = queue.popleft()
+            if self.is_accepting(states):
+                yield word
+                produced += 1
+            if len(word) == max_length:
+                continue
+            for symbol in sorted(self.valid_next(states)):
+                queue.append((word + (symbol,), self.step(states, symbol)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ContentAutomaton({self.model.to_source()}, "
+            f"positions={len(self.symbols)})"
+        )
+
+
+class _Glushkov:
+    """Recursive Glushkov constructor writing into a ContentAutomaton."""
+
+    def __init__(self, automaton: ContentAutomaton) -> None:
+        self.automaton = automaton
+        self.next_position = 1
+
+    def build(self, model: ContentModel) -> tuple[bool, frozenset[int], frozenset[int]]:
+        if isinstance(model, Name):
+            position = self.next_position
+            self.next_position += 1
+            self.automaton.symbols[position] = model.tag
+            self.automaton.follow[position] = set()
+            singleton = frozenset({position})
+            return False, singleton, singleton
+        if isinstance(model, Seq):
+            if not model.items:
+                return True, frozenset(), frozenset()
+            nullable, first, last = self.build(model.items[0])
+            for item in model.items[1:]:
+                item_nullable, item_first, item_last = self.build(item)
+                for position in last:
+                    self.automaton.follow[position] |= item_first
+                if nullable:
+                    first = first | item_first
+                if item_nullable:
+                    last = last | item_last
+                else:
+                    last = item_last
+                nullable = nullable and item_nullable
+            return nullable, first, last
+        if isinstance(model, Choice):
+            if not model.items:
+                # The empty choice denotes the empty language; it only
+                # appears wrapped in Star (mixed content with no tags).
+                return False, frozenset(), frozenset()
+            nullable = False
+            first: frozenset[int] = frozenset()
+            last: frozenset[int] = frozenset()
+            for item in model.items:
+                item_nullable, item_first, item_last = self.build(item)
+                nullable = nullable or item_nullable
+                first |= item_first
+                last |= item_last
+            return nullable, first, last
+        if isinstance(model, Optional_):
+            _, first, last = self.build(model.item)
+            return True, first, last
+        if isinstance(model, Star):
+            _, first, last = self.build(model.item)
+            for position in last:
+                self.automaton.follow[position] |= first
+            return True, first, last
+        if isinstance(model, Plus):
+            nullable, first, last = self.build(model.item)
+            for position in last:
+                self.automaton.follow[position] |= first
+            return nullable, first, last
+        raise TypeError(f"unknown content model node: {model!r}")

@@ -1,0 +1,262 @@
+"""A DTD parser for the subset the framework uses.
+
+Handles ``<!ELEMENT>`` and ``<!ATTLIST>`` declarations, comments, and
+(harmlessly) skips ``<!ENTITY>`` and processing instructions.  Parameter
+entities are not expanded — the hierarchy DTDs of document-centric
+editions in this framework are small, hand-written vocabularies.
+"""
+
+from __future__ import annotations
+
+from ..errors import DTDSyntaxError
+from .ast import (
+    ANY,
+    CHILDREN,
+    DEFAULTED,
+    DTD,
+    EMPTY,
+    FIXED,
+    IMPLIED,
+    MIXED,
+    AttributeDef,
+    Choice,
+    ContentModel,
+    ElementDecl,
+    Name,
+    Optional_,
+    Plus,
+    REQUIRED,
+    Seq,
+    Star,
+)
+
+_NAME_CHARS = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-:")
+
+
+class _Scanner:
+    """Position-tracking cursor over the DTD source."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+
+    def error(self, message: str) -> DTDSyntaxError:
+        return DTDSyntaxError(f"{message} at position {self.pos}", position=self.pos)
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.source)
+
+    def peek(self, width: int = 1) -> str:
+        return self.source[self.pos : self.pos + width]
+
+    def skip_ws(self) -> None:
+        while not self.at_end() and self.source[self.pos].isspace():
+            self.pos += 1
+
+    def expect(self, literal: str) -> None:
+        if not self.source.startswith(literal, self.pos):
+            raise self.error(f"expected {literal!r}")
+        self.pos += len(literal)
+
+    def try_literal(self, literal: str) -> bool:
+        if self.source.startswith(literal, self.pos):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def name(self) -> str:
+        start = self.pos
+        while not self.at_end() and self.source[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("expected a name")
+        return self.source[start : self.pos]
+
+    def quoted(self) -> str:
+        quote = self.peek()
+        if quote not in ("'", '"'):
+            raise self.error("expected a quoted literal")
+        self.pos += 1
+        end = self.source.find(quote, self.pos)
+        if end == -1:
+            raise self.error("unterminated literal")
+        value = self.source[self.pos : end]
+        self.pos = end + 1
+        return value
+
+    def skip_until(self, literal: str) -> None:
+        end = self.source.find(literal, self.pos)
+        if end == -1:
+            raise self.error(f"unterminated construct (missing {literal!r})")
+        self.pos = end + len(literal)
+
+
+def parse_dtd(source: str, name: str = "") -> DTD:
+    """Parse DTD ``source`` into a :class:`~repro.dtd.ast.DTD`."""
+    scanner = _Scanner(source)
+    dtd = DTD(name=name)
+    while True:
+        scanner.skip_ws()
+        if scanner.at_end():
+            break
+        if scanner.try_literal("<!--"):
+            scanner.skip_until("-->")
+        elif scanner.try_literal("<?"):
+            scanner.skip_until("?>")
+        elif scanner.try_literal("<!ELEMENT"):
+            _parse_element(scanner, dtd)
+        elif scanner.try_literal("<!ATTLIST"):
+            _parse_attlist(scanner, dtd)
+        elif scanner.try_literal("<!ENTITY"):
+            scanner.skip_until(">")
+        elif scanner.try_literal("<!NOTATION"):
+            scanner.skip_until(">")
+        else:
+            raise scanner.error("unrecognized declaration")
+    return dtd
+
+
+def _parse_element(scanner: _Scanner, dtd: DTD) -> None:
+    scanner.skip_ws()
+    element_name = scanner.name()
+    scanner.skip_ws()
+    if scanner.try_literal("EMPTY"):
+        decl = ElementDecl(element_name, EMPTY)
+    elif scanner.try_literal("ANY"):
+        decl = ElementDecl(element_name, ANY)
+    else:
+        decl = _parse_content_spec(scanner, element_name)
+    scanner.skip_ws()
+    scanner.expect(">")
+    if decl.name in dtd.elements:
+        raise scanner.error(f"duplicate declaration of element {decl.name!r}")
+    dtd.add_element(decl)
+
+
+def _parse_content_spec(scanner: _Scanner, element_name: str) -> ElementDecl:
+    scanner.expect("(")
+    scanner.skip_ws()
+    if scanner.try_literal("#PCDATA"):
+        # Mixed content: (#PCDATA) or (#PCDATA | a | b ...)*
+        names: list[str] = []
+        while True:
+            scanner.skip_ws()
+            if scanner.try_literal(")"):
+                break
+            scanner.expect("|")
+            scanner.skip_ws()
+            names.append(scanner.name())
+        if names:
+            scanner.expect("*")
+            model: ContentModel = Star(Choice(tuple(Name(tag) for tag in names)))
+        else:
+            scanner.try_literal("*")  # (#PCDATA)* is also legal
+            model = Star(Choice(()))  # no element children
+        return ElementDecl(element_name, MIXED, model)
+    model = _parse_group_body(scanner)
+    model = _parse_occurrence(scanner, model)
+    return ElementDecl(element_name, CHILDREN, model)
+
+
+def _parse_group_body(scanner: _Scanner) -> ContentModel:
+    """Parse the inside of a group up to and including its ``)``.
+
+    The opening ``(`` has already been consumed.
+    """
+    items = [_parse_particle(scanner)]
+    scanner.skip_ws()
+    separator = None
+    while not scanner.try_literal(")"):
+        if scanner.try_literal(","):
+            token = ","
+        elif scanner.try_literal("|"):
+            token = "|"
+        else:
+            raise scanner.error("expected ',', '|' or ')'")
+        if separator is None:
+            separator = token
+        elif token != separator:
+            raise scanner.error("cannot mix ',' and '|' in one group")
+        items.append(_parse_particle(scanner))
+        scanner.skip_ws()
+    if len(items) == 1:
+        return items[0]
+    if separator == "|":
+        return Choice(tuple(items))
+    return Seq(tuple(items))
+
+
+def _parse_particle(scanner: _Scanner) -> ContentModel:
+    scanner.skip_ws()
+    if scanner.try_literal("("):
+        model = _parse_group_body(scanner)
+    else:
+        model = Name(scanner.name())
+    return _parse_occurrence(scanner, model)
+
+
+def _parse_occurrence(scanner: _Scanner, model: ContentModel) -> ContentModel:
+    if scanner.try_literal("?"):
+        return Optional_(model)
+    if scanner.try_literal("*"):
+        return Star(model)
+    if scanner.try_literal("+"):
+        return Plus(model)
+    return model
+
+
+def _parse_attlist(scanner: _Scanner, dtd: DTD) -> None:
+    scanner.skip_ws()
+    element_name = scanner.name()
+    while True:
+        scanner.skip_ws()
+        if scanner.try_literal(">"):
+            break
+        attribute_name = scanner.name()
+        scanner.skip_ws()
+        attribute_type = _parse_attribute_type(scanner)
+        scanner.skip_ws()
+        default_kind, default_value = _parse_default(scanner)
+        dtd.add_attribute(
+            element_name,
+            AttributeDef(attribute_name, attribute_type, default_kind, default_value),
+        )
+
+
+_ATTRIBUTE_TYPES = (
+    "CDATA", "IDREFS", "IDREF", "ID", "ENTITIES", "ENTITY",
+    "NMTOKENS", "NMTOKEN",
+)
+
+
+def _parse_attribute_type(scanner: _Scanner) -> str | tuple[str, ...]:
+    for token in _ATTRIBUTE_TYPES:
+        if scanner.try_literal(token):
+            return token
+    if scanner.try_literal("NOTATION"):
+        scanner.skip_ws()
+        scanner.expect("(")
+        scanner.skip_until(")")
+        return "CDATA"  # treated as opaque
+    if scanner.try_literal("("):
+        tokens: list[str] = []
+        while True:
+            scanner.skip_ws()
+            tokens.append(scanner.name())
+            scanner.skip_ws()
+            if scanner.try_literal(")"):
+                break
+            scanner.expect("|")
+        return tuple(tokens)
+    raise scanner.error("expected an attribute type")
+
+
+def _parse_default(scanner: _Scanner) -> tuple[str, str | None]:
+    if scanner.try_literal(REQUIRED):
+        return REQUIRED, None
+    if scanner.try_literal(IMPLIED):
+        return IMPLIED, None
+    if scanner.try_literal(FIXED):
+        scanner.skip_ws()
+        return FIXED, scanner.quoted()
+    return DEFAULTED, scanner.quoted()

@@ -1,0 +1,319 @@
+"""Potential validity — the prevalidation check of the xTagger editor.
+
+Under the editing model of the framework, markup is only ever *inserted*
+(a selected text range is wrapped in a new element).  A partially tagged
+document is **potentially valid** w.r.t. a DTD iff some sequence of
+future insertions can turn it into a valid document.  The demo's editor
+rejects edits that destroy potential validity ("prevalidation",
+following Iacob, Dekhtyar & Dekhtyar, WebDB 2004).
+
+The characterization implemented here:
+
+* every element's child-tag sequence must be a **scattered subword** of
+  its content-model language (future siblings may be inserted anywhere);
+* every *uncovered* non-whitespace text leaf must be **coverable**: the
+  element's content is mixed/ANY, or some element insertable at exactly
+  that gap of the sequence can (transitively through the DTD) contain
+  text;
+* ``EMPTY`` elements must be genuinely empty — insertions can never
+  remove content.
+
+The gap machinery uses forward reachable-sets and suffix feasible-sets
+over the Glushkov automaton, so every check is linear in the child count
+times the (tiny) automaton size.
+"""
+
+from __future__ import annotations
+
+from ..core.goddag import GoddagDocument
+from ..core.node import Element
+from ..errors import MarkupConflictError, PotentialValidityError, SpanError
+from .ast import ANY, CHILDREN, DTD, EMPTY, MIXED
+from .automaton import ContentAutomaton
+from .validate import Violation, automaton_for
+
+
+def forward_sets(
+    automaton: ContentAutomaton, sequence: list[str]
+) -> list[frozenset[int]] | None:
+    """``F[i]`` = positions consumable after the first ``i`` symbols,
+    insertions allowed anywhere.  None when the sequence is not a
+    scattered subword prefix-wise."""
+    sets = [automaton.scattered_initial()]
+    current = sets[0]
+    for symbol in sequence:
+        hits, current = automaton.scattered_step(current, symbol)
+        if not hits:
+            return None
+        sets.append(current)
+    return sets
+
+
+def suffix_sets(
+    automaton: ContentAutomaton, sequence: list[str]
+) -> list[frozenset[int]]:
+    """``T[i]`` = positions labelled ``sequence[i]`` from which the rest
+    of the sequence can be consumed (with insertions) and accepted."""
+    n = len(sequence)
+    sets: list[frozenset[int]] = [frozenset()] * n
+    for i in range(n - 1, -1, -1):
+        candidates = automaton.positions_of(sequence[i])
+        if i == n - 1:
+            sets[i] = frozenset(
+                p for p in candidates if p in automaton.coaccessible
+            )
+        else:
+            nxt = sets[i + 1]
+            sets[i] = frozenset(
+                p for p in candidates if automaton.reachable_from([p]) & nxt
+            )
+    return sets
+
+
+def gap_insertable_symbols(
+    automaton: ContentAutomaton,
+    forward: list[frozenset[int]],
+    suffix: list[frozenset[int]],
+    gap: int,
+) -> frozenset[str]:
+    """Symbols that can be inserted at ``gap`` (0..n) of the sequence
+    while keeping the whole sequence completable to a word."""
+    n = len(suffix)
+    out: set[str] = set()
+    for position in forward[gap]:
+        if gap < n:
+            if not automaton.reachable_from([position]) & suffix[gap]:
+                continue
+        elif position not in automaton.coaccessible:
+            continue
+        out.add(automaton.symbols[position])
+    return frozenset(out)
+
+
+def scattered_subword(automaton: ContentAutomaton, sequence: list[str]) -> bool:
+    """Convenience wrapper over :meth:`ContentAutomaton.scattered_accepts`."""
+    return automaton.scattered_accepts(sequence)
+
+
+class PotentialValidity:
+    """Prevalidation engine for one DTD.
+
+    The same instance serves a whole editing session; automata are
+    compiled once per content model (via the shared cache in
+    :mod:`repro.dtd.validate`).
+    """
+
+    def __init__(self, dtd: DTD) -> None:
+        self.dtd = dtd
+
+    # -- per-element check --------------------------------------------------------
+
+    def check_element(
+        self, document: GoddagDocument, element: Element
+    ) -> list[Violation]:
+        """All potential-validity problems of one element (not recursive)."""
+        if element.is_root:
+            return self._check_root(document, element)
+        violations: list[Violation] = []
+
+        def report(message: str) -> None:
+            violations.append(
+                Violation(
+                    message, element.tag, element.hierarchy,
+                    element.start, element.end,
+                )
+            )
+
+        if not self.dtd.declares(element.tag):
+            report("undeclared element can never become valid")
+            return violations
+        decl = self.dtd.element(element.tag)
+        child_tags = [child.tag for child in element.element_children]
+        gaps = _text_gaps(document, element)
+
+        if decl.kind == EMPTY:
+            if child_tags:
+                report("declared EMPTY but already has element children")
+            if any(gaps):
+                report("declared EMPTY but covers character data")
+            return violations
+        if decl.kind == ANY:
+            return violations
+        if decl.kind == MIXED:
+            allowed = decl.alphabet()
+            for tag in child_tags:
+                if tag not in allowed:
+                    report(
+                        f"child <{tag}> not permitted by mixed content model"
+                    )
+            return violations
+
+        automaton = automaton_for(self.dtd, element.tag)
+        if automaton is None:  # pragma: no cover - CHILDREN always has a model
+            return violations
+        forward = forward_sets(automaton, child_tags)
+        if forward is None:
+            model_src = decl.model.to_source() if decl.model else ""
+            report(
+                f"children ({', '.join(child_tags) or 'none'}) cannot be "
+                f"completed to match {model_src}"
+            )
+            return violations
+        suffix = suffix_sets(automaton, child_tags)
+        if child_tags and not suffix[0] & forward[0]:
+            model_src = decl.model.to_source() if decl.model else ""
+            report(
+                f"children ({', '.join(child_tags)}) cannot be completed "
+                f"to match {model_src}"
+            )
+            return violations
+        for gap, has_text in enumerate(gaps):
+            if not has_text:
+                continue
+            candidates = gap_insertable_symbols(automaton, forward, suffix, gap)
+            if not any(self.dtd.can_contain_text(tag) for tag in candidates):
+                report(
+                    f"uncovered text at child gap {gap} can never be "
+                    f"covered by a legal insertion"
+                )
+        return violations
+
+    def _check_root(
+        self, document: GoddagDocument, root: Element
+    ) -> list[Violation]:
+        """The shared root is checked only when its tag is declared."""
+        if not self.dtd.declares(root.tag):
+            return []
+        # Validate the root's children *within each hierarchy* that uses
+        # this DTD; the caller (check_hierarchy) passes the right view.
+        return []
+
+    # -- whole-hierarchy check ------------------------------------------------------
+
+    def check_hierarchy(
+        self, document: GoddagDocument, hierarchy: str
+    ) -> list[Violation]:
+        """Potential-validity check of every element of one hierarchy,
+        plus the root's child sequence in that hierarchy."""
+        violations: list[Violation] = []
+        if self.dtd.declares(document.root.tag):
+            decl = self.dtd.element(document.root.tag)
+            if decl.kind == CHILDREN:
+                automaton = automaton_for(self.dtd, document.root.tag)
+                top_tags = [e.tag for e in document.top_level(hierarchy)]
+                if automaton is not None and not automaton.scattered_accepts(top_tags):
+                    violations.append(
+                        Violation(
+                            f"top-level sequence ({', '.join(top_tags)}) "
+                            f"cannot be completed",
+                            document.root.tag, hierarchy, 0, document.length,
+                        )
+                    )
+        for element in document.elements(hierarchy=hierarchy):
+            violations.extend(self.check_element(document, element))
+        return violations
+
+    def is_potentially_valid(
+        self, document: GoddagDocument, hierarchy: str
+    ) -> bool:
+        return not self.check_hierarchy(document, hierarchy)
+
+    # -- the editor-facing primitives ---------------------------------------------------
+
+    def can_insert(
+        self,
+        document: GoddagDocument,
+        hierarchy: str,
+        tag: str,
+        start: int,
+        end: int,
+    ) -> tuple[bool, str]:
+        """Would inserting ``<tag>`` over ``[start, end)`` keep the
+        hierarchy potentially valid?
+
+        Performs the insertion on the live document, checks the affected
+        elements (the new element and its parent — the only ones whose
+        child sequences change), then rolls back.  Returns ``(ok,
+        reason)``; ``reason`` is empty when ok.
+        """
+        try:
+            element = document.insert_element(hierarchy, tag, start, end)
+        except (MarkupConflictError, SpanError) as exc:
+            return False, str(exc)
+        try:
+            violations = self.check_affected(document, element)
+        finally:
+            document.remove_element(element)
+        if violations:
+            return False, str(violations[0])
+        return True, ""
+
+    def check_affected(self, document: GoddagDocument, element) -> list[Violation]:
+        """Check the elements whose child sequences an insertion of
+        ``element`` changed: the element itself and its parent (or the
+        root's top-level sequence)."""
+        violations = self.check_element(document, element)
+        parent = element.parent
+        if parent.is_root:
+            if self.dtd.declares(document.root.tag):
+                decl = self.dtd.element(document.root.tag)
+                if decl.kind == CHILDREN:
+                    automaton = automaton_for(self.dtd, document.root.tag)
+                    top_tags = [
+                        e.tag for e in document.top_level(element.hierarchy)
+                    ]
+                    if automaton is not None and not automaton.scattered_accepts(
+                        top_tags
+                    ):
+                        violations.append(
+                            Violation(
+                                "top-level sequence cannot be completed",
+                                document.root.tag, element.hierarchy, 0,
+                                document.length,
+                            )
+                        )
+        else:
+            violations.extend(self.check_element(document, parent))
+        return violations
+
+    def insertable_tags(
+        self,
+        document: GoddagDocument,
+        hierarchy: str,
+        start: int,
+        end: int,
+    ) -> frozenset[str]:
+        """All declared tags whose insertion over ``[start, end)`` keeps
+        the hierarchy potentially valid — the editor's tag menu."""
+        out = set()
+        for tag in self.dtd.declared_tags():
+            ok, _ = self.can_insert(document, hierarchy, tag, start, end)
+            if ok:
+                out.add(tag)
+        return frozenset(out)
+
+    def assert_potentially_valid(
+        self, document: GoddagDocument, hierarchy: str
+    ) -> None:
+        """Raise :class:`PotentialValidityError` on the first problem."""
+        violations = self.check_hierarchy(document, hierarchy)
+        if violations:
+            first = violations[0]
+            raise PotentialValidityError(
+                str(first), tag=first.tag, hierarchy=first.hierarchy
+            )
+
+
+def _text_gaps(document: GoddagDocument, element: Element) -> list[bool]:
+    """``gaps[i]`` is True when non-whitespace text sits directly inside
+    ``element`` at child gap ``i`` (before child ``i``; gap ``n`` is
+    after the last child)."""
+    children = element.element_children
+    gaps: list[bool] = []
+    position = element.start
+    for child in children:
+        gap_text = document.text[position : max(position, child.start)]
+        gaps.append(bool(gap_text.strip()))
+        position = max(position, child.end)
+    gaps.append(bool(document.text[position : element.end].strip()))
+    return gaps

@@ -1,0 +1,175 @@
+"""Classical validation of one hierarchy tree against its DTD.
+
+A GODDAG hierarchy is an ordinary XML tree (elements + the leaves they
+reach), so validity is the standard notion: every element's child-tag
+sequence must be a word of its declared content model, text may appear
+only where the model allows it, and attributes must satisfy the ATTLIST
+declarations.  Violations are collected, not raised, so editors can show
+all of them at once; :func:`assert_valid` raises on the first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..core.goddag import GoddagDocument
+from ..core.node import Element
+from ..errors import ValidationError
+from .ast import ANY, CHILDREN, DTD, EMPTY, MIXED, REQUIRED, FIXED
+from .automaton import ContentAutomaton
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One validation problem, with enough context to locate it."""
+
+    message: str
+    tag: str
+    hierarchy: str
+    start: int
+    end: int
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"[{self.hierarchy}] <{self.tag}> [{self.start},{self.end}): {self.message}"
+
+
+class _AutomatonCache:
+    """Shared, memoized model→automaton compilation."""
+
+    def __init__(self) -> None:
+        self._compile = lru_cache(maxsize=512)(ContentAutomaton)
+
+    def get(self, model) -> ContentAutomaton:
+        return self._compile(model)
+
+
+_AUTOMATA = _AutomatonCache()
+
+
+def automaton_for(dtd: DTD, tag: str) -> ContentAutomaton | None:
+    """The (cached) content automaton for ``tag``, or None when the
+    element is undeclared or needs none (EMPTY/ANY)."""
+    if not dtd.declares(tag):
+        return None
+    decl = dtd.element(tag)
+    if decl.kind in (EMPTY, ANY) or decl.model is None:
+        return None
+    return _AUTOMATA.get(decl.model)
+
+
+def validate_element(
+    document: GoddagDocument, element: Element, dtd: DTD
+) -> list[Violation]:
+    """Validate one element's content and attributes (not recursive)."""
+    violations: list[Violation] = []
+    hierarchy = element.hierarchy
+    tag = element.tag
+
+    def report(message: str) -> None:
+        violations.append(
+            Violation(message, tag, hierarchy, element.start, element.end)
+        )
+
+    if not dtd.declares(tag):
+        report("element is not declared")
+        return violations
+    decl = dtd.element(tag)
+
+    child_tags = [child.tag for child in element.element_children]
+    has_text = _has_nonspace_text(document, element)
+
+    if decl.kind == EMPTY:
+        if child_tags or has_text:
+            report("declared EMPTY but has content")
+    elif decl.kind == ANY:
+        pass
+    else:
+        if has_text and decl.kind == CHILDREN:
+            report("character data not allowed (element content)")
+        automaton = automaton_for(dtd, tag)
+        if automaton is not None and not automaton.accepts(child_tags):
+            model_src = decl.model.to_source() if decl.model else "EMPTY"
+            report(
+                f"children ({', '.join(child_tags) or 'none'}) do not match "
+                f"content model {model_src}"
+            )
+
+    violations.extend(_validate_attributes(element, dtd))
+    return violations
+
+
+def _validate_attributes(element: Element, dtd: DTD) -> list[Violation]:
+    violations: list[Violation] = []
+    declared = dtd.attributes_of(element.tag)
+
+    def report(message: str) -> None:
+        violations.append(
+            Violation(
+                message, element.tag, element.hierarchy,
+                element.start, element.end,
+            )
+        )
+
+    for name, definition in declared.items():
+        value = element.attributes.get(name)
+        if value is None:
+            if definition.default_kind == REQUIRED:
+                report(f"required attribute {name!r} missing")
+            continue
+        if not definition.permits(value):
+            report(f"attribute {name!r} has illegal value {value!r}")
+        if definition.default_kind == FIXED and value != definition.default_value:
+            report(
+                f"attribute {name!r} is #FIXED to "
+                f"{definition.default_value!r}, found {value!r}"
+            )
+    return violations
+
+
+def _has_nonspace_text(document: GoddagDocument, element: Element) -> bool:
+    """True when a non-whitespace text leaf sits directly inside
+    ``element`` (i.e. not covered by any element child)."""
+    position = element.start
+    for child in element.element_children:
+        if child.start > position:
+            if document.text[position : child.start].strip():
+                return True
+        position = max(position, child.end)
+    return bool(document.text[position : element.end].strip())
+
+
+def validate_hierarchy(
+    document: GoddagDocument, hierarchy: str, dtd: DTD | None = None
+) -> list[Violation]:
+    """Validate one whole hierarchy tree; returns all violations.
+
+    Uses the hierarchy's attached DTD when ``dtd`` is not given; a
+    hierarchy without a DTD validates vacuously.
+    """
+    if dtd is None:
+        dtd = document.hierarchy(hierarchy).dtd
+    if dtd is None:
+        return []
+    violations: list[Violation] = []
+    for element in document.elements(hierarchy=hierarchy):
+        violations.extend(validate_element(document, element, dtd))
+    return violations
+
+
+def validate_document(document: GoddagDocument) -> list[Violation]:
+    """Validate every hierarchy that carries a DTD."""
+    violations: list[Violation] = []
+    for name in document.hierarchy_names():
+        violations.extend(validate_hierarchy(document, name))
+    return violations
+
+
+def assert_valid(document: GoddagDocument, hierarchy: str | None = None) -> None:
+    """Raise :class:`ValidationError` on the first violation found."""
+    names = (hierarchy,) if hierarchy else document.hierarchy_names()
+    for name in names:
+        violations = validate_hierarchy(document, name)
+        if violations:
+            first = violations[0]
+            raise ValidationError(str(first), tag=first.tag, hierarchy=first.hierarchy)

@@ -1,0 +1,6 @@
+"""The editing layer: the xTagger engine and its command history."""
+
+from .editor import Editor
+from .history import Command, History
+
+__all__ = ["Command", "Editor", "History"]

@@ -1,0 +1,89 @@
+"""Undo/redo command log for editing sessions."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import EditError
+
+
+class Command:
+    """One reversible editing operation.
+
+    ``do`` performs (or re-performs) the operation and returns its
+    result; ``undo`` reverts it.  Closures capture whatever state they
+    need — re-doing an insertion creates a *new* element object, so
+    commands communicate through the closure, not stored node refs.
+    """
+
+    __slots__ = ("label", "_do", "_undo")
+
+    def __init__(self, label: str, do: Callable[[], object],
+                 undo: Callable[[], None]) -> None:
+        self.label = label
+        self._do = do
+        self._undo = undo
+
+    def execute(self) -> object:
+        return self._do()
+
+    def revert(self) -> None:
+        self._undo()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Command({self.label!r})"
+
+
+class History:
+    """Undo/redo stacks with a bounded depth."""
+
+    def __init__(self, limit: int = 1000) -> None:
+        self._undo_stack: list[Command] = []
+        self._redo_stack: list[Command] = []
+        self._limit = limit
+
+    def record(self, command: Command) -> object:
+        """Execute ``command`` and push it onto the undo stack.
+
+        Any new edit clears the redo stack (standard editor behaviour).
+        """
+        result = command.execute()
+        self._undo_stack.append(command)
+        if len(self._undo_stack) > self._limit:
+            self._undo_stack.pop(0)
+        self._redo_stack.clear()
+        return result
+
+    def undo(self) -> str:
+        """Revert the most recent edit; returns its label."""
+        if not self._undo_stack:
+            raise EditError("nothing to undo")
+        command = self._undo_stack.pop()
+        command.revert()
+        self._redo_stack.append(command)
+        return command.label
+
+    def redo(self) -> str:
+        """Re-apply the most recently undone edit; returns its label."""
+        if not self._redo_stack:
+            raise EditError("nothing to redo")
+        command = self._redo_stack.pop()
+        command.execute()
+        self._undo_stack.append(command)
+        return command.label
+
+    @property
+    def can_undo(self) -> bool:
+        return bool(self._undo_stack)
+
+    @property
+    def can_redo(self) -> bool:
+        return bool(self._redo_stack)
+
+    def labels(self) -> list[str]:
+        """Undo-stack labels, oldest first (a session transcript)."""
+        return [command.label for command in self._undo_stack]
+
+    def clear(self) -> None:
+        self._undo_stack.clear()
+        self._redo_stack.clear()

@@ -1,0 +1,116 @@
+"""Exception hierarchy for the concurrent-XML framework.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Errors carry enough structured
+context (offsets, tags, hierarchy names) for tools such as the xTagger
+editing layer to present precise diagnostics.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by :mod:`repro`."""
+
+
+class SpanError(ReproError):
+    """An invalid character span (negative, inverted, or out of range)."""
+
+
+class MarkupConflictError(ReproError):
+    """Markup inserted into a hierarchy overlaps existing markup of that
+    same hierarchy (within one hierarchy markup must nest)."""
+
+    def __init__(self, message: str, *, hierarchy: str | None = None,
+                 tag: str | None = None, start: int | None = None,
+                 end: int | None = None) -> None:
+        super().__init__(message)
+        self.hierarchy = hierarchy
+        self.tag = tag
+        self.start = start
+        self.end = end
+
+
+class WellFormednessError(ReproError):
+    """A single-hierarchy encoding is not well formed (mismatched tags,
+    text outside the root, unterminated markup...)."""
+
+    def __init__(self, message: str, *, line: int | None = None,
+                 column: int | None = None, offset: int | None = None) -> None:
+        super().__init__(message)
+        self.line = line
+        self.column = column
+        self.offset = offset
+
+
+class TextMismatchError(ReproError):
+    """The documents of a distributed document do not share the same text
+    content, so they cannot be united into one GODDAG."""
+
+    def __init__(self, message: str, *, offset: int | None = None,
+                 expected: str | None = None, found: str | None = None) -> None:
+        super().__init__(message)
+        self.offset = offset
+        self.expected = expected
+        self.found = found
+
+
+class HierarchyError(ReproError):
+    """Unknown hierarchy, duplicate hierarchy name, or a tag claimed by
+    two hierarchies of the same concurrent schema."""
+
+
+class DTDSyntaxError(ReproError):
+    """The DTD source could not be parsed."""
+
+    def __init__(self, message: str, *, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class ValidationError(ReproError):
+    """A hierarchy tree violates its DTD."""
+
+    def __init__(self, message: str, *, tag: str | None = None,
+                 hierarchy: str | None = None) -> None:
+        super().__init__(message)
+        self.tag = tag
+        self.hierarchy = hierarchy
+
+
+class PotentialValidityError(ValidationError):
+    """An edit would make the document impossible to ever complete into a
+    valid one (the prevalidation check of xTagger rejected it)."""
+
+
+class XPathSyntaxError(ReproError):
+    """An Extended XPath expression could not be parsed."""
+
+    def __init__(self, message: str, *, position: int | None = None,
+                 expression: str | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+        self.expression = expression
+
+
+class XPathEvaluationError(ReproError):
+    """An Extended XPath expression failed during evaluation (type error,
+    unknown function, unknown hierarchy prefix...)."""
+
+
+class SerializationError(ReproError):
+    """A GODDAG could not be exported to the requested representation."""
+
+
+class StorageError(ReproError):
+    """The persistent store is corrupt, missing, or refused an operation."""
+
+
+class FilterError(ReproError):
+    """A filtering/projection request was invalid (unknown hierarchy,
+    bad extraction window...)."""
+
+
+class EditError(ReproError):
+    """An editing operation was rejected (bad range, unknown node,
+    empty undo stack...)."""

@@ -1,0 +1,5 @@
+"""Filtering: partial views and exports of multihierarchical documents."""
+
+from .filter import CLIP_ATTR, extract_range, filter_tags, project
+
+__all__ = ["CLIP_ATTR", "extract_range", "filter_tags", "project"]

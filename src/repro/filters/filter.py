@@ -1,0 +1,118 @@
+"""Hierarchy filtering — partial views and exports of a GODDAG.
+
+The demo's *filtering feature for partially viewing and/or exporting a
+subset of document encodings*: project hierarchies, drop tags, or cut a
+text range out of the document, producing a new, fully independent
+GODDAG that every exporter and the query engine accept.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..core.goddag import GoddagBuilder, GoddagDocument
+from ..errors import FilterError  # noqa: F401  (re-export convenience)
+
+
+def project(
+    document: GoddagDocument, hierarchies: Iterable[str]
+) -> GoddagDocument:
+    """A new document containing only the chosen hierarchies.
+
+    The text and the chosen hierarchies' markup are copied verbatim;
+    leaf boundaries contributed by dropped hierarchies disappear.
+    """
+    names = list(hierarchies)
+    for name in names:
+        document.hierarchy(name)  # raises HierarchyError for unknowns
+    builder = GoddagBuilder(document.text, document.root.tag)
+    for name in names:
+        builder.add_hierarchy(name, dtd=document.hierarchy(name).dtd)
+        for element in document.elements(hierarchy=name):
+            builder.add_annotation(
+                name, element.tag, element.start, element.end,
+                element.attributes,
+            )
+    projected = builder.build()
+    projected.root.attributes.update(document.root.attributes)
+    return projected
+
+
+def filter_tags(
+    document: GoddagDocument,
+    keep: Callable[[str], bool] | Iterable[str],
+) -> GoddagDocument:
+    """A new document keeping only elements whose tag passes ``keep``.
+
+    Dropped elements splice their children up, exactly like interactive
+    removal.  ``keep`` is a predicate or a collection of tag names.
+    """
+    if not callable(keep):
+        allowed = frozenset(keep)
+        keep = allowed.__contains__
+    builder = GoddagBuilder(document.text, document.root.tag)
+    for name in document.hierarchy_names():
+        builder.add_hierarchy(name, dtd=document.hierarchy(name).dtd)
+        for element in document.elements(hierarchy=name):
+            if keep(element.tag):
+                builder.add_annotation(
+                    name, element.tag, element.start, element.end,
+                    element.attributes,
+                )
+    filtered = builder.build()
+    filtered.root.attributes.update(document.root.attributes)
+    return filtered
+
+
+#: Marker attribute recording that an element was clipped by extraction.
+CLIP_ATTR = "sacx-clipped"
+
+
+def extract_range(
+    document: GoddagDocument, start: int, end: int
+) -> GoddagDocument:
+    """A new document containing the text ``[start, end)`` and every
+    element intersecting it.
+
+    Elements straddling the cut are clipped to the window and marked
+    with ``sacx-clipped="start"/"end"/"both"`` so consumers can tell a
+    physical line that genuinely ends here from one the extraction cut.
+    Zero-width elements inside the window are kept.
+    """
+    if not (0 <= start <= end <= document.length):
+        raise FilterError(
+            f"extraction window [{start},{end}) outside document of "
+            f"length {document.length}"
+        )
+    builder = GoddagBuilder(document.text[start:end], document.root.tag)
+    for name in document.hierarchy_names():
+        builder.add_hierarchy(name, dtd=document.hierarchy(name).dtd)
+        for element in document.elements(hierarchy=name):
+            if element.is_empty:
+                if start <= element.start < end:
+                    builder.add_annotation(
+                        name, element.tag,
+                        element.start - start, element.start - start,
+                        element.attributes,
+                    )
+                continue
+            clipped_start = max(element.start, start)
+            clipped_end = min(element.end, end)
+            if clipped_start >= clipped_end:
+                continue
+            attributes = dict(element.attributes)
+            cut_left = element.start < start
+            cut_right = element.end > end
+            if cut_left and cut_right:
+                attributes[CLIP_ATTR] = "both"
+            elif cut_left:
+                attributes[CLIP_ATTR] = "start"
+            elif cut_right:
+                attributes[CLIP_ATTR] = "end"
+            builder.add_annotation(
+                name, element.tag,
+                clipped_start - start, clipped_end - start, attributes,
+            )
+    extracted = builder.build()
+    extracted.root.attributes.update(document.root.attributes)
+    return extracted

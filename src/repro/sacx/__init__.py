@@ -1,0 +1,81 @@
+"""SACX: parsing concurrent XML into GODDAGs.
+
+The package mirrors the parsing half of the paper's framework: an
+offset-tracking scanner, a content-event layer, the SACX merge parser
+with its SAX-style handler interface, and one import driver per
+supported representation of concurrent markup (distributed documents,
+TEI fragmentation, TEI milestones, standoff annotations).
+"""
+
+from .distributed import parse_distributed, parse_distributed_list
+from .events import (
+    EMPTY,
+    END,
+    START,
+    MarkupEvent,
+    ParsedDocument,
+    content_events,
+    events_to_spans,
+)
+from .etree_driver import content_events_etree
+from .fragmentation import merge_fragments, parse_fragmentation
+from .milestones import parse_milestones, segment_by_delimiters
+from .parser import (
+    ConcurrentHandler,
+    EventCountingHandler,
+    GoddagHandler,
+    SACXParser,
+    parse_concurrent,
+)
+from .reserved import (
+    FRAGMENT_ID_ATTR,
+    FRAGMENT_PART_ATTR,
+    HIERARCHY_ATTR,
+    MILESTONE_ID_ATTR,
+    MILESTONE_KIND_ATTR,
+    RESERVED,
+    strip_reserved,
+)
+from .scanner import Token, XmlScanner, scan
+from .standoff import (
+    export_standoff,
+    parse_flat_standoff,
+    parse_standoff,
+    standoff_dict,
+)
+
+__all__ = [
+    "ConcurrentHandler",
+    "EMPTY",
+    "END",
+    "EventCountingHandler",
+    "FRAGMENT_ID_ATTR",
+    "FRAGMENT_PART_ATTR",
+    "GoddagHandler",
+    "HIERARCHY_ATTR",
+    "MILESTONE_ID_ATTR",
+    "MILESTONE_KIND_ATTR",
+    "MarkupEvent",
+    "ParsedDocument",
+    "RESERVED",
+    "SACXParser",
+    "START",
+    "Token",
+    "XmlScanner",
+    "content_events",
+    "content_events_etree",
+    "events_to_spans",
+    "export_standoff",
+    "merge_fragments",
+    "parse_concurrent",
+    "parse_distributed",
+    "parse_distributed_list",
+    "parse_flat_standoff",
+    "parse_fragmentation",
+    "parse_milestones",
+    "parse_standoff",
+    "scan",
+    "segment_by_delimiters",
+    "standoff_dict",
+    "strip_reserved",
+]

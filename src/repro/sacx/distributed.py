@@ -1,0 +1,30 @@
+"""Import driver: distributed documents.
+
+The native representation of the framework: one well-formed XML
+document per hierarchy, all with the same root tag and the same
+character content.  This is a thin convenience layer over
+:class:`repro.sacx.parser.SACXParser`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.goddag import GoddagDocument
+from .parser import SACXParser
+
+
+def parse_distributed(sources: Mapping[str, str]) -> GoddagDocument:
+    """Parse ``{hierarchy_name: xml_source}`` into a GODDAG."""
+    return SACXParser().parse(sources)
+
+
+def parse_distributed_list(
+    sources: Sequence[str], name_format: str = "h{index}"
+) -> GoddagDocument:
+    """Parse a list of documents, naming hierarchies ``h0, h1, ...``."""
+    named = {
+        name_format.format(index=index): source
+        for index, source in enumerate(sources)
+    }
+    return parse_distributed(named)

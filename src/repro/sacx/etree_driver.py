@@ -1,0 +1,68 @@
+"""Cross-check driver: content events via the stdlib ElementTree.
+
+The from-scratch scanner is the production path (it tracks offsets
+directly); this driver recomputes the same text + events by walking an
+``xml.etree`` tree and accumulating ``text``/``tail`` strings.  Tests
+compare both paths on every corpus document — a cheap, independent
+implementation of the same specification.
+
+Limitations inherited from ElementTree: comments/PIs are dropped (same
+as our scanner's event layer) and namespace prefixes are expanded;
+documents in this framework do not use namespaces.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from ..errors import WellFormednessError
+from .events import EMPTY, END, START, MarkupEvent, ParsedDocument
+
+
+def content_events_etree(source: str) -> ParsedDocument:
+    """Equivalent of :func:`repro.sacx.events.content_events` via ElementTree."""
+    try:
+        root = ET.fromstring(source)
+    except ET.ParseError as exc:
+        raise WellFormednessError(f"ElementTree rejected the document: {exc}") from exc
+
+    text_parts: list[str] = []
+    events: list[MarkupEvent] = []
+    seq = 0
+
+    def emit(kind: str, tag: str, offset: int,
+             attributes: tuple[tuple[str, str], ...] = ()) -> None:
+        nonlocal seq
+        seq += 1
+        events.append(MarkupEvent(kind, tag, offset, attributes, seq))
+
+    def walk(element: ET.Element) -> None:
+        offset = sum(len(part) for part in text_parts)
+        attributes = tuple(sorted(element.attrib.items()))
+        has_children = len(element) > 0
+        has_text = bool(element.text)
+        if not has_children and not has_text:
+            emit(EMPTY, element.tag, offset, attributes)
+        else:
+            emit(START, element.tag, offset, attributes)
+            if element.text:
+                text_parts.append(element.text)
+            for child in element:
+                walk(child)
+                if child.tail:
+                    text_parts.append(child.tail)
+            emit(END, element.tag, sum(len(part) for part in text_parts))
+
+    if root.text:
+        text_parts.append(root.text)
+    for child in root:
+        walk(child)
+        if child.tail:
+            text_parts.append(child.tail)
+
+    return ParsedDocument(
+        "".join(text_parts),
+        root.tag,
+        tuple(sorted(root.attrib.items())),
+        tuple(events),
+    )

@@ -1,0 +1,157 @@
+"""Import driver: the TEI *fragmentation* workaround.
+
+Fragmentation stores overlapping markup in one well-formed document by
+splitting each conflicting element into fragments and gluing the pieces
+back together with an id attribute.  The TEI Guidelines (P4, §31) call
+this "partial elements"; this driver reverses it:
+
+* elements carrying ``sacx-fid`` are fragments — all fragments with the
+  same ``(tag, fid)`` merge into one logical element spanning from the
+  first fragment's start to the last fragment's end;
+* other elements import unchanged;
+* elements route to hierarchies via an explicit
+  :class:`~repro.core.hierarchy.ConcurrentSchema`, via their ``sacx-h``
+  attribute, or — as a last resort — via conflict-driven auto-partition.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..core.goddag import GoddagBuilder, GoddagDocument
+from ..core.hierarchy import ConcurrentSchema
+from ..errors import SerializationError
+from .events import content_events, events_to_spans
+from .reserved import (
+    FRAGMENT_ID_ATTR,
+    FRAGMENT_PART_ATTR,
+    HIERARCHY_ATTR,
+    strip_reserved,
+)
+
+#: A span record: (tag, start, end, user_attributes, hierarchy_hint).
+_SpanRecord = tuple[str, int, int, dict[str, str], str | None]
+
+
+def parse_fragmentation(
+    source: str, schema: ConcurrentSchema | None = None
+) -> GoddagDocument:
+    """Rebuild a GODDAG from a fragmented single-document encoding."""
+    parsed = content_events(source)
+    spans = events_to_spans(parsed.events)
+    records = merge_fragments(spans)
+    return build_from_records(
+        parsed.text, parsed.root_tag, dict(parsed.root_attributes),
+        records, schema,
+    )
+
+
+def merge_fragments(
+    spans: list[tuple[str, int, int, dict[str, str]]],
+) -> list[_SpanRecord]:
+    """Merge fragment groups into logical elements.
+
+    Fragments of one group must agree on tag and hierarchy hint; the
+    merged element takes the hull of the fragment spans and the user
+    attributes of the first fragment (later fragments may not
+    contradict them).
+    """
+    groups: dict[tuple[str, str], list[tuple[int, int, dict[str, str]]]] = (
+        defaultdict(list)
+    )
+    records: list[_SpanRecord] = []
+    for tag, start, end, attributes in spans:
+        fid = attributes.get(FRAGMENT_ID_ATTR)
+        hint = attributes.get(HIERARCHY_ATTR)
+        user = strip_reserved(attributes)
+        if fid is None:
+            records.append((tag, start, end, user, hint))
+        else:
+            groups[(tag, fid)].append((start, end, dict(attributes)))
+    for (tag, fid), fragments in groups.items():
+        fragments.sort()
+        start = fragments[0][0]
+        end = max(end for (_, end, _) in fragments)
+        first_attrs = fragments[0][2]
+        hint = first_attrs.get(HIERARCHY_ATTR)
+        for _, _, attrs in fragments[1:]:
+            other_hint = attrs.get(HIERARCHY_ATTR)
+            if other_hint != hint:
+                raise SerializationError(
+                    f"fragments of <{tag}> group {fid!r} disagree on "
+                    f"hierarchy: {hint!r} vs {other_hint!r}"
+                )
+            for name, value in strip_reserved(attrs).items():
+                expected = strip_reserved(first_attrs).get(name, value)
+                if expected != value:
+                    raise SerializationError(
+                        f"fragments of <{tag}> group {fid!r} disagree on "
+                        f"attribute {name!r}"
+                    )
+        records.append((tag, start, end, strip_reserved(first_attrs), hint))
+    return records
+
+
+def build_from_records(
+    text: str,
+    root_tag: str,
+    root_attributes: dict[str, str],
+    records: list[_SpanRecord],
+    schema: ConcurrentSchema | None,
+) -> GoddagDocument:
+    """Route span records to hierarchies and build the GODDAG.
+
+    Routing priority: explicit schema > ``sacx-h`` hints > auto-partition
+    of whatever is left (hint-less tags in a hint-less document).
+    """
+    assignment: dict[str, str] = {}
+    hierarchy_order: list[str] = []
+
+    def assign(tag: str, hierarchy: str) -> None:
+        previous = assignment.get(tag)
+        if previous is not None and previous != hierarchy:
+            raise SerializationError(
+                f"tag {tag!r} routed to both {previous!r} and {hierarchy!r}"
+            )
+        assignment[tag] = hierarchy
+        if hierarchy not in hierarchy_order:
+            hierarchy_order.append(hierarchy)
+
+    unrouted: list[_SpanRecord] = []
+    for record in records:
+        tag, _, _, _, hint = record
+        owner = schema.owner_of(tag) if schema is not None else None
+        if owner is not None:
+            assign(tag, owner)
+        elif hint is not None:
+            assign(tag, hint)
+        elif tag not in assignment:
+            unrouted.append(record)
+    pending = [r for r in unrouted if r[0] not in assignment]
+    if pending:
+        derived = ConcurrentSchema.from_annotations(
+            [(tag, start, end) for (tag, start, end, _, _) in records
+             if tag not in assignment],
+            name_format="auto{index}",
+        )
+        for hierarchy in derived:
+            for tag in hierarchy.tags:
+                assign(tag, hierarchy.name)
+
+    # Keep schema-declared hierarchies even when empty, in schema order.
+    if schema is not None:
+        names = list(schema.hierarchy_names())
+        for name in hierarchy_order:
+            if name not in names:
+                names.append(name)
+    else:
+        names = hierarchy_order
+
+    builder = GoddagBuilder(text, root_tag)
+    for name in names:
+        builder.add_hierarchy(name)
+    for tag, start, end, attributes, _ in records:
+        builder.add_annotation(assignment[tag], tag, start, end, attributes)
+    document = builder.build()
+    document.root.attributes.update(root_attributes)
+    return document

@@ -1,0 +1,166 @@
+"""Import driver: the TEI *milestone* workaround.
+
+Milestones store overlapping markup by demoting conflicting elements to
+pairs of empty marker elements: ``<tag sacx-ms="start" sacx-mid="7"/>``
+... ``<tag sacx-ms="end" sacx-mid="7"/>``.  The tree structure of the
+remaining ("inline") elements stays intact.  This driver re-promotes the
+pairs to real elements, and also handles the *delimiter* style of
+milestone (TEI ``<pb/>``/``<lb/>``: a boundary marker at which a new
+unit begins) via :func:`segment_by_delimiters`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..core.goddag import GoddagBuilder, GoddagDocument
+from ..core.hierarchy import ConcurrentSchema
+from ..errors import SerializationError
+from .events import EMPTY, content_events
+from .fragmentation import build_from_records, _SpanRecord
+from .reserved import (
+    HIERARCHY_ATTR,
+    MILESTONE_ID_ATTR,
+    MILESTONE_KIND_ATTR,
+    strip_reserved,
+)
+
+
+def parse_milestones(
+    source: str, schema: ConcurrentSchema | None = None
+) -> GoddagDocument:
+    """Rebuild a GODDAG from a milestone single-document encoding."""
+    parsed = content_events(source)
+    records = _records_from_events(parsed.events)
+    return build_from_records(
+        parsed.text, parsed.root_tag, dict(parsed.root_attributes),
+        records, schema,
+    )
+
+
+def _records_from_events(events) -> list[_SpanRecord]:
+    # Records carry their *open order* so equal-span nesting survives
+    # the round trip (records are emitted when ranges close, which is
+    # inner-first for equal spans).
+    ordered: list[tuple[int, _SpanRecord]] = []
+    stack: list[tuple[str, int, dict[str, str], int]] = []
+    # Open milestone ranges: explicit ids, plus per-tag stacks for pairs
+    # that rely on proper nesting instead of ids.
+    open_by_id: dict[tuple[str, str], tuple[int, dict[str, str], int]] = {}
+    open_by_tag: dict[str, list[tuple[int, dict[str, str], int]]] = defaultdict(list)
+    order = 0
+
+    for event in events:
+        attributes = event.attribute_dict
+        kind_attr = attributes.get(MILESTONE_KIND_ATTR)
+        if event.kind == EMPTY and kind_attr is not None:
+            mid = attributes.get(MILESTONE_ID_ATTR)
+            if kind_attr == "start":
+                order += 1
+                if mid is not None:
+                    key = (event.tag, mid)
+                    if key in open_by_id:
+                        raise SerializationError(
+                            f"duplicate milestone start for <{event.tag}> "
+                            f"id {mid!r}"
+                        )
+                    open_by_id[key] = (event.offset, attributes, order)
+                else:
+                    open_by_tag[event.tag].append(
+                        (event.offset, attributes, order)
+                    )
+            elif kind_attr == "end":
+                if mid is not None:
+                    key = (event.tag, mid)
+                    if key not in open_by_id:
+                        raise SerializationError(
+                            f"milestone end for <{event.tag}> id {mid!r} "
+                            f"without a start"
+                        )
+                    start, start_attrs, opened = open_by_id.pop(key)
+                else:
+                    if not open_by_tag[event.tag]:
+                        raise SerializationError(
+                            f"milestone end for <{event.tag}> without a start"
+                        )
+                    start, start_attrs, opened = open_by_tag[event.tag].pop()
+                ordered.append((opened, (
+                    event.tag, start, event.offset,
+                    strip_reserved(start_attrs),
+                    start_attrs.get(HIERARCHY_ATTR),
+                )))
+            else:
+                raise SerializationError(
+                    f"unknown milestone kind {kind_attr!r} on <{event.tag}>"
+                )
+            continue
+        # Ordinary inline markup.
+        if event.kind == "start":
+            order += 1
+            stack.append((event.tag, event.offset, attributes, order))
+        elif event.kind == "end":
+            tag, start, attrs, opened = stack.pop()
+            ordered.append((opened, (
+                tag, start, event.offset,
+                strip_reserved(attrs), attrs.get(HIERARCHY_ATTR),
+            )))
+        else:  # genuine empty element
+            order += 1
+            ordered.append((order, (
+                event.tag, event.offset, event.offset,
+                strip_reserved(attributes), attributes.get(HIERARCHY_ATTR),
+            )))
+
+    leftovers = list(open_by_id) + [
+        tag for tag, opens in open_by_tag.items() if opens
+    ]
+    if leftovers:
+        raise SerializationError(
+            f"unterminated milestone ranges: {leftovers!r}"
+        )
+    ordered.sort(key=lambda item: item[0])
+    return [record for (_, record) in ordered]
+
+
+def segment_by_delimiters(
+    document: GoddagDocument,
+    milestone_tag: str,
+    unit_tag: str,
+    target_hierarchy: str,
+    include_leading: bool = True,
+) -> list:
+    """Convert delimiter milestones into spanning unit elements.
+
+    TEI page/line breaks (``<pb/>``, ``<lb/>``) mark where a new unit
+    *begins*.  For every milestone ``<milestone_tag/>`` anchored at
+    offset ``p`` this inserts a ``<unit_tag>`` element from ``p`` to the
+    next milestone (or the end of text) into ``target_hierarchy``, which
+    must already exist.  With ``include_leading`` the text before the
+    first milestone becomes a unit as well.  Milestone attributes are
+    copied onto their unit.  Returns the new elements.
+    """
+    anchors = [
+        (element.start, dict(element.attributes))
+        for element in document.elements(tag=milestone_tag)
+        if element.is_empty
+    ]
+    anchors.sort(key=lambda item: item[0])
+    created = []
+    if not anchors:
+        return created
+    if include_leading and anchors[0][0] > 0:
+        anchors.insert(0, (0, {}))
+    for (start, attributes), (end, _) in zip(anchors, anchors[1:]):
+        created.append(
+            document.insert_element(target_hierarchy, unit_tag, start, end,
+                                    attributes)
+        )
+    last_start, last_attributes = anchors[-1]
+    if last_start < document.length:
+        created.append(
+            document.insert_element(
+                target_hierarchy, unit_tag, last_start, document.length,
+                last_attributes,
+            )
+        )
+    return created

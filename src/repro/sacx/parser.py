@@ -1,0 +1,196 @@
+"""SACX — the simultaneous parser for concurrent XML.
+
+The parser of the paper ("Parsing Concurrent XML", WIDM 2004): given a
+*distributed document* — one well-formed XML document per hierarchy, all
+carrying the same character content under the same root tag — SACX makes
+a single merged pass over all markup, emitting unified events to a
+SAX-style handler.  The default handler builds a GODDAG.
+
+The merge order is ``(content offset, hierarchy rank, source sequence)``;
+per-hierarchy source order is always preserved, so zero-width elements
+and simultaneous opens/closes keep their meaning.
+"""
+
+from __future__ import annotations
+
+from heapq import merge as heap_merge
+from typing import Mapping, Sequence
+
+from ..core.goddag import GoddagBuilder, GoddagDocument
+from ..errors import TextMismatchError, WellFormednessError
+from .events import EMPTY, END, START, MarkupEvent, ParsedDocument, content_events
+
+
+class ConcurrentHandler:
+    """SAX-style callback interface for concurrent markup.
+
+    Subclass and override; the default implementations do nothing, so a
+    handler can subscribe to only the events it cares about.
+    """
+
+    def start_document(self, text: str, root_tag: str,
+                       root_attributes: Mapping[str, str]) -> None:
+        """Called once, before any markup event."""
+
+    def start_element(self, hierarchy: str, tag: str, offset: int,
+                      attributes: Mapping[str, str]) -> None:
+        """An opening tag of ``hierarchy`` at content ``offset``."""
+
+    def end_element(self, hierarchy: str, tag: str, offset: int) -> None:
+        """A closing tag of ``hierarchy`` at content ``offset``."""
+
+    def empty_element(self, hierarchy: str, tag: str, offset: int,
+                      attributes: Mapping[str, str]) -> None:
+        """A zero-width element of ``hierarchy`` anchored at ``offset``."""
+
+    def end_document(self) -> None:
+        """Called once, after the last markup event."""
+
+
+class GoddagHandler(ConcurrentHandler):
+    """The default handler: builds a :class:`GoddagDocument`."""
+
+    def __init__(self, hierarchies: Sequence[str]) -> None:
+        self._hierarchy_names = list(hierarchies)
+        self._builder: GoddagBuilder | None = None
+        self.document: GoddagDocument | None = None
+
+    def start_document(self, text, root_tag, root_attributes):
+        self._builder = GoddagBuilder(text, root_tag)
+        for name in self._hierarchy_names:
+            self._builder.add_hierarchy(name)
+        self._root_attributes = dict(root_attributes)
+
+    def start_element(self, hierarchy, tag, offset, attributes):
+        self._builder.start_element(hierarchy, tag, offset, attributes)
+
+    def end_element(self, hierarchy, tag, offset):
+        self._builder.end_element(hierarchy, tag, offset)
+
+    def empty_element(self, hierarchy, tag, offset, attributes):
+        self._builder.empty_element(hierarchy, tag, offset, attributes)
+
+    def end_document(self):
+        self.document = self._builder.build()
+        self.document.root.attributes.update(self._root_attributes)
+
+
+class EventCountingHandler(ConcurrentHandler):
+    """A trivial handler used by tests and benchmarks: counts events."""
+
+    def __init__(self) -> None:
+        self.starts = 0
+        self.ends = 0
+        self.empties = 0
+        self.text_length = 0
+
+    def start_document(self, text, root_tag, root_attributes):
+        self.text_length = len(text)
+
+    def start_element(self, hierarchy, tag, offset, attributes):
+        self.starts += 1
+
+    def end_element(self, hierarchy, tag, offset):
+        self.ends += 1
+
+    def empty_element(self, hierarchy, tag, offset, attributes):
+        self.empties += 1
+
+
+class SACXParser:
+    """Parse a distributed document through a :class:`ConcurrentHandler`."""
+
+    def __init__(self, handler: ConcurrentHandler | None = None) -> None:
+        self.handler = handler
+
+    def parse(
+        self, sources: Mapping[str, str]
+    ) -> GoddagDocument | None:
+        """Parse ``{hierarchy_name: xml_source}``.
+
+        With no explicit handler a :class:`GoddagHandler` is used and
+        the built document returned; with a custom handler the return
+        value is None and the handler holds the result.
+        """
+        if not sources:
+            raise WellFormednessError("a distributed document needs at least one part")
+        parsed = self._scan_parts(sources)
+        handler = self.handler
+        owns_handler = handler is None
+        if owns_handler:
+            handler = GoddagHandler(list(sources))
+        reference = next(iter(parsed.values()))
+        handler.start_document(
+            reference.text, reference.root_tag, dict(reference.root_attributes)
+        )
+        for hierarchy, event in self._merged_events(parsed):
+            if event.kind == START:
+                handler.start_element(
+                    hierarchy, event.tag, event.offset, event.attribute_dict
+                )
+            elif event.kind == END:
+                handler.end_element(hierarchy, event.tag, event.offset)
+            else:
+                handler.empty_element(
+                    hierarchy, event.tag, event.offset, event.attribute_dict
+                )
+        handler.end_document()
+        if owns_handler:
+            return handler.document
+        return None
+
+    # -- internals ---------------------------------------------------------------
+
+    def _scan_parts(self, sources: Mapping[str, str]) -> dict[str, ParsedDocument]:
+        parsed: dict[str, ParsedDocument] = {}
+        reference: ParsedDocument | None = None
+        reference_name = ""
+        for name, source in sources.items():
+            document = content_events(source)
+            if reference is None:
+                reference, reference_name = document, name
+            else:
+                self._check_consistency(reference_name, reference, name, document)
+            parsed[name] = document
+        return parsed
+
+    @staticmethod
+    def _check_consistency(
+        ref_name: str, ref: ParsedDocument, name: str, doc: ParsedDocument
+    ) -> None:
+        if doc.root_tag != ref.root_tag:
+            raise TextMismatchError(
+                f"root tags differ: {ref_name!r} has <{ref.root_tag}>, "
+                f"{name!r} has <{doc.root_tag}>"
+            )
+        if doc.text != ref.text:
+            at = next(
+                (i for i, (a, b) in enumerate(zip(ref.text, doc.text)) if a != b),
+                min(len(ref.text), len(doc.text)),
+            )
+            window = slice(max(0, at - 10), at + 10)
+            raise TextMismatchError(
+                f"text content differs between {ref_name!r} and {name!r} "
+                f"at offset {at}: {ref.text[window]!r} vs {doc.text[window]!r}",
+                offset=at,
+                expected=ref.text[window],
+                found=doc.text[window],
+            )
+
+    @staticmethod
+    def _merged_events(
+        parsed: Mapping[str, ParsedDocument],
+    ) -> "list[tuple[str, MarkupEvent]]":
+        streams = []
+        for rank, (name, document) in enumerate(parsed.items()):
+            streams.append(
+                [(event.offset, rank, event.seq, name, event)
+                 for event in document.events]
+            )
+        merged = heap_merge(*streams)
+        return [(name, event) for (_, _, _, name, event) in merged]
+
+
+def parse_concurrent(sources: Mapping[str, str]) -> GoddagDocument:
+    """One-call SACX parse of a distributed document into a GODDAG."""
+    return SACXParser().parse(sources)

@@ -1,0 +1,40 @@
+"""Reserved attribute names shared by import drivers and exporters.
+
+Single-document representations of concurrent markup must encode, inside
+one XML tree, information that the GODDAG keeps structurally: which
+hierarchy an element belongs to, which fragments form one logical
+element, which empty elements are really paired range markers.  The
+framework reserves the ``sacx-`` attribute prefix for this bookkeeping;
+importers strip these attributes, exporters add them.
+"""
+
+#: Hierarchy an element belongs to (all single-document representations).
+HIERARCHY_ATTR = "sacx-h"
+
+#: Fragmentation: fragment-group id; fragments with equal (tag, fid) merge.
+FRAGMENT_ID_ATTR = "sacx-fid"
+
+#: Fragmentation: position of the fragment in its group (I/M/F, TEI-style).
+FRAGMENT_PART_ATTR = "sacx-part"
+
+#: Milestones: marker kind, ``start`` or ``end``.
+MILESTONE_KIND_ATTR = "sacx-ms"
+
+#: Milestones: pair id connecting a start marker to its end marker.
+MILESTONE_ID_ATTR = "sacx-mid"
+
+#: All reserved names (importers strip these from user-visible attributes).
+RESERVED = frozenset({
+    HIERARCHY_ATTR,
+    FRAGMENT_ID_ATTR,
+    FRAGMENT_PART_ATTR,
+    MILESTONE_KIND_ATTR,
+    MILESTONE_ID_ATTR,
+})
+
+
+def strip_reserved(attributes: dict[str, str]) -> dict[str, str]:
+    """Remove the ``sacx-`` bookkeeping attributes."""
+    return {
+        name: value for name, value in attributes.items() if name not in RESERVED
+    }

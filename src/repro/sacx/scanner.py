@@ -1,0 +1,214 @@
+"""An offset-tracking XML scanner, written from scratch.
+
+SACX needs to know, for every tag, the *character-content offset* at
+which it occurs — the position in the text obtained by stripping all
+markup.  Neither ElementTree nor SAX expose this reliably, so the
+framework ships its own tokenizer.  It covers the XML subset that
+document-centric editions use: elements, attributes, character data,
+the five predefined entities plus numeric character references, CDATA
+sections, comments, processing instructions and a skipped DOCTYPE.
+
+The scanner reports *source* positions (line/column) for diagnostics;
+the event layer (:mod:`repro.sacx.events`) converts the token stream
+into content-offset events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .._util import is_name_char, is_name_start_char, unescape
+from ..errors import WellFormednessError
+
+#: Token kinds.
+START = "start"
+END = "end"
+EMPTY = "empty"
+TEXT = "text"
+COMMENT = "comment"
+PI = "pi"
+DOCTYPE = "doctype"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical unit of the XML source."""
+
+    kind: str
+    name: str = ""
+    data: str = ""
+    attributes: tuple[tuple[str, str], ...] = ()
+    line: int = 1
+    column: int = 1
+
+    @property
+    def attribute_dict(self) -> dict[str, str]:
+        return dict(self.attributes)
+
+
+class XmlScanner:
+    """Tokenize an XML source string."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # -- error & movement helpers ------------------------------------------------
+
+    def _error(self, message: str) -> WellFormednessError:
+        return WellFormednessError(
+            f"{message} at line {self.line}, column {self.column}",
+            line=self.line, column=self.column, offset=self.pos,
+        )
+
+    def _advance(self, count: int) -> None:
+        chunk = self.source[self.pos : self.pos + count]
+        newlines = chunk.count("\n")
+        if newlines:
+            self.line += newlines
+            self.column = count - chunk.rfind("\n")
+        else:
+            self.column += count
+        self.pos += count
+
+    def _at_end(self) -> bool:
+        return self.pos >= len(self.source)
+
+    def _peek(self, width: int = 1) -> str:
+        return self.source[self.pos : self.pos + width]
+
+    def _find(self, literal: str, label: str) -> int:
+        index = self.source.find(literal, self.pos)
+        if index == -1:
+            raise self._error(f"unterminated {label}")
+        return index
+
+    # -- tokenization ----------------------------------------------------------------
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield tokens until the end of the source."""
+        while not self._at_end():
+            if self._peek() == "<":
+                yield from self._markup()
+            else:
+                yield self._text()
+
+    def _text(self) -> Token:
+        line, column = self.line, self.column
+        end = self.source.find("<", self.pos)
+        if end == -1:
+            end = len(self.source)
+        raw = self.source[self.pos : end]
+        self._advance(end - self.pos)
+        return Token(TEXT, data=unescape(raw), line=line, column=column)
+
+    def _markup(self) -> Iterator[Token]:
+        line, column = self.line, self.column
+        if self._peek(4) == "<!--":
+            end = self._find("-->", "comment")
+            data = self.source[self.pos + 4 : end]
+            self._advance(end + 3 - self.pos)
+            yield Token(COMMENT, data=data, line=line, column=column)
+            return
+        if self._peek(9) == "<![CDATA[":
+            end = self._find("]]>", "CDATA section")
+            data = self.source[self.pos + 9 : end]
+            self._advance(end + 3 - self.pos)
+            yield Token(TEXT, data=data, line=line, column=column)
+            return
+        if self._peek(2) == "<?":
+            end = self._find("?>", "processing instruction")
+            data = self.source[self.pos + 2 : end]
+            self._advance(end + 2 - self.pos)
+            yield Token(PI, data=data, line=line, column=column)
+            return
+        if self._peek(9).upper() == "<!DOCTYPE":
+            yield self._doctype(line, column)
+            return
+        if self._peek(2) == "</":
+            self._advance(2)
+            name = self._name()
+            self._skip_ws()
+            if self._peek() != ">":
+                raise self._error(f"malformed end tag </{name}")
+            self._advance(1)
+            yield Token(END, name=name, line=line, column=column)
+            return
+        # start or empty-element tag
+        self._advance(1)
+        name = self._name()
+        attributes = self._attributes()
+        if self._peek(2) == "/>":
+            self._advance(2)
+            yield Token(EMPTY, name=name, attributes=attributes,
+                        line=line, column=column)
+            return
+        if self._peek() == ">":
+            self._advance(1)
+            yield Token(START, name=name, attributes=attributes,
+                        line=line, column=column)
+            return
+        raise self._error(f"malformed start tag <{name}")
+
+    def _doctype(self, line: int, column: int) -> Token:
+        depth = 0
+        start = self.pos
+        while not self._at_end():
+            ch = self._peek()
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+            elif ch == ">" and depth == 0:
+                data = self.source[start : self.pos + 1]
+                self._advance(1)
+                return Token(DOCTYPE, data=data, line=line, column=column)
+            self._advance(1)
+        raise self._error("unterminated DOCTYPE")
+
+    def _name(self) -> str:
+        if self._at_end() or not is_name_start_char(self._peek()):
+            raise self._error("expected a name")
+        start = self.pos
+        while not self._at_end() and is_name_char(self._peek()):
+            self._advance(1)
+        return self.source[start : self.pos]
+
+    def _skip_ws(self) -> None:
+        while not self._at_end() and self._peek().isspace():
+            self._advance(1)
+
+    def _attributes(self) -> tuple[tuple[str, str], ...]:
+        attributes: list[tuple[str, str]] = []
+        seen: set[str] = set()
+        while True:
+            self._skip_ws()
+            if self._at_end():
+                raise self._error("unterminated start tag")
+            if self._peek() in (">", "/"):
+                return tuple(attributes)
+            name = self._name()
+            self._skip_ws()
+            if self._peek() != "=":
+                raise self._error(f"attribute {name!r} missing '='")
+            self._advance(1)
+            self._skip_ws()
+            quote = self._peek()
+            if quote not in ("'", '"'):
+                raise self._error(f"attribute {name!r} value must be quoted")
+            self._advance(1)
+            end = self._find(quote, f"attribute {name!r} value")
+            raw = self.source[self.pos : end]
+            self._advance(end + 1 - self.pos)
+            if name in seen:
+                raise self._error(f"duplicate attribute {name!r}")
+            seen.add(name)
+            attributes.append((name, unescape(raw)))
+
+
+def scan(source: str) -> Iterator[Token]:
+    """Convenience wrapper: tokenize ``source``."""
+    return XmlScanner(source).tokens()

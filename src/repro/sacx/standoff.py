@@ -1,0 +1,139 @@
+"""Import driver: standoff annotations.
+
+Standoff markup stores the text once and the annotations separately as
+offset ranges — the representation of choice for annotation pipelines
+and the closest relative of the GODDAG's own span model.  The format is
+JSON:
+
+.. code-block:: json
+
+    {
+      "text": "sing a song of sixpence",
+      "root": {"tag": "r", "attributes": {}},
+      "hierarchies": [
+        {"name": "physical",
+         "annotations": [
+           {"tag": "line", "start": 0, "end": 11, "attributes": {}}
+         ]}
+      ]
+    }
+
+A *flat* variant — just a text and one list of annotations — is also
+accepted; hierarchies are then derived by conflict auto-partition.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Mapping
+
+from ..core.goddag import GoddagBuilder, GoddagDocument
+from ..core.hierarchy import ConcurrentSchema
+from ..errors import SerializationError
+
+
+def parse_standoff(source: str | Mapping) -> GoddagDocument:
+    """Build a GODDAG from a standoff JSON document (string or dict)."""
+    data = json.loads(source) if isinstance(source, str) else dict(source)
+    try:
+        text = data["text"]
+    except KeyError:
+        raise SerializationError("standoff document lacks a 'text' field") from None
+    root = data.get("root", {})
+    root_tag = root.get("tag", "r")
+    builder = GoddagBuilder(text, root_tag)
+    for block in data.get("hierarchies", []):
+        try:
+            name = block["name"]
+        except (KeyError, TypeError):
+            raise SerializationError(
+                "every hierarchy block needs a 'name'"
+            ) from None
+        builder.add_hierarchy(name)
+        for annotation in block.get("annotations", []):
+            builder.add_annotation(
+                name,
+                annotation["tag"],
+                int(annotation["start"]),
+                int(annotation["end"]),
+                annotation.get("attributes", {}),
+            )
+    document = builder.build()
+    document.root.attributes.update(root.get("attributes", {}))
+    return document
+
+
+def parse_flat_standoff(
+    text: str,
+    annotations: Iterable[tuple],
+    schema: ConcurrentSchema | None = None,
+    root_tag: str = "r",
+) -> GoddagDocument:
+    """Build a GODDAG from a soup of ``(tag, start, end[, attrs])``.
+
+    Without a schema, hierarchies are derived by greedy conflict
+    auto-partition — the "I have annotations, give me a consistent
+    concurrent document" entry point.
+    """
+    normalized: list[tuple[str, int, int, dict[str, str]]] = []
+    for annotation in annotations:
+        if len(annotation) == 3:
+            tag, start, end = annotation
+            attributes: dict[str, str] = {}
+        else:
+            tag, start, end, attributes = annotation
+        normalized.append((tag, int(start), int(end), dict(attributes)))
+
+    if schema is None:
+        schema = ConcurrentSchema.from_annotations(
+            [(tag, start, end) for tag, start, end, _ in normalized]
+        )
+    builder = GoddagBuilder(text, root_tag)
+    assignments: dict[str, str] = {}
+    for hierarchy in schema:
+        builder.add_hierarchy(hierarchy.name, dtd=hierarchy.dtd)
+        for tag in hierarchy.tags:
+            assignments[tag] = hierarchy.name
+    fallback: str | None = None
+    for tag, start, end, attributes in normalized:
+        owner = assignments.get(tag) or schema.owner_of(tag)
+        if owner is None:
+            if fallback is None:
+                fallback = "h-unassigned"
+                builder.add_hierarchy(fallback)
+            owner = fallback
+        builder.add_annotation(owner, tag, start, end, attributes)
+    return builder.build()
+
+
+def standoff_dict(document: GoddagDocument) -> dict:
+    """The standoff (JSON-ready) dictionary of a GODDAG.
+
+    The canonical inverse of :func:`parse_standoff`; also used by the
+    storage layer as its interchange form.
+    """
+    hierarchies = []
+    for name in document.hierarchy_names():
+        annotations = [
+            {
+                "tag": element.tag,
+                "start": element.start,
+                "end": element.end,
+                "attributes": dict(element.attributes),
+            }
+            for element in document.elements(hierarchy=name)
+        ]
+        hierarchies.append({"name": name, "annotations": annotations})
+    return {
+        "text": document.text,
+        "root": {
+            "tag": document.root.tag,
+            "attributes": dict(document.root.attributes),
+        },
+        "hierarchies": hierarchies,
+    }
+
+
+def export_standoff(document: GoddagDocument, indent: int | None = None) -> str:
+    """Serialize a GODDAG to standoff JSON."""
+    return json.dumps(standoff_dict(document), indent=indent, ensure_ascii=False)

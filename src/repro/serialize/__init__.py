@@ -1,0 +1,32 @@
+"""Exporters: GODDAG → every supported concurrent-markup representation.
+
+The manipulation layer of the demo ("concurrent XML can be imported
+into/exported from our software suite from/to a wide range of
+representations"): distributed documents, TEI-style fragmentation,
+TEI-style milestones, and standoff JSON (the latter lives with its
+import driver in :mod:`repro.sacx.standoff` and is re-exported here).
+"""
+
+from ..sacx.standoff import export_standoff, standoff_dict
+from .distributed import export_distributed, serialize_hierarchy
+from .fragmentation import (
+    export_fragmentation,
+    fragment_blowup,
+    fragmentation_plan,
+)
+from .milestones import export_milestones, milestone_count
+from .writer import XmlWriter, render_element
+
+__all__ = [
+    "XmlWriter",
+    "export_distributed",
+    "export_fragmentation",
+    "export_milestones",
+    "export_standoff",
+    "fragment_blowup",
+    "fragmentation_plan",
+    "milestone_count",
+    "render_element",
+    "serialize_hierarchy",
+    "standoff_dict",
+]

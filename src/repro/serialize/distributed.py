@@ -1,0 +1,51 @@
+"""Exporter: distributed documents (one XML document per hierarchy).
+
+The inverse of :func:`repro.sacx.distributed.parse_distributed`.  Every
+hierarchy serializes to a stand-alone well-formed document carrying the
+full text; uncovered text appears directly under the root.
+"""
+
+from __future__ import annotations
+
+from ..core.goddag import GoddagDocument
+from ..core.node import Element
+from .writer import XmlWriter
+
+
+def serialize_hierarchy(document: GoddagDocument, hierarchy: str) -> str:
+    """Serialize one hierarchy of the GODDAG as a well-formed document."""
+    writer = XmlWriter()
+    writer.start_tag(document.root.tag, document.root.attributes)
+    position = 0
+    for element in document.top_level(hierarchy):
+        if element.start > position:
+            writer.text(document.text[position : element.start])
+        _write_element(document, element, writer)
+        position = max(position, element.end)
+    writer.text(document.text[position :])
+    writer.end_tag()
+    return writer.getvalue()
+
+
+def _write_element(document: GoddagDocument, element: Element,
+                   writer: XmlWriter) -> None:
+    if element.is_empty:
+        writer.empty_tag(element.tag, element.attributes)
+        return
+    writer.start_tag(element.tag, element.attributes)
+    position = element.start
+    for child in element.element_children:
+        if child.start > position:
+            writer.text(document.text[position : child.start])
+        _write_element(document, child, writer)
+        position = max(position, child.end)
+    writer.text(document.text[position : element.end])
+    writer.end_tag()
+
+
+def export_distributed(document: GoddagDocument) -> dict[str, str]:
+    """Serialize every hierarchy: ``{hierarchy_name: xml_source}``."""
+    return {
+        name: serialize_hierarchy(document, name)
+        for name in document.hierarchy_names()
+    }

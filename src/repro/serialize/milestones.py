@@ -1,0 +1,125 @@
+"""Exporter: single document with TEI-style milestones.
+
+One *primary* hierarchy keeps its real element structure (it nests
+properly by construction); every element of every other hierarchy is
+demoted to a pair of empty marker elements
+``<tag sacx-ms="start" sacx-mid="N"/> ... <tag sacx-ms="end" sacx-mid="N"/>``.
+Genuine zero-width elements export as plain empty tags.
+
+The inverse driver is :func:`repro.sacx.milestones.parse_milestones`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..core.goddag import GoddagDocument
+from ..core.node import Element
+from ..errors import SerializationError
+from ..sacx.reserved import (
+    HIERARCHY_ATTR,
+    MILESTONE_ID_ATTR,
+    MILESTONE_KIND_ATTR,
+)
+from .writer import XmlWriter
+
+
+def export_milestones(
+    document: GoddagDocument,
+    primary: str | None = None,
+    hierarchy_attr: bool = True,
+) -> str:
+    """Serialize the GODDAG with ``primary`` inline, the rest as markers.
+
+    ``primary`` defaults to the first (rank 0) hierarchy.
+    """
+    names = document.hierarchy_names()
+    if not names:
+        raise SerializationError("document has no hierarchies to serialize")
+    if primary is None:
+        primary = names[0]
+    if primary not in names:
+        raise SerializationError(f"unknown primary hierarchy {primary!r}")
+    rank = {name: i for i, name in enumerate(names)}
+
+    inline_starts: dict[int, list[Element]] = defaultdict(list)
+    marker_starts: dict[int, list[Element]] = defaultdict(list)
+    marker_ends: dict[int, list[Element]] = defaultdict(list)
+    empties_at: dict[int, list[Element]] = defaultdict(list)
+    for element in document.elements():
+        if element.is_empty:
+            empties_at[element.start].append(element)
+        elif element.hierarchy == primary:
+            inline_starts[element.start].append(element)
+        else:
+            marker_starts[element.start].append(element)
+            marker_ends[element.end].append(element)
+
+    writer = XmlWriter()
+    writer.start_tag(document.root.tag, document.root.attributes)
+    stack: list[Element] = []
+    boundaries = document.spans.boundaries
+
+    def marker_attributes(element: Element, kind: str) -> dict[str, str]:
+        attributes = dict(element.attributes) if kind == "start" else {}
+        attributes[MILESTONE_KIND_ATTR] = kind
+        attributes[MILESTONE_ID_ATTR] = str(element.ordinal)
+        if hierarchy_attr:
+            attributes[HIERARCHY_ATTR] = element.hierarchy
+        return attributes
+
+    for index, position in enumerate(boundaries):
+        # 1. Close inline elements ending here (innermost first — they
+        #    nest, so they are exactly the top of the stack).
+        while stack and stack[-1].end == position:
+            stack.pop()
+            writer.end_tag()
+        # 2. End markers (innermost-start last opened closes first, a
+        #    cosmetic pseudo-nesting order).
+        for element in sorted(marker_ends.get(position, ()),
+                              key=lambda e: (e.start, rank[e.hierarchy], e.ordinal),
+                              reverse=True):
+            writer.empty_tag(element.tag, marker_attributes(element, "end"))
+        # 3. Genuine zero-width elements anchored here.
+        for element in sorted(empties_at.get(position, ()),
+                              key=lambda e: e.ordinal):
+            attributes = dict(element.attributes)
+            if hierarchy_attr:
+                attributes[HIERARCHY_ATTR] = element.hierarchy
+            writer.empty_tag(element.tag, attributes)
+        # 4. Start markers, longest span first.
+        for element in sorted(marker_starts.get(position, ()),
+                              key=lambda e: (-e.end, rank[e.hierarchy], e.ordinal)):
+            writer.empty_tag(element.tag, marker_attributes(element, "start"))
+        # 5. Open inline elements, longest first (they nest).
+        for element in sorted(inline_starts.get(position, ()),
+                              key=lambda e: (-e.end, e.ordinal)):
+            attributes = dict(element.attributes)
+            if hierarchy_attr:
+                attributes[HIERARCHY_ATTR] = element.hierarchy
+            writer.start_tag(element.tag, attributes)
+            stack.append(element)
+        # 6. Leaf text.
+        if index + 1 < len(boundaries):
+            writer.text(document.text[position : boundaries[index + 1]])
+
+    writer.end_tag()
+    return writer.getvalue()
+
+
+def milestone_count(document: GoddagDocument, primary: str | None = None) -> int:
+    """How many marker elements the milestone export emits.
+
+    Two per demoted element — the paper's point about this
+    representation: the DOM tree of the export bears no resemblance to
+    the markup semantics, and all structure of the secondary
+    hierarchies must be reconstructed by pairing markers.
+    """
+    names = document.hierarchy_names()
+    if primary is None:
+        primary = names[0] if names else ""
+    return 2 * sum(
+        1
+        for element in document.elements()
+        if not element.is_empty and element.hierarchy != primary
+    )

@@ -1,0 +1,63 @@
+"""Low-level XML writing: escaping, tags, canonical attribute order."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from .._util import escape_attribute, escape_text
+
+
+class XmlWriter:
+    """Accumulates a well-formed XML string.
+
+    Attributes are written in sorted name order so output is canonical:
+    two structurally equal documents serialize identically, which the
+    round-trip tests rely on.  No pretty-printing is ever inserted
+    inside the root element — whitespace is content in document-centric
+    XML.
+    """
+
+    def __init__(self) -> None:
+        self._parts: list[str] = []
+        self._stack: list[str] = []
+
+    def start_tag(self, tag: str, attributes: Mapping[str, str] | None = None) -> None:
+        self._parts.append(f"<{tag}{_render_attributes(attributes)}>")
+        self._stack.append(tag)
+
+    def end_tag(self) -> None:
+        tag = self._stack.pop()
+        self._parts.append(f"</{tag}>")
+
+    def empty_tag(self, tag: str, attributes: Mapping[str, str] | None = None) -> None:
+        self._parts.append(f"<{tag}{_render_attributes(attributes)}/>")
+
+    def text(self, content: str) -> None:
+        if content:
+            self._parts.append(escape_text(content))
+
+    def comment(self, content: str) -> None:
+        self._parts.append(f"<!--{content}-->")
+
+    def getvalue(self) -> str:
+        if self._stack:
+            raise ValueError(f"unclosed tags: {self._stack}")
+        return "".join(self._parts)
+
+
+def _render_attributes(attributes: Mapping[str, str] | None) -> str:
+    if not attributes:
+        return ""
+    return "".join(
+        f' {name}="{escape_attribute(value)}"'
+        for name, value in sorted(attributes.items())
+    )
+
+
+def render_element(tag: str, attributes: Mapping[str, str] | None,
+                   content: Iterable[str]) -> str:
+    """One-shot element rendering used by small utilities."""
+    inner = "".join(content)
+    if not inner:
+        return f"<{tag}{_render_attributes(attributes)}/>"
+    return f"<{tag}{_render_attributes(attributes)}>{inner}</{tag}>"

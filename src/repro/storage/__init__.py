@@ -1,0 +1,36 @@
+"""Persistent storage for GODDAG documents (the paper's "underway" part).
+
+Two backends behind one facade:
+
+* SQLite — multi-document stores, SQL-side span/overlap queries;
+* GDAG1 binary files — one document per file, fixed-width element table
+  scannable without loading the document.
+"""
+
+from .binary_backend import file_stats, load_file, save_file, scan_spans
+from .schema import (
+    DocumentRow,
+    ElementRow,
+    HierarchyRow,
+    ROOT_ID,
+    decode_document,
+    encode_document,
+)
+from .sqlite_backend import SqliteStore, StoredElement
+from .store import GoddagStore
+
+__all__ = [
+    "DocumentRow",
+    "ElementRow",
+    "GoddagStore",
+    "HierarchyRow",
+    "ROOT_ID",
+    "SqliteStore",
+    "StoredElement",
+    "decode_document",
+    "encode_document",
+    "file_stats",
+    "load_file",
+    "save_file",
+    "scan_spans",
+]

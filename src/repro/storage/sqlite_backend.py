@@ -1,0 +1,241 @@
+"""SQLite-backed persistent store for GODDAG documents.
+
+Stores the relational encoding of :mod:`repro.storage.schema` with the
+indexes cross-hierarchy queries need, and answers span/tag/overlap
+queries *in the database* — no document reconstruction — which is what
+makes selective queries on large stored editions cheap (experiment E7).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass
+
+from ..core.goddag import GoddagDocument
+from ..errors import StorageError
+from .schema import (
+    DocumentRow,
+    ElementRow,
+    HierarchyRow,
+    decode_document,
+    encode_document,
+)
+
+_DDL = """
+CREATE TABLE IF NOT EXISTS documents (
+    doc_id INTEGER PRIMARY KEY,
+    name TEXT NOT NULL UNIQUE,
+    root_tag TEXT NOT NULL,
+    text TEXT NOT NULL,
+    root_attributes TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS hierarchies (
+    doc_id INTEGER NOT NULL REFERENCES documents(doc_id) ON DELETE CASCADE,
+    rank INTEGER NOT NULL,
+    name TEXT NOT NULL,
+    dtd_source TEXT NOT NULL,
+    PRIMARY KEY (doc_id, rank)
+);
+CREATE TABLE IF NOT EXISTS elements (
+    doc_id INTEGER NOT NULL REFERENCES documents(doc_id) ON DELETE CASCADE,
+    elem_id INTEGER NOT NULL,
+    hierarchy TEXT NOT NULL,
+    tag TEXT NOT NULL,
+    start INTEGER NOT NULL,
+    end INTEGER NOT NULL,
+    parent_id INTEGER NOT NULL,
+    child_rank INTEGER NOT NULL,
+    attributes TEXT NOT NULL,
+    PRIMARY KEY (doc_id, elem_id)
+);
+CREATE INDEX IF NOT EXISTS idx_elements_tag ON elements(doc_id, tag);
+CREATE INDEX IF NOT EXISTS idx_elements_span ON elements(doc_id, start, end);
+CREATE INDEX IF NOT EXISTS idx_elements_hierarchy
+    ON elements(doc_id, hierarchy);
+"""
+
+
+@dataclass(frozen=True)
+class StoredElement:
+    """A storage-level query result (no GODDAG node is materialized)."""
+
+    elem_id: int
+    hierarchy: str
+    tag: str
+    start: int
+    end: int
+    attributes: dict[str, str]
+
+
+class SqliteStore:
+    """A persistent multi-document GODDAG store on SQLite."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        self._conn = sqlite3.connect(path)
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        self._conn.executescript(_DDL)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "SqliteStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- save / load ---------------------------------------------------------------
+
+    def save(self, document: GoddagDocument, name: str,
+             overwrite: bool = False) -> int:
+        """Persist ``document`` under ``name``; returns its doc_id."""
+        if self.has(name):
+            if not overwrite:
+                raise StorageError(f"document {name!r} already stored")
+            self.delete(name)
+        doc_row, hierarchy_rows, element_rows = encode_document(document, name)
+        with self._conn:
+            cursor = self._conn.execute(
+                "INSERT INTO documents (name, root_tag, text, root_attributes)"
+                " VALUES (?, ?, ?, ?)",
+                (doc_row.name, doc_row.root_tag, doc_row.text,
+                 doc_row.root_attributes),
+            )
+            doc_id = cursor.lastrowid
+            self._conn.executemany(
+                "INSERT INTO hierarchies VALUES (?, ?, ?, ?)",
+                [(doc_id, row.rank, row.name, row.dtd_source)
+                 for row in hierarchy_rows],
+            )
+            self._conn.executemany(
+                "INSERT INTO elements VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                [(doc_id, row.elem_id, row.hierarchy, row.tag, row.start,
+                  row.end, row.parent_id, row.child_rank, row.attributes)
+                 for row in element_rows],
+            )
+        return doc_id
+
+    def load(self, name: str) -> GoddagDocument:
+        """Reconstruct the full GODDAG for ``name``."""
+        doc_id, doc_row = self._document_row(name)
+        hierarchy_rows = [
+            HierarchyRow(rank, hname, dtd)
+            for rank, hname, dtd in self._conn.execute(
+                "SELECT rank, name, dtd_source FROM hierarchies"
+                " WHERE doc_id = ? ORDER BY rank", (doc_id,),
+            )
+        ]
+        element_rows = [
+            ElementRow(*row)
+            for row in self._conn.execute(
+                "SELECT elem_id, hierarchy, tag, start, end, parent_id,"
+                " child_rank, attributes FROM elements"
+                " WHERE doc_id = ? ORDER BY elem_id", (doc_id,),
+            )
+        ]
+        return decode_document(doc_row, hierarchy_rows, element_rows)
+
+    def delete(self, name: str) -> None:
+        doc_id, _ = self._document_row(name)
+        with self._conn:
+            self._conn.execute("DELETE FROM documents WHERE doc_id = ?", (doc_id,))
+
+    def names(self) -> list[str]:
+        return [
+            name for (name,) in
+            self._conn.execute("SELECT name FROM documents ORDER BY name")
+        ]
+
+    def has(self, name: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM documents WHERE name = ?", (name,)
+        ).fetchone()
+        return row is not None
+
+    def _document_row(self, name: str) -> tuple[int, DocumentRow]:
+        row = self._conn.execute(
+            "SELECT doc_id, name, root_tag, text, root_attributes"
+            " FROM documents WHERE name = ?", (name,),
+        ).fetchone()
+        if row is None:
+            raise StorageError(f"no stored document {name!r}")
+        doc_id, name, root_tag, text, root_attributes = row
+        return doc_id, DocumentRow(name, root_tag, text, root_attributes)
+
+    # -- storage-level queries (no reconstruction) --------------------------------------
+
+    def count_elements(self, name: str, tag: str | None = None) -> int:
+        doc_id, _ = self._document_row(name)
+        if tag is None:
+            query = "SELECT COUNT(*) FROM elements WHERE doc_id = ?"
+            (count,) = self._conn.execute(query, (doc_id,)).fetchone()
+        else:
+            query = "SELECT COUNT(*) FROM elements WHERE doc_id = ? AND tag = ?"
+            (count,) = self._conn.execute(query, (doc_id, tag)).fetchone()
+        return count
+
+    def elements_by_tag(self, name: str, tag: str) -> list[StoredElement]:
+        doc_id, _ = self._document_row(name)
+        return [
+            _stored(row)
+            for row in self._conn.execute(
+                "SELECT elem_id, hierarchy, tag, start, end, attributes"
+                " FROM elements WHERE doc_id = ? AND tag = ?"
+                " ORDER BY start, end DESC", (doc_id, tag),
+            )
+        ]
+
+    def elements_intersecting(
+        self, name: str, start: int, end: int
+    ) -> list[StoredElement]:
+        """Solid elements sharing at least one character with [start, end)."""
+        doc_id, _ = self._document_row(name)
+        return [
+            _stored(row)
+            for row in self._conn.execute(
+                "SELECT elem_id, hierarchy, tag, start, end, attributes"
+                " FROM elements WHERE doc_id = ? AND start < ? AND end > ?"
+                " ORDER BY start, end DESC", (doc_id, end, start),
+            )
+        ]
+
+    def overlapping_pairs(
+        self, name: str, tag_a: str, tag_b: str
+    ) -> list[tuple[StoredElement, StoredElement]]:
+        """All properly-overlapping (tag_a, tag_b) pairs, by SQL self-join."""
+        doc_id, _ = self._document_row(name)
+        rows = self._conn.execute(
+            """
+            SELECT a.elem_id, a.hierarchy, a.tag, a.start, a.end, a.attributes,
+                   b.elem_id, b.hierarchy, b.tag, b.start, b.end, b.attributes
+            FROM elements a JOIN elements b
+              ON a.doc_id = b.doc_id
+             AND a.start < b.end AND b.start < a.end
+             AND NOT (a.start <= b.start AND b.end <= a.end)
+             AND NOT (b.start <= a.start AND a.end <= b.end)
+            WHERE a.doc_id = ? AND a.tag = ? AND b.tag = ?
+              AND a.hierarchy != b.hierarchy
+              AND a.start < a.end AND b.start < b.end
+            """,
+            (doc_id, tag_a, tag_b),
+        ).fetchall()
+        return [(_stored(row[:6]), _stored(row[6:])) for row in rows]
+
+    def text_of(self, name: str, start: int, end: int) -> str:
+        """A text window, served straight from the database."""
+        doc_id, _ = self._document_row(name)
+        (fragment,) = self._conn.execute(
+            "SELECT substr(text, ?, ?) FROM documents WHERE doc_id = ?",
+            (start + 1, end - start, doc_id),
+        ).fetchone()
+        return fragment
+
+
+def _stored(row) -> StoredElement:
+    elem_id, hierarchy, tag, start, end, attributes = row
+    return StoredElement(elem_id, hierarchy, tag, start, end,
+                         json.loads(attributes))

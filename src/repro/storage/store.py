@@ -1,0 +1,129 @@
+"""The storage facade: one API over both backends.
+
+``GoddagStore`` is what applications use: save/load by name, list, and
+storage-level queries, with the backend chosen at construction
+(``sqlite`` for multi-document stores with SQL-side queries, ``binary``
+for one-file-per-document archives with table scans).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..core.goddag import GoddagDocument
+from ..errors import StorageError
+from .binary_backend import file_stats, load_file, save_file, scan_spans
+from .sqlite_backend import SqliteStore, StoredElement
+
+
+class GoddagStore:
+    """Persistent storage for GODDAG documents."""
+
+    def __init__(self, location: str | Path = ":memory:",
+                 backend: str = "sqlite") -> None:
+        if backend not in ("sqlite", "binary"):
+            raise StorageError(f"unknown backend {backend!r}")
+        self.backend = backend
+        self.location = location
+        if backend == "sqlite":
+            self._sqlite: SqliteStore | None = SqliteStore(str(location))
+        else:
+            self._sqlite = None
+            self._directory = Path(location)
+            if str(location) == ":memory:":
+                raise StorageError("the binary backend needs a directory")
+            self._directory.mkdir(parents=True, exist_ok=True)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _file(self, name: str) -> Path:
+        return self._directory / f"{name}.gdag"
+
+    def close(self) -> None:
+        if self._sqlite is not None:
+            self._sqlite.close()
+
+    def __enter__(self) -> "GoddagStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- save / load / list -----------------------------------------------------------
+
+    def save(self, document: GoddagDocument, name: str,
+             overwrite: bool = False) -> None:
+        if self._sqlite is not None:
+            self._sqlite.save(document, name, overwrite=overwrite)
+            return
+        target = self._file(name)
+        if target.exists() and not overwrite:
+            raise StorageError(f"document {name!r} already stored")
+        save_file(document, target, name)
+
+    def load(self, name: str) -> GoddagDocument:
+        if self._sqlite is not None:
+            return self._sqlite.load(name)
+        target = self._file(name)
+        if not target.exists():
+            raise StorageError(f"no stored document {name!r}")
+        return load_file(target)
+
+    def delete(self, name: str) -> None:
+        if self._sqlite is not None:
+            self._sqlite.delete(name)
+            return
+        target = self._file(name)
+        if not target.exists():
+            raise StorageError(f"no stored document {name!r}")
+        target.unlink()
+
+    def names(self) -> list[str]:
+        if self._sqlite is not None:
+            return self._sqlite.names()
+        return sorted(path.stem for path in self._directory.glob("*.gdag"))
+
+    def has(self, name: str) -> bool:
+        if self._sqlite is not None:
+            return self._sqlite.has(name)
+        return self._file(name).exists()
+
+    # -- storage-level queries -----------------------------------------------------------
+
+    def elements_intersecting(
+        self, name: str, start: int, end: int
+    ) -> list[tuple[str, str, int, int]]:
+        """Solid elements intersecting a span, without reconstruction."""
+        if self._sqlite is not None:
+            return [
+                (e.hierarchy, e.tag, e.start, e.end)
+                for e in self._sqlite.elements_intersecting(name, start, end)
+                if e.start < e.end
+            ]
+        return scan_spans(self._file(name), start, end)
+
+    def count_elements(self, name: str, tag: str | None = None) -> int:
+        if self._sqlite is not None:
+            return self._sqlite.count_elements(name, tag)
+        document = self.load(name)
+        if tag is None:
+            return document.element_count()
+        return sum(1 for _ in document.elements(tag=tag))
+
+    def overlapping_pairs(self, name: str, tag_a: str, tag_b: str):
+        """Overlap join in storage (sqlite backend only)."""
+        if self._sqlite is None:
+            raise StorageError(
+                "overlap joins need the sqlite backend; the binary "
+                "backend loads and queries in memory instead"
+            )
+        return self._sqlite.overlapping_pairs(name, tag_a, tag_b)
+
+    def stats(self, name: str) -> dict[str, int]:
+        """Size accounting (binary backend) or row counts (sqlite)."""
+        if self._sqlite is not None:
+            return {"elements": self._sqlite.count_elements(name)}
+        return file_stats(self._file(name))
+
+
+__all__ = ["GoddagStore", "SqliteStore", "StoredElement"]

@@ -1,0 +1,35 @@
+"""Workloads: the shipped corpus fragment and the synthetic generator."""
+
+from .corpora import (
+    FIGURE_CENSUS,
+    FRAGMENT_DTD_SOURCES,
+    FRAGMENT_SOURCES,
+    FRAGMENT_TEXT,
+    figure_one_conflicts,
+    figure_one_document,
+    fragment_dtds,
+)
+from .generator import (
+    ROSTER,
+    WorkloadSpec,
+    generate,
+    generate_sources,
+    synthetic_words,
+    workload_summary,
+)
+
+__all__ = [
+    "FIGURE_CENSUS",
+    "FRAGMENT_DTD_SOURCES",
+    "FRAGMENT_SOURCES",
+    "FRAGMENT_TEXT",
+    "ROSTER",
+    "WorkloadSpec",
+    "figure_one_conflicts",
+    "figure_one_document",
+    "fragment_dtds",
+    "generate",
+    "generate_sources",
+    "synthetic_words",
+    "workload_summary",
+]

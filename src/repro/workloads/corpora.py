@@ -1,0 +1,131 @@
+"""The shipped corpus: a Figure-1-style manuscript fragment.
+
+The paper demonstrates on folio 36v of the Old English Boethius
+(*Consolation of Philosophy*, British Library MS Cotton Otho A. vi) —
+a manuscript we obviously cannot ship.  This module provides a
+public-domain stand-in with the same *shape*: one text, four concurrent
+encodings (physical lines, words/sentences, restorations, damages) that
+conflict exactly the way the paper's Figure 1 shows, plus the DTDs of
+each hierarchy.  All algorithm behaviour depends only on this shape.
+
+The text is the famous opening of the Old English *Beowulf* (public
+domain), transcribed without length marks.
+"""
+
+from __future__ import annotations
+
+from ..core.goddag import GoddagDocument
+from ..dtd import DTD, parse_dtd
+from ..sacx.parser import parse_concurrent
+
+#: The character content shared by all encodings.
+FRAGMENT_TEXT = (
+    "Hwaet we gardena in geardagum theodcyninga thrym gefrunon "
+    "hu tha aethelingas ellen fremedon"
+)
+
+#: One well-formed XML document per hierarchy (a distributed document).
+FRAGMENT_SOURCES: dict[str, str] = {
+    # Physical structure: manuscript lines with a folio break.
+    "physical": (
+        "<r>"
+        "<line n=\"1\">Hwaet we gardena in geardagum</line>"
+        " "
+        "<line n=\"2\">theodcyninga thrym gefrunon hu tha</line>"
+        " "
+        "<line n=\"3\">aethelingas ellen fremedon</line>"
+        "</r>"
+    ),
+    # Document structure: sentence and words.
+    "linguistic": (
+        "<r>"
+        "<s>"
+        "<w>Hwaet</w> <w>we</w> <w>gardena</w> <w>in</w> <w>geardagum</w> "
+        "<w>theodcyninga</w> <w>thrym</w> <w>gefrunon</w> "
+        "<w>hu</w> <w>tha</w> <w>aethelingas</w> <w>ellen</w> <w>fremedon</w>"
+        "</s>"
+        "</r>"
+    ),
+    # Text restorations: an editor restored a stretch crossing a line end.
+    "restorations": (
+        "<r>Hwaet we gardena in gear"
+        "<res resp=\"ed\">dagum theodcyninga</res>"
+        " thrym gefrunon hu tha aethelingas ellen fremedon</r>"
+    ),
+    # Manuscript damages: rubbing across a line boundary and word middles.
+    "damages": (
+        "<r>Hwaet we gardena in geardagum theodcyninga thrym gefr"
+        "<dmg type=\"rubbed\">unon hu tha aethel</dmg>"
+        "ingas ellen fremedon</r>"
+    ),
+}
+
+#: The hierarchy DTDs of the shipped edition.
+FRAGMENT_DTD_SOURCES: dict[str, str] = {
+    "physical": """
+        <!ELEMENT r (line+)>
+        <!ELEMENT line (#PCDATA | pb)*>
+        <!ELEMENT pb EMPTY>
+        <!ATTLIST line n NMTOKEN #REQUIRED>
+    """,
+    "linguistic": """
+        <!ELEMENT r (s+)>
+        <!ELEMENT s (#PCDATA | w)*>
+        <!ELEMENT w (#PCDATA)>
+    """,
+    "restorations": """
+        <!ELEMENT r (#PCDATA | res)*>
+        <!ELEMENT res (#PCDATA)>
+        <!ATTLIST res resp CDATA #IMPLIED>
+    """,
+    "damages": """
+        <!ELEMENT r (#PCDATA | dmg)*>
+        <!ELEMENT dmg (#PCDATA)>
+        <!ATTLIST dmg type (rubbed | torn | stained) #IMPLIED>
+    """,
+}
+
+
+def fragment_dtds() -> dict[str, DTD]:
+    """Parsed DTDs, one per hierarchy."""
+    return {
+        name: parse_dtd(source, name=name)
+        for name, source in FRAGMENT_DTD_SOURCES.items()
+    }
+
+
+def figure_one_document() -> GoddagDocument:
+    """The Figure-1 GODDAG: all four encodings united.
+
+    This single call exercises the whole front half of the framework:
+    four conflicting encodings, one SACX parse, one GODDAG.
+    """
+    document = parse_concurrent(FRAGMENT_SOURCES)
+    for name, dtd in fragment_dtds().items():
+        document.hierarchy(name).dtd = dtd
+    return document
+
+
+#: The node census of the Figure-2 GODDAG (checked by tests/benches):
+#: 3 lines + 1 sentence + 13 words + 1 restoration + 1 damage.
+FIGURE_CENSUS = {
+    "hierarchies": 4,
+    "elements": 19,
+    "elements_per_hierarchy": {
+        "physical": 3,
+        "linguistic": 14,
+        "restorations": 1,
+        "damages": 1,
+    },
+}
+
+
+def figure_one_conflicts() -> list[tuple[str, str]]:
+    """The overlapping tag pairs of the shipped fragment — the pairs a
+    single XML hierarchy cannot express (the paper's Figure 1 point)."""
+    document = figure_one_document()
+    pairs: set[tuple[str, str]] = set()
+    for element in document.elements():
+        for other in element.overlapping():
+            pairs.add(tuple(sorted((element.tag, other.tag))))
+    return sorted(pairs)

@@ -1,0 +1,224 @@
+"""Synthetic concurrent-document generator.
+
+The evaluation substrate: deterministic (seeded) manuscripts with a
+controllable number of words, hierarchies, and — crucially — *overlap
+density*: the probability that an annotation-layer element straddles a
+physical line boundary.  Every benchmark experiment (E1–E8) sweeps
+these knobs.
+
+Hierarchy roster (taken in order; ``hierarchies=k`` uses the first k):
+
+1. ``physical``  — page > line (+ a ``pb`` milestone at each page start)
+2. ``linguistic`` — s > w (words always nest in sentences)
+3. ``verse``     — vline with a different period than physical lines,
+                   so vlines routinely cross line boundaries
+4. ``editorial`` — dmg/res ranges; ``overlap_density`` controls how
+                   often they straddle a line boundary
+5. ``analysis``  — name/quote ranges over word groups
+6. ``revision``  — add/del ranges, a second annotation layer
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core.goddag import GoddagBuilder, GoddagDocument
+
+#: Pseudo-Old-English syllables for deterministic text synthesis.
+_SYLLABLES = (
+    "hwa", "et", "gar", "den", "geard", "thæt", "cyn", "ing", "thrym",
+    "ge", "fru", "non", "hu", "tha", "aeth", "el", "ing", "as", "el",
+    "len", "fre", "med", "on", "sw", "ylc", "boc", "raed", "an", "wis",
+)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Knobs of one synthetic manuscript."""
+
+    words: int = 1000
+    hierarchies: int = 4
+    overlap_density: float = 0.15
+    words_per_line: int = 8
+    lines_per_page: int = 20
+    words_per_sentence: int = 12
+    words_per_vline: int = 5
+    annotation_every: int = 25      # one editorial range per ~25 words
+    annotation_span: int = 6        # typical annotated word count
+    seed: int = 2005
+
+    def label(self) -> str:
+        return (
+            f"w{self.words}-h{self.hierarchies}-"
+            f"ov{self.overlap_density:.2f}-s{self.seed}"
+        )
+
+
+ROSTER = ("physical", "linguistic", "verse", "editorial", "analysis", "revision")
+
+
+def synthetic_words(count: int, rng: random.Random) -> list[str]:
+    """Deterministic pseudo-Old-English words."""
+    words = []
+    for _ in range(count):
+        syllables = rng.randint(1, 3)
+        words.append("".join(rng.choice(_SYLLABLES) for _ in range(syllables)))
+    return words
+
+
+@dataclass
+class _Layout:
+    """Word-index geometry shared by all hierarchies of one document."""
+
+    words: list[str]
+    starts: list[int] = field(default_factory=list)
+    ends: list[int] = field(default_factory=list)
+    text: str = ""
+
+    def __post_init__(self) -> None:
+        parts: list[str] = []
+        offset = 0
+        for index, word in enumerate(self.words):
+            if index:
+                parts.append(" ")
+                offset += 1
+            self.starts.append(offset)
+            offset += len(word)
+            self.ends.append(offset)
+            parts.append(word)
+        self.text = "".join(parts)
+
+    def span(self, first_word: int, last_word: int) -> tuple[int, int]:
+        """Character span covering words ``first_word..last_word`` incl."""
+        return self.starts[first_word], self.ends[last_word]
+
+
+def generate(spec: WorkloadSpec) -> GoddagDocument:
+    """Build the synthetic manuscript described by ``spec``."""
+    rng = random.Random(spec.seed)
+    layout = _Layout(synthetic_words(spec.words, rng))
+    builder = GoddagBuilder(layout.text)
+    names = ROSTER[: max(1, min(spec.hierarchies, len(ROSTER)))]
+    for name in names:
+        builder.add_hierarchy(name)
+
+    if "physical" in names:
+        _physical(builder, layout, spec)
+    if "linguistic" in names:
+        _linguistic(builder, layout, spec)
+    if "verse" in names:
+        _verse(builder, layout, spec)
+    if "editorial" in names:
+        _ranges(builder, layout, spec, rng, "editorial", ("dmg", "res"))
+    if "analysis" in names:
+        _ranges(builder, layout, spec, rng, "analysis", ("name", "quote"))
+    if "revision" in names:
+        _ranges(builder, layout, spec, rng, "revision", ("add", "del"))
+    return builder.build(check=False)
+
+
+def generate_sources(spec: WorkloadSpec) -> dict[str, str]:
+    """The distributed-document representation of the synthetic
+    manuscript (what the parsing benchmarks feed to SACX)."""
+    from ..serialize.distributed import export_distributed
+
+    return export_distributed(generate(spec))
+
+
+# -- hierarchy builders ---------------------------------------------------------
+
+def _physical(builder: GoddagBuilder, layout: _Layout, spec: WorkloadSpec) -> None:
+    total = len(layout.words)
+    per_page = spec.words_per_line * spec.lines_per_page
+    page_number = 0
+    for page_start in range(0, total, per_page):
+        page_end = min(page_start + per_page, total) - 1
+        start, end = layout.span(page_start, page_end)
+        page_number += 1
+        builder.add_annotation(
+            "physical", "page", start, end, {"n": str(page_number)}
+        )
+        builder.add_annotation("physical", "pb", start, start)
+        line_number = 0
+        for line_start in range(page_start, page_end + 1, spec.words_per_line):
+            line_end = min(line_start + spec.words_per_line, total) - 1
+            line_number += 1
+            s, e = layout.span(line_start, line_end)
+            builder.add_annotation(
+                "physical", "line", s, e, {"n": str(line_number)}
+            )
+
+
+def _linguistic(builder: GoddagBuilder, layout: _Layout, spec: WorkloadSpec) -> None:
+    total = len(layout.words)
+    for sentence_start in range(0, total, spec.words_per_sentence):
+        sentence_end = min(sentence_start + spec.words_per_sentence, total) - 1
+        s, e = layout.span(sentence_start, sentence_end)
+        builder.add_annotation("linguistic", "s", s, e)
+    for index in range(total):
+        builder.add_annotation(
+            "linguistic", "w", layout.starts[index], layout.ends[index]
+        )
+
+
+def _verse(builder: GoddagBuilder, layout: _Layout, spec: WorkloadSpec) -> None:
+    total = len(layout.words)
+    number = 0
+    for vline_start in range(0, total, spec.words_per_vline):
+        vline_end = min(vline_start + spec.words_per_vline, total) - 1
+        number += 1
+        s, e = layout.span(vline_start, vline_end)
+        builder.add_annotation("verse", "vline", s, e, {"n": str(number)})
+
+
+def _ranges(
+    builder: GoddagBuilder,
+    layout: _Layout,
+    spec: WorkloadSpec,
+    rng: random.Random,
+    hierarchy: str,
+    tags: tuple[str, ...],
+) -> None:
+    """Random annotation ranges with controlled boundary-crossing.
+
+    With probability ``overlap_density`` a range is *placed across* the
+    nearest physical line boundary; otherwise it is aligned to stay
+    inside one line.  Ranges never overlap each other (they share one
+    hierarchy), which the generator guarantees by walking left to right.
+    """
+    total = len(layout.words)
+    wpl = spec.words_per_line
+    cursor = rng.randint(0, spec.annotation_every)
+    while cursor < total:
+        length = max(1, min(rng.randint(1, 2 * spec.annotation_span),
+                            total - cursor))
+        first = cursor
+        last = first + length - 1
+        if rng.random() < spec.overlap_density:
+            # Force the range across the next line boundary.
+            boundary = ((first // wpl) + 1) * wpl
+            if boundary < total:
+                first = max(first, boundary - max(1, length // 2))
+                last = min(total - 1, boundary + max(1, length // 2))
+        else:
+            # Clamp inside the line containing `first`.
+            line_end = ((first // wpl) + 1) * wpl - 1
+            last = min(last, line_end, total - 1)
+        s, e = layout.span(first, last)
+        builder.add_annotation(hierarchy, rng.choice(tags), s, e)
+        cursor = last + 1 + rng.randint(1, spec.annotation_every)
+
+
+def workload_summary(document: GoddagDocument) -> dict[str, object]:
+    """Shape statistics benchmarks print alongside timings."""
+    overlap_pairs = 0
+    for element in document.elements():
+        overlap_pairs += len(element.overlapping())
+    return {
+        "text_chars": document.length,
+        "hierarchies": len(document.hierarchy_names()),
+        "elements": document.element_count(),
+        "leaves": len(document.spans),
+        "overlapping_pairs": overlap_pairs // 2,
+    }

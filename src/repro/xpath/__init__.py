@@ -1,0 +1,62 @@
+"""Extended XPath: the query language of the framework.
+
+XPath 1.0 re-defined over the GODDAG plus the concurrent-markup axes
+(``overlapping``, ``overlapping-left``, ``overlapping-right``,
+``containing``, ``contained``, ``coextensive``), hierarchy-qualified
+name tests (``phys:line``), and span extension functions
+(``hierarchy()``, ``start()``, ``end()``, ``span-length()``,
+``overlap-text()``, ``overlaps()``, ``leaf-count()``).
+"""
+
+from .ast import (
+    Binary,
+    Expr,
+    FilterExpr,
+    FunctionCall,
+    Literal,
+    LocationPath,
+    NodeTest,
+    Number,
+    Step,
+    Union,
+    Unary,
+)
+from .axes import AXES, AttributeNode, DocumentNode, apply_axis, sorted_nodes
+from .engine import ExtendedXPath, register_function, xpath
+from .evaluator import Context, Evaluator
+from .functions import FUNCTIONS, node_name, string_value
+from .parser import ALL_AXES, CLASSICAL_AXES, EXTENSION_AXES, parse_xpath
+from .tokens import Token, tokenize
+
+__all__ = [
+    "ALL_AXES",
+    "AXES",
+    "AttributeNode",
+    "Binary",
+    "CLASSICAL_AXES",
+    "Context",
+    "DocumentNode",
+    "EXTENSION_AXES",
+    "Evaluator",
+    "Expr",
+    "ExtendedXPath",
+    "FUNCTIONS",
+    "FilterExpr",
+    "FunctionCall",
+    "Literal",
+    "LocationPath",
+    "NodeTest",
+    "Number",
+    "Step",
+    "Token",
+    "Union",
+    "Unary",
+    "apply_axis",
+    "node_name",
+    "parse_xpath",
+    "register_function",
+    "sorted_nodes",
+    "string_value",
+    "tokenize",
+    "xpath",
+]

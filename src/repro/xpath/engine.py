@@ -1,0 +1,78 @@
+"""The public Extended XPath facade: compiled, reusable queries."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.goddag import GoddagDocument
+from ..core.node import Node
+from .ast import Expr
+from .evaluator import Evaluator, XPathValue
+from .optimizer import optimize
+from .parser import parse_xpath
+
+
+class ExtendedXPath:
+    """A compiled Extended XPath expression.
+
+    Compile once, evaluate against any document or context node::
+
+        query = ExtendedXPath("//phys:line/overlapping::w")
+        words = query.evaluate(document)
+
+    ``evaluate`` returns whatever the expression denotes — a node list,
+    string, number, or boolean.  ``nodes``/``first``/``exists`` are
+    typed conveniences for the common node-set case.
+    """
+
+    def __init__(self, expression: str) -> None:
+        self.expression = expression
+        self.ast: Expr = optimize(parse_xpath(expression))
+
+    def evaluate(
+        self, document: GoddagDocument, context: Node | None = None,
+        variables: dict | None = None,
+    ) -> XPathValue:
+        """Evaluate against ``document`` (optionally from ``context``,
+        with optional ``$name`` variable bindings)."""
+        return Evaluator(document).evaluate(self.ast, context, variables)
+
+    def nodes(
+        self, document: GoddagDocument, context: Node | None = None,
+        variables: dict | None = None,
+    ) -> list:
+        """Evaluate, requiring a node-set result."""
+        value = self.evaluate(document, context, variables)
+        if not isinstance(value, list):
+            raise TypeError(
+                f"{self.expression!r} evaluated to "
+                f"{type(value).__name__}, not a node-set"
+            )
+        return value
+
+    def first(self, document: GoddagDocument, context: Node | None = None):
+        """First node of the result, or None."""
+        result = self.nodes(document, context)
+        return result[0] if result else None
+
+    def exists(self, document: GoddagDocument, context: Node | None = None) -> bool:
+        """True when the node-set result is non-empty."""
+        return bool(self.nodes(document, context))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExtendedXPath({self.expression!r})"
+
+
+def xpath(
+    document: GoddagDocument, expression: str, context: Node | None = None
+) -> XPathValue:
+    """One-shot evaluation convenience."""
+    return ExtendedXPath(expression).evaluate(document, context)
+
+
+def register_function(name: str, fn: Callable) -> None:
+    """Globally register an extension function ``name`` → ``fn(context,
+    args)``; available to evaluators created afterwards."""
+    from .functions import FUNCTIONS
+
+    FUNCTIONS[name] = fn

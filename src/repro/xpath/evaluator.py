@@ -1,0 +1,350 @@
+"""The Extended XPath evaluation engine.
+
+Implements XPath 1.0 value semantics — node-sets (Python lists in
+document order), numbers (float), strings, booleans — with the axes and
+functions of the concurrent-markup extension.  Comparison and coercion
+rules follow the XPath 1.0 specification (section 3.4): node-set
+comparisons are existential, ``=`` between a node-set and a string
+means "some node whose string-value equals", and so on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.goddag import GoddagDocument
+from ..core.node import Element, Leaf
+from ..errors import XPathEvaluationError
+from .ast import (
+    Binary,
+    Expr,
+    FilterExpr,
+    FunctionCall,
+    Literal,
+    LocationPath,
+    NodeTest,
+    Number,
+    Step,
+    Union,
+    Unary,
+    VariableRef,
+)
+from .axes import (
+    AttributeNode,
+    DocumentNode,
+    XNode,
+    apply_axis,
+    sorted_nodes,
+)
+from .functions import FUNCTIONS, string_value
+
+XPathValue = object  # list[XNode] | float | str | bool
+
+
+@dataclass
+class Context:
+    """Evaluation context: the node, its proximity position, variable
+    bindings, and the XPath 1.0 coercion helpers."""
+
+    node: XNode
+    position: int
+    size: int
+    document: GoddagDocument
+    variables: dict = None
+
+    # -- XPath 1.0 coercions (shared with the function library) ---------------
+
+    def to_boolean(self, value: XPathValue) -> bool:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, float):
+            return value != 0 and not math.isnan(value)
+        if isinstance(value, str):
+            return bool(value)
+        if isinstance(value, list):
+            return bool(value)
+        raise XPathEvaluationError(f"cannot coerce {value!r} to boolean")
+
+    def to_number(self, value: XPathValue) -> float:
+        if isinstance(value, bool):
+            return 1.0 if value else 0.0
+        if isinstance(value, float):
+            return value
+        if isinstance(value, str):
+            try:
+                return float(value.strip())
+            except ValueError:
+                return math.nan
+        if isinstance(value, list):
+            return self.to_number(self.to_string(value))
+        raise XPathEvaluationError(f"cannot coerce {value!r} to number")
+
+    def to_string(self, value: XPathValue) -> str:
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, float):
+            if math.isnan(value):
+                return "NaN"
+            if math.isinf(value):
+                return "Infinity" if value > 0 else "-Infinity"
+            if value == int(value):
+                return str(int(value))
+            return repr(value)
+        if isinstance(value, str):
+            return value
+        if isinstance(value, list):
+            return string_value(value[0]) if value else ""
+        raise XPathEvaluationError(f"cannot coerce {value!r} to string")
+
+
+class Evaluator:
+    """Evaluates parsed Extended XPath expressions over one document."""
+
+    def __init__(self, document: GoddagDocument) -> None:
+        self.document = document
+        self.functions = dict(FUNCTIONS)
+        # Bindings of the evaluation in progress; predicates inherit them.
+        self._variables: dict = {}
+
+    # -- public API ---------------------------------------------------------------
+
+    def evaluate(self, expr: Expr, context_node: XNode | None = None,
+                 variables: dict | None = None) -> XPathValue:
+        """Evaluate ``expr`` with ``context_node`` (default: document
+        node) and optional variable bindings for ``$name`` references."""
+        if context_node is None:
+            context_node = DocumentNode(self.document)
+        self._variables = variables or {}
+        context = Context(context_node, 1, 1, self.document, self._variables)
+        return self._eval(expr, context)
+
+    # -- dispatch -------------------------------------------------------------------
+
+    def _eval(self, expr: Expr, context: Context) -> XPathValue:
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, Number):
+            return expr.value
+        if isinstance(expr, VariableRef):
+            bindings = context.variables or {}
+            if expr.name not in bindings:
+                raise XPathEvaluationError(f"unbound variable ${expr.name}")
+            return bindings[expr.name]
+        if isinstance(expr, Unary):
+            return -context.to_number(self._eval(expr.operand, context))
+        if isinstance(expr, Binary):
+            return self._eval_binary(expr, context)
+        if isinstance(expr, Union):
+            return self._eval_union(expr, context)
+        if isinstance(expr, FunctionCall):
+            return self._eval_function(expr, context)
+        if isinstance(expr, LocationPath):
+            return self._eval_location_path(expr, context)
+        if isinstance(expr, FilterExpr):
+            return self._eval_filter(expr, context)
+        raise XPathEvaluationError(f"cannot evaluate {expr!r}")
+
+    # -- operators ---------------------------------------------------------------------
+
+    def _eval_binary(self, expr: Binary, context: Context) -> XPathValue:
+        op = expr.op
+        if op == "or":
+            return (
+                context.to_boolean(self._eval(expr.left, context))
+                or context.to_boolean(self._eval(expr.right, context))
+            )
+        if op == "and":
+            return (
+                context.to_boolean(self._eval(expr.left, context))
+                and context.to_boolean(self._eval(expr.right, context))
+            )
+        left = self._eval(expr.left, context)
+        right = self._eval(expr.right, context)
+        if op in ("=", "!="):
+            return self._compare_equality(left, right, op, context)
+        if op in ("<", "<=", ">", ">="):
+            return self._compare_relational(left, right, op, context)
+        a, b = context.to_number(left), context.to_number(right)
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        if op == "div":
+            if b == 0:
+                return math.nan if a == 0 else math.copysign(math.inf, a)
+            return a / b
+        if op == "mod":
+            if b == 0:
+                return math.nan
+            return math.fmod(a, b)
+        raise XPathEvaluationError(f"unknown operator {op!r}")
+
+    def _compare_equality(
+        self, left: XPathValue, right: XPathValue, op: str, context: Context
+    ) -> bool:
+        want_equal = op == "="
+
+        def eq(a, b) -> bool:
+            if isinstance(a, bool) or isinstance(b, bool):
+                result = context.to_boolean(a) == context.to_boolean(b)
+            elif isinstance(a, float) or isinstance(b, float):
+                result = context.to_number(a) == context.to_number(b)
+            else:
+                result = context.to_string(a) == context.to_string(b)
+            return result if want_equal else not result
+
+        if isinstance(left, list) and isinstance(right, list):
+            if want_equal:
+                right_values = {string_value(n) for n in right}
+                return any(string_value(n) in right_values for n in left)
+            return any(
+                string_value(a) != string_value(b)
+                for a in left
+                for b in right
+            )
+        if isinstance(left, list):
+            return any(eq(string_value(n), right) for n in left)
+        if isinstance(right, list):
+            return any(eq(left, string_value(n)) for n in right)
+        return eq(left, right)
+
+    def _compare_relational(
+        self, left: XPathValue, right: XPathValue, op: str, context: Context
+    ) -> bool:
+        def cmp(a: float, b: float) -> bool:
+            if op == "<":
+                return a < b
+            if op == "<=":
+                return a <= b
+            if op == ">":
+                return a > b
+            return a >= b
+
+        if isinstance(left, list) and isinstance(right, list):
+            return any(
+                cmp(context.to_number(string_value(a)),
+                    context.to_number(string_value(b)))
+                for a in left for b in right
+            )
+        if isinstance(left, list):
+            rhs = context.to_number(right)
+            return any(
+                cmp(context.to_number(string_value(n)), rhs) for n in left
+            )
+        if isinstance(right, list):
+            lhs = context.to_number(left)
+            return any(
+                cmp(lhs, context.to_number(string_value(n))) for n in right
+            )
+        return cmp(context.to_number(left), context.to_number(right))
+
+    def _eval_union(self, expr: Union, context: Context) -> list[XNode]:
+        left = self._eval(expr.left, context)
+        right = self._eval(expr.right, context)
+        if not isinstance(left, list) or not isinstance(right, list):
+            raise XPathEvaluationError("'|' requires node-sets on both sides")
+        return sorted_nodes([*left, *right])
+
+    def _eval_function(self, expr: FunctionCall, context: Context) -> XPathValue:
+        try:
+            fn = self.functions[expr.name]
+        except KeyError:
+            raise XPathEvaluationError(
+                f"unknown function {expr.name}()"
+            ) from None
+        args = [self._eval(arg, context) for arg in expr.args]
+        return fn(context, args)
+
+    # -- paths ----------------------------------------------------------------------------
+
+    def _eval_location_path(
+        self, expr: LocationPath, context: Context
+    ) -> list[XNode]:
+        if expr.absolute:
+            start: list[XNode] = [DocumentNode(self.document)]
+        else:
+            start = [context.node]
+        return self._eval_steps(expr.steps, start)
+
+    def _eval_filter(self, expr: FilterExpr, context: Context) -> XPathValue:
+        value = self._eval(expr.primary, context)
+        if expr.predicates or expr.steps:
+            if not isinstance(value, list):
+                raise XPathEvaluationError(
+                    "predicates/steps require a node-set"
+                )
+            nodes = sorted_nodes(value)
+            for predicate in expr.predicates:
+                nodes = self._filter_nodes(nodes, predicate)
+            if expr.steps:
+                nodes = self._eval_steps(expr.steps, nodes)
+            return nodes
+        return value
+
+    def _eval_steps(
+        self, steps: Iterable[Step], start: list[XNode]
+    ) -> list[XNode]:
+        current = start
+        for step in steps:
+            gathered: list[XNode] = []
+            for node in current:
+                gathered.extend(self._eval_step(step, node))
+            current = sorted_nodes(gathered)
+        return current
+
+    def _eval_step(self, step: Step, node: XNode) -> list[XNode]:
+        # Axis implementations already order their result by proximity
+        # (reverse axes nearest-first), so predicate positions are just
+        # 1-based indexes into that order.  A name test can only match
+        # elements, which lets prunable axes skip leaf materialization.
+        elements_only = step.test.kind == "name"
+        candidates, _reverse = apply_axis(
+            step.axis, node, self.document, elements_only
+        )
+        selected = [
+            candidate
+            for candidate in candidates
+            if _test_matches(step.test, candidate)
+        ]
+        for predicate in step.predicates:
+            selected = self._filter_nodes(selected, predicate)
+        return selected
+
+    def _filter_nodes(self, nodes: list[XNode], predicate: Expr) -> list[XNode]:
+        """Apply one predicate with correct proximity positions."""
+        size = len(nodes)
+        kept: list[XNode] = []
+        for index, node in enumerate(nodes):
+            context = Context(node, index + 1, size, self.document,
+                              self._variables)
+            value = self._eval(predicate, context)
+            if isinstance(value, float):
+                if value == index + 1:
+                    kept.append(node)
+            elif context.to_boolean(value):
+                kept.append(node)
+        return kept
+
+
+def _test_matches(test: NodeTest, node: XNode) -> bool:
+    if test.kind == "node":
+        return True
+    if test.kind == "text":
+        return isinstance(node, Leaf)
+    # name test
+    if isinstance(node, AttributeNode):
+        if test.hierarchy and (
+            node.owner.is_root or node.owner.hierarchy != test.hierarchy
+        ):
+            return False
+        return test.name == "*" or node.name == test.name
+    if isinstance(node, Element):
+        if test.hierarchy:
+            if node.is_root or node.hierarchy != test.hierarchy:
+                return False
+        return test.name == "*" or node.tag == test.name
+    return False

@@ -1,0 +1,110 @@
+"""Compile-time rewrites of Extended XPath ASTs.
+
+One classic rewrite, applied when provably safe:
+
+``descendant-or-self::node()/child::T``  →  ``descendant::T``
+
+(the expansion of ``//T``).  The naive expansion visits every node of
+the document *and* asks each for its children; the fused form runs one
+document-order stream.  The rewrite changes predicate *context sizes*,
+so it is applied only when the child step carries no positional
+predicates (no bare numbers, no ``position()``/``last()`` calls) —
+the case where XPath 1.0 semantics provably coincide.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    Binary,
+    Expr,
+    FilterExpr,
+    FunctionCall,
+    LocationPath,
+    Number,
+    Step,
+    Union,
+    Unary,
+)
+
+_POSITIONAL_FUNCTIONS = frozenset({"position", "last"})
+
+
+def uses_position(expr: Expr) -> bool:
+    """True when ``expr`` may depend on the proximity position."""
+    if isinstance(expr, Number):
+        return False  # handled at the predicate level, see below
+    if isinstance(expr, FunctionCall):
+        if expr.name in _POSITIONAL_FUNCTIONS:
+            return True
+        return any(uses_position(arg) for arg in expr.args)
+    if isinstance(expr, Binary):
+        return uses_position(expr.left) or uses_position(expr.right)
+    if isinstance(expr, Unary):
+        return uses_position(expr.operand)
+    if isinstance(expr, Union):
+        return uses_position(expr.left) or uses_position(expr.right)
+    if isinstance(expr, FilterExpr):
+        # Positions inside a nested filter have their own context.
+        return False
+    if isinstance(expr, LocationPath):
+        return False  # ditto: steps get fresh contexts
+    return False
+
+
+def _step_is_positional(step: Step) -> bool:
+    for predicate in step.predicates:
+        if isinstance(predicate, Number):
+            return True  # [2] is positional by definition
+        if uses_position(predicate):
+            return True
+    return False
+
+
+def _fuse_steps(steps: tuple[Step, ...]) -> tuple[Step, ...]:
+    out: list[Step] = []
+    i = 0
+    while i < len(steps):
+        step = steps[i]
+        nxt = steps[i + 1] if i + 1 < len(steps) else None
+        if (
+            nxt is not None
+            and step.axis == "descendant-or-self"
+            and step.test.kind == "node"
+            and not step.predicates
+            and nxt.axis == "child"
+            and not _step_is_positional(nxt)
+        ):
+            out.append(Step("descendant", nxt.test, nxt.predicates))
+            i += 2
+            continue
+        out.append(step)
+        i += 1
+    return tuple(out)
+
+
+def optimize(expr: Expr) -> Expr:
+    """Rewrite ``expr`` (recursively) into an equivalent, faster form."""
+    if isinstance(expr, LocationPath):
+        return LocationPath(expr.absolute, _fuse_steps(
+            tuple(Step(s.axis, s.test, tuple(optimize(p) for p in s.predicates))
+                  for s in expr.steps)
+        ))
+    if isinstance(expr, FilterExpr):
+        return FilterExpr(
+            optimize(expr.primary),
+            tuple(optimize(p) for p in expr.predicates),
+            _fuse_steps(
+                tuple(Step(s.axis, s.test,
+                           tuple(optimize(p) for p in s.predicates))
+                      for s in expr.steps)
+            ),
+        )
+    if isinstance(expr, Binary):
+        return Binary(expr.op, optimize(expr.left), optimize(expr.right))
+    if isinstance(expr, Unary):
+        return Unary(optimize(expr.operand))
+    if isinstance(expr, Union):
+        return Union(optimize(expr.left), optimize(expr.right))
+    if isinstance(expr, FunctionCall):
+        return FunctionCall(expr.name, tuple(optimize(a) for a in expr.args))
+    return expr

@@ -1,0 +1,327 @@
+"""Recursive-descent parser for Extended XPath.
+
+The grammar is XPath 1.0 (including ``$variable`` references, minus
+namespace nodes) extended with the concurrent-markup axes and
+hierarchy-qualified name tests (``phys:line`` reads "elements *line*
+of hierarchy *phys*").
+"""
+
+from __future__ import annotations
+
+from ..errors import XPathSyntaxError
+from .ast import (
+    Binary,
+    Expr,
+    FilterExpr,
+    FunctionCall,
+    Literal,
+    LocationPath,
+    NodeTest,
+    Number,
+    Step,
+    Union,
+    Unary,
+    VariableRef,
+)
+from .tokens import (
+    AT,
+    AXIS,
+    COLON,
+    COMMA,
+    DDOT,
+    DOLLAR,
+    DOT,
+    DSLASH,
+    EOF,
+    LBRACKET,
+    LPAREN,
+    NAME,
+    NUMBER,
+    OPERATOR,
+    RBRACKET,
+    RPAREN,
+    SLASH,
+    STRING,
+    Token,
+    tokenize,
+)
+
+#: Classical XPath axes, re-defined over the GODDAG.
+CLASSICAL_AXES = frozenset({
+    "child", "descendant", "descendant-or-self", "self",
+    "parent", "ancestor", "ancestor-or-self",
+    "following", "preceding", "following-sibling", "preceding-sibling",
+    "attribute",
+})
+
+#: The concurrent-markup extension axes of the framework.
+EXTENSION_AXES = frozenset({
+    "overlapping", "overlapping-left", "overlapping-right",
+    "containing", "contained", "coextensive",
+})
+
+ALL_AXES = CLASSICAL_AXES | EXTENSION_AXES
+
+#: The implicit //: descendant-or-self::node()
+_DOS_STEP = Step("descendant-or-self", NodeTest("node"))
+
+
+class _Parser:
+    def __init__(self, expression: str) -> None:
+        self.expression = expression
+        self.tokens = tokenize(expression)
+        self.index = 0
+
+    # -- cursor helpers -----------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def error(self, message: str) -> XPathSyntaxError:
+        token = self.current
+        return XPathSyntaxError(
+            f"{message} (at {token.value!r}, position {token.position})",
+            position=token.position, expression=self.expression,
+        )
+
+    def advance(self) -> Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def accept(self, kind: str, value: str | None = None) -> Token | None:
+        token = self.current
+        if token.kind == kind and (value is None or token.value == value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        token = self.accept(kind, value)
+        if token is None:
+            raise self.error(f"expected {value or kind}")
+        return token
+
+    # -- expression grammar -----------------------------------------------------------
+
+    def parse(self) -> Expr:
+        expr = self.parse_or()
+        if self.current.kind != EOF:
+            raise self.error("unexpected trailing input")
+        return expr
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.accept(NAME, "or"):
+            left = Binary("or", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_equality()
+        while self.accept(NAME, "and"):
+            left = Binary("and", left, self.parse_equality())
+        return left
+
+    def parse_equality(self) -> Expr:
+        left = self.parse_relational()
+        while True:
+            if self.accept(OPERATOR, "="):
+                left = Binary("=", left, self.parse_relational())
+            elif self.accept(OPERATOR, "!="):
+                left = Binary("!=", left, self.parse_relational())
+            else:
+                return left
+
+    def parse_relational(self) -> Expr:
+        left = self.parse_additive()
+        while True:
+            matched = None
+            for op in ("<=", ">=", "<", ">"):
+                if self.accept(OPERATOR, op):
+                    matched = op
+                    break
+            if matched is None:
+                return left
+            left = Binary(matched, left, self.parse_additive())
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while True:
+            if self.accept(OPERATOR, "+"):
+                left = Binary("+", left, self.parse_multiplicative())
+            elif self.accept(OPERATOR, "-"):
+                left = Binary("-", left, self.parse_multiplicative())
+            else:
+                return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_unary()
+        while True:
+            if self.accept(OPERATOR, "*"):
+                left = Binary("*", left, self.parse_unary())
+            elif self.current.kind == NAME and self.current.value in ("div", "mod"):
+                op = self.advance().value
+                left = Binary(op, left, self.parse_unary())
+            else:
+                return left
+
+    def parse_unary(self) -> Expr:
+        if self.accept(OPERATOR, "-"):
+            return Unary(self.parse_unary())
+        return self.parse_union()
+
+    def parse_union(self) -> Expr:
+        left = self.parse_path()
+        while self.accept(OPERATOR, "|"):
+            left = Union(left, self.parse_path())
+        return left
+
+    # -- paths --------------------------------------------------------------------------
+
+    def parse_path(self) -> Expr:
+        token = self.current
+        if token.kind in (SLASH, DSLASH):
+            return self.parse_location_path()
+        if token.kind in (DOT, DDOT, AT):
+            return self.parse_location_path()
+        if token.kind == NAME and not self._name_is_function_call():
+            return self.parse_location_path()
+        if token.kind == OPERATOR and token.value == "*":
+            return self.parse_location_path()
+        # Primary expression, possibly filtered and extended with a path.
+        primary = self.parse_primary()
+        predicates = []
+        while self.current.kind == LBRACKET:
+            predicates.append(self.parse_predicate())
+        steps: list[Step] = []
+        while True:
+            if self.accept(DSLASH):
+                steps.append(_DOS_STEP)
+                steps.append(self.parse_step())
+            elif self.accept(SLASH):
+                steps.append(self.parse_step())
+            else:
+                break
+        if not predicates and not steps:
+            return primary
+        return FilterExpr(primary, tuple(predicates), tuple(steps))
+
+    def _name_is_function_call(self) -> bool:
+        """A NAME followed by '(' is a function call — unless it is a
+        node-type test (text()/node()) or an axis name before '::'."""
+        token = self.current
+        nxt = self.tokens[self.index + 1]
+        if nxt.kind == AXIS:
+            return False
+        if nxt.kind != LPAREN:
+            return False
+        return token.value not in ("text", "node")
+
+    def parse_location_path(self) -> LocationPath:
+        steps: list[Step] = []
+        absolute = False
+        if self.accept(DSLASH):
+            absolute = True
+            steps.append(_DOS_STEP)
+        elif self.accept(SLASH):
+            absolute = True
+            if self._at_step_start():
+                steps.append(self.parse_step())
+            return self._continue_path(absolute, steps)
+        steps.append(self.parse_step())
+        return self._continue_path(absolute, steps)
+
+    def _continue_path(self, absolute: bool, steps: list[Step]) -> LocationPath:
+        while True:
+            if self.accept(DSLASH):
+                steps.append(_DOS_STEP)
+                steps.append(self.parse_step())
+            elif self.accept(SLASH):
+                steps.append(self.parse_step())
+            else:
+                return LocationPath(absolute, tuple(steps))
+
+    def _at_step_start(self) -> bool:
+        token = self.current
+        return (
+            token.kind in (NAME, AT, DOT, DDOT)
+            or (token.kind == OPERATOR and token.value == "*")
+        )
+
+    def parse_step(self) -> Step:
+        if self.accept(DOT):
+            return Step("self", NodeTest("node"))
+        if self.accept(DDOT):
+            return Step("parent", NodeTest("node"))
+        axis = "child"
+        if self.accept(AT):
+            axis = "attribute"
+        elif self.current.kind == NAME and self.tokens[self.index + 1].kind == AXIS:
+            axis = self.advance().value
+            self.expect(AXIS)
+            if axis not in ALL_AXES:
+                raise self.error(f"unknown axis {axis!r}")
+        test = self.parse_node_test()
+        predicates = []
+        while self.current.kind == LBRACKET:
+            predicates.append(self.parse_predicate())
+        return Step(axis, test, tuple(predicates))
+
+    def parse_node_test(self) -> NodeTest:
+        if self.accept(OPERATOR, "*"):
+            return NodeTest("name", "*")
+        name_token = self.expect(NAME)
+        # text() / node() type tests
+        if name_token.value in ("text", "node") and self.current.kind == LPAREN:
+            self.advance()
+            self.expect(RPAREN)
+            return NodeTest(name_token.value)
+        # hierarchy-qualified name: h:tag or h:*
+        if self.current.kind == COLON:
+            self.advance()
+            if self.accept(OPERATOR, "*"):
+                return NodeTest("name", "*", hierarchy=name_token.value)
+            local = self.expect(NAME)
+            return NodeTest("name", local.value, hierarchy=name_token.value)
+        return NodeTest("name", name_token.value)
+
+    def parse_predicate(self) -> Expr:
+        self.expect(LBRACKET)
+        expr = self.parse_or()
+        self.expect(RBRACKET)
+        return expr
+
+    # -- primaries -----------------------------------------------------------------------
+
+    def parse_primary(self) -> Expr:
+        token = self.current
+        if token.kind == LPAREN:
+            self.advance()
+            expr = self.parse_or()
+            self.expect(RPAREN)
+            return expr
+        if token.kind == STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.kind == NUMBER:
+            self.advance()
+            return Number(float(token.value))
+        if token.kind == DOLLAR:
+            self.advance()
+            return VariableRef(self.expect(NAME).value)
+        if token.kind == NAME:
+            name = self.advance().value
+            self.expect(LPAREN)
+            args: list[Expr] = []
+            if self.current.kind != RPAREN:
+                args.append(self.parse_or())
+                while self.accept(COMMA):
+                    args.append(self.parse_or())
+            self.expect(RPAREN)
+            return FunctionCall(name, tuple(args))
+        raise self.error("expected an expression")
+
+
+def parse_xpath(expression: str) -> Expr:
+    """Parse an Extended XPath expression into an AST."""
+    return _Parser(expression).parse()

@@ -1,0 +1,124 @@
+"""Lexer for Extended XPath expressions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import XPathSyntaxError
+
+#: Token kinds.
+NAME = "name"
+NUMBER = "number"
+STRING = "string"
+OPERATOR = "operator"       # = != < <= > >= + - | * and or div mod
+SLASH = "slash"
+DSLASH = "dslash"
+LBRACKET = "lbracket"
+RBRACKET = "rbracket"
+LPAREN = "lparen"
+RPAREN = "rparen"
+AT = "at"
+COMMA = "comma"
+DOT = "dot"
+DDOT = "ddot"
+AXIS = "axis"               # '::'
+COLON = "colon"
+DOLLAR = "dollar"
+EOF = "eof"
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+_TWO_CHAR = {"//": DSLASH, "::": AXIS, "!=": OPERATOR, "<=": OPERATOR, ">=": OPERATOR}
+_ONE_CHAR = {
+    "/": SLASH, "[": LBRACKET, "]": RBRACKET, "(": LPAREN, ")": RPAREN,
+    "@": AT, ",": COMMA, ":": COLON, "$": DOLLAR,
+    "=": OPERATOR, "<": OPERATOR, ">": OPERATOR,
+    "+": OPERATOR, "-": OPERATOR, "|": OPERATOR, "*": OPERATOR,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}@{self.position})"
+
+
+def tokenize(expression: str) -> list[Token]:
+    """Tokenize an Extended XPath expression.
+
+    The lexer is whitespace-insensitive and context-free; operator-vs-
+    name-test ambiguities (``*``, ``and``, ``div``...) are resolved by
+    the parser, as XPath 1.0 specifies.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(expression)
+    while i < n:
+        ch = expression[i]
+        if ch.isspace():
+            i += 1
+            continue
+        two = expression[i : i + 2]
+        if two in _TWO_CHAR:
+            tokens.append(Token(_TWO_CHAR[two], two, i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR:
+            tokens.append(Token(_ONE_CHAR[ch], ch, i))
+            i += 1
+            continue
+        if ch == ".":
+            # '.' starts '..', a context reference, or a number.
+            if expression[i : i + 2] == "..":
+                tokens.append(Token(DDOT, "..", i))
+                i += 2
+                continue
+            if i + 1 < n and expression[i + 1].isdigit():
+                i = _number(expression, i, tokens)
+                continue
+            tokens.append(Token(DOT, ".", i))
+            i += 1
+            continue
+        if ch in ("'", '"'):
+            end = expression.find(ch, i + 1)
+            if end == -1:
+                raise XPathSyntaxError(
+                    f"unterminated string literal at {i}",
+                    position=i, expression=expression,
+                )
+            tokens.append(Token(STRING, expression[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit():
+            i = _number(expression, i, tokens)
+            continue
+        if ch in _NAME_START:
+            start = i
+            while i < n and expression[i] in _NAME_CHARS:
+                i += 1
+            tokens.append(Token(NAME, expression[start:i], start))
+            continue
+        raise XPathSyntaxError(
+            f"unexpected character {ch!r} at {i}",
+            position=i, expression=expression,
+        )
+    tokens.append(Token(EOF, "", n))
+    return tokens
+
+
+def _number(expression: str, i: int, tokens: list[Token]) -> int:
+    start = i
+    n = len(expression)
+    while i < n and expression[i].isdigit():
+        i += 1
+    if i < n and expression[i] == ".":
+        i += 1
+        while i < n and expression[i].isdigit():
+            i += 1
+    tokens.append(Token(NUMBER, expression[start:i], start))
+    return i

@@ -1,0 +1,264 @@
+"""FLWOR queries over Extended XPath — the paper's XQuery extension.
+
+The demo paper notes *"an XQuery extension and implementation is under
+development"*; this module provides that layer: ``for``/``let``/
+``where``/``order by``/``return`` over Extended XPath expressions
+(including the concurrent-markup axes and ``$variable`` references).
+
+Example — which words does each damage region cut across, per line::
+
+    for $d in //dmg
+    for $w in $d/overlapping::w
+    where span-length($w) > 3
+    order by start($w)
+    return concat(string($w), ' @', hierarchy($w))
+
+Scope: XQuery's full data model (element constructors, sequences of
+mixed types, modules) is out; the subset here covers the query shapes
+the paper's demonstration runs — cross-hierarchy joins and reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .core.goddag import GoddagDocument
+from .errors import XPathSyntaxError
+from .xpath.ast import Expr
+from .xpath.evaluator import Evaluator
+from .xpath.optimizer import optimize
+from .xpath.parser import parse_xpath
+from .xpath.tokens import DOLLAR, EOF, LBRACKET, LPAREN, NAME, RBRACKET, RPAREN, tokenize
+
+#: Clause-introducing keywords (recognized at bracket depth 0 only).
+_KEYWORDS = ("for", "let", "where", "order", "return", "stable")
+
+
+@dataclass(frozen=True)
+class ForClause:
+    variable: str
+    source: Expr
+
+
+@dataclass(frozen=True)
+class LetClause:
+    variable: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class WhereClause:
+    condition: Expr
+
+
+@dataclass(frozen=True)
+class OrderClause:
+    key: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class FlworQuery:
+    """A parsed FLWOR query."""
+
+    clauses: tuple
+    returns: Expr
+
+
+def _clause_slices(source: str) -> list[tuple[str, str]]:
+    """Split the query into (keyword, body-text) pairs.
+
+    Keywords are recognized only at parenthesis/bracket depth zero, so
+    a ``for`` inside a predicate never starts a clause.
+    """
+    tokens = tokenize(source)
+    boundaries: list[tuple[str, int, int]] = []  # (keyword, kw_pos, body_start)
+    depth = 0
+    index = 0
+    while tokens[index].kind != EOF:
+        token = tokens[index]
+        if token.kind in (LPAREN, LBRACKET):
+            depth += 1
+        elif token.kind in (RPAREN, RBRACKET):
+            depth -= 1
+        elif (
+            depth == 0
+            and token.kind == NAME
+            and token.value in _KEYWORDS
+            # not preceded by '$' (a variable named 'for' is the user's
+            # own problem, but do the cheap check anyway)
+            and (index == 0 or tokens[index - 1].kind != DOLLAR)
+        ):
+            keyword = token.value
+            body_start = tokens[index + 1].position if tokens[index + 1].kind != EOF \
+                else len(source)
+            if keyword == "order":
+                nxt = tokens[index + 1]
+                if not (nxt.kind == NAME and nxt.value == "by"):
+                    raise XPathSyntaxError(
+                        "expected 'by' after 'order'", position=token.position,
+                        expression=source,
+                    )
+                body_start = tokens[index + 2].position if tokens[index + 2].kind != EOF \
+                    else len(source)
+                index += 1
+            elif keyword == "stable":
+                index += 1
+                continue
+            boundaries.append((keyword, token.position, body_start))
+        index += 1
+    if not boundaries:
+        raise XPathSyntaxError("a FLWOR query needs clauses", expression=source)
+    slices: list[tuple[str, str]] = []
+    for i, (keyword, _, body_start) in enumerate(boundaries):
+        body_end = boundaries[i + 1][1] if i + 1 < len(boundaries) else len(source)
+        slices.append((keyword, source[body_start:body_end].strip()))
+    return slices
+
+
+def _parse_for_body(body: str) -> list[ForClause]:
+    """``$x in expr, $y in expr ...`` — split on top-level commas."""
+    clauses: list[ForClause] = []
+    for part in _split_top_level_commas(body):
+        part = part.strip()
+        if not part.startswith("$"):
+            raise XPathSyntaxError(f"for-clause must bind a $variable: {part!r}")
+        name, _, rest = part[1:].partition(" ")
+        rest = rest.strip()
+        if not rest.startswith("in ") and not rest.startswith("in\n"):
+            raise XPathSyntaxError(f"expected 'in' in for-clause: {part!r}")
+        clauses.append(
+            ForClause(name.strip(), optimize(parse_xpath(rest[2:].strip())))
+        )
+    return clauses
+
+
+def _parse_let_body(body: str) -> LetClause:
+    body = body.strip()
+    if not body.startswith("$"):
+        raise XPathSyntaxError(f"let-clause must bind a $variable: {body!r}")
+    name, sep, rest = body[1:].partition(":=")
+    if not sep:
+        raise XPathSyntaxError(f"expected ':=' in let-clause: {body!r}")
+    return LetClause(name.strip(), optimize(parse_xpath(rest.strip())))
+
+
+def _split_top_level_commas(body: str) -> Iterator[str]:
+    depth = 0
+    start = 0
+    for i, ch in enumerate(body):
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            yield body[start:i]
+            start = i + 1
+    yield body[start:]
+
+
+def parse_xquery(source: str) -> FlworQuery:
+    """Parse a FLWOR query string."""
+    clauses: list = []
+    returns: Expr | None = None
+    for keyword, body in _clause_slices(source):
+        if returns is not None:
+            raise XPathSyntaxError("clauses after 'return'", expression=source)
+        if keyword == "for":
+            clauses.extend(_parse_for_body(body))
+        elif keyword == "let":
+            clauses.append(_parse_let_body(body))
+        elif keyword == "where":
+            clauses.append(WhereClause(optimize(parse_xpath(body))))
+        elif keyword == "order":
+            descending = False
+            stripped = body.strip()
+            for suffix in ("descending", "ascending"):
+                if stripped.endswith(suffix):
+                    descending = suffix == "descending"
+                    stripped = stripped[: -len(suffix)].strip()
+            clauses.append(
+                OrderClause(optimize(parse_xpath(stripped)), descending)
+            )
+        elif keyword == "return":
+            returns = optimize(parse_xpath(body))
+    if returns is None:
+        raise XPathSyntaxError("missing 'return' clause", expression=source)
+    if not any(isinstance(c, (ForClause, LetClause)) for c in clauses):
+        raise XPathSyntaxError("a FLWOR query needs a 'for' or 'let' clause")
+    return FlworQuery(tuple(clauses), returns)
+
+
+class XQuery:
+    """A compiled FLWOR query, reusable across documents."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.query = parse_xquery(source)
+
+    def evaluate(self, document: GoddagDocument) -> list:
+        """Run the query; returns the list of `return`-clause values.
+
+        A node-valued binding is presented to downstream expressions as
+        a singleton node-set, so ``$x/child::w`` works as expected.
+        Per FLWOR semantics, ``order by`` sorts the *whole* tuple
+        stream before the return clause runs.
+        """
+        from .xpath.evaluator import Context
+
+        evaluator = Evaluator(document)
+        flow = [c for c in self.query.clauses if not isinstance(c, OrderClause)]
+        orders = [c for c in self.query.clauses if isinstance(c, OrderClause)]
+        tuples: list[dict] = []
+
+        def run(clause_index: int, bindings: dict) -> None:
+            if clause_index == len(flow):
+                tuples.append(dict(bindings))
+                return
+            clause = flow[clause_index]
+            if isinstance(clause, ForClause):
+                value = evaluator.evaluate(clause.source, None, bindings)
+                items = value if isinstance(value, list) else [value]
+                for item in items:
+                    inner = dict(bindings)
+                    inner[clause.variable] = (
+                        [item] if not isinstance(item, (str, float, bool))
+                        else item
+                    )
+                    run(clause_index + 1, inner)
+            elif isinstance(clause, LetClause):
+                inner = dict(bindings)
+                inner[clause.variable] = evaluator.evaluate(
+                    clause.value, None, bindings
+                )
+                run(clause_index + 1, inner)
+            else:  # WhereClause
+                value = evaluator.evaluate(clause.condition, None, bindings)
+                if Context(None, 1, 1, document, bindings).to_boolean(value):
+                    run(clause_index + 1, bindings)
+
+        run(0, {})
+
+        coerce = Context(None, 1, 1, document, {})
+        for order in reversed(orders):  # stable sorts compose left-to-right
+
+            def sort_key(env, _order=order):
+                value = evaluator.evaluate(_order.key, None, env)
+                if isinstance(value, list):
+                    value = coerce.to_string(value)
+                return (isinstance(value, str), value)
+
+            tuples.sort(key=sort_key, reverse=order.descending)
+
+        return [
+            evaluator.evaluate(self.query.returns, None, env) for env in tuples
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"XQuery({self.source!r})"
+
+
+def xquery(document: GoddagDocument, source: str) -> list:
+    """One-shot FLWOR evaluation."""
+    return XQuery(source).evaluate(document)

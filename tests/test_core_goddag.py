@@ -1,0 +1,338 @@
+"""Unit tests for the GODDAG document, builder, and mutation primitives."""
+
+import pytest
+
+from repro import GoddagBuilder, GoddagDocument
+from repro.errors import HierarchyError, MarkupConflictError, SpanError
+
+TEXT = "sing a song of sixpence"
+
+
+def two_hierarchy_doc() -> GoddagDocument:
+    builder = GoddagBuilder(TEXT)
+    builder.add_hierarchy("physical")
+    builder.add_hierarchy("linguistic")
+    builder.add_annotation("physical", "line", 0, 11)
+    builder.add_annotation("physical", "line", 12, 23)
+    builder.add_annotation("linguistic", "phrase", 5, 23)
+    builder.add_annotation("linguistic", "w", 5, 6)
+    builder.add_annotation("linguistic", "w", 7, 11)
+    return builder.build()
+
+
+class TestBuilderAnnotationStyle:
+    def test_builds_and_passes_invariants(self):
+        doc = two_hierarchy_doc()
+        assert doc.check_invariants() == []
+        assert doc.element_count() == 5
+        assert doc.element_count("physical") == 2
+
+    def test_nesting_derived_from_spans(self):
+        doc = two_hierarchy_doc()
+        words = list(doc.elements(tag="w"))
+        assert all(w.parent.tag == "phrase" for w in words)
+
+    def test_same_hierarchy_overlap_rejected(self):
+        builder = GoddagBuilder(TEXT)
+        builder.add_hierarchy("h")
+        builder.add_annotation("h", "a", 0, 10)
+        builder.add_annotation("h", "b", 5, 15)
+        with pytest.raises(MarkupConflictError):
+            builder.build()
+
+    def test_cross_hierarchy_overlap_allowed(self):
+        doc = two_hierarchy_doc()
+        phrase = next(doc.elements(tag="phrase"))
+        assert [e.tag for e in phrase.overlapping()] == ["line"]
+
+    def test_equal_spans_nest_in_sequence_order(self):
+        builder = GoddagBuilder("abcdef")
+        builder.add_hierarchy("h")
+        builder.add_annotation("h", "outer", 1, 5)
+        builder.add_annotation("h", "inner", 1, 5)
+        doc = builder.build()
+        inner = next(doc.elements(tag="inner"))
+        assert inner.parent.tag == "outer"
+
+    def test_unknown_hierarchy_rejected(self):
+        builder = GoddagBuilder(TEXT)
+        with pytest.raises(HierarchyError):
+            builder.add_annotation("nope", "a", 0, 3)
+
+    def test_annotation_out_of_range(self):
+        builder = GoddagBuilder("abc")
+        builder.add_hierarchy("h")
+        with pytest.raises(SpanError):
+            builder.add_annotation("h", "a", 0, 4)
+
+
+class TestBuilderEventStyle:
+    def test_event_nesting_preserved(self):
+        builder = GoddagBuilder("hello world")
+        builder.add_hierarchy("h")
+        builder.start_element("h", "s", 0)
+        builder.start_element("h", "w", 0)
+        builder.end_element("h", "w", 5)
+        builder.empty_element("h", "brk", 5)
+        builder.start_element("h", "w", 6)
+        builder.end_element("h", "w", 11)
+        builder.end_element("h", "s", 11)
+        doc = builder.build()
+        sentence = next(doc.elements(tag="s"))
+        tags = [c.tag for c in sentence.element_children]
+        assert tags == ["w", "brk", "w"]
+
+    def test_mismatched_end_tag(self):
+        builder = GoddagBuilder("hello")
+        builder.add_hierarchy("h")
+        builder.start_element("h", "a", 0)
+        with pytest.raises(MarkupConflictError):
+            builder.end_element("h", "b", 5)
+
+    def test_unclosed_element_detected_at_build(self):
+        builder = GoddagBuilder("hello")
+        builder.add_hierarchy("h")
+        builder.start_element("h", "a", 0)
+        with pytest.raises(MarkupConflictError):
+            builder.build()
+
+    def test_end_before_start_rejected(self):
+        builder = GoddagBuilder("hello")
+        builder.add_hierarchy("h")
+        builder.start_element("h", "a", 3)
+        with pytest.raises(SpanError):
+            builder.end_element("h", "a", 1)
+
+    def test_stray_end_tag(self):
+        builder = GoddagBuilder("hello")
+        builder.add_hierarchy("h")
+        with pytest.raises(MarkupConflictError):
+            builder.end_element("h", "a", 2)
+
+
+class TestLeaves:
+    def test_leaves_partition_text(self):
+        doc = two_hierarchy_doc()
+        assert "".join(leaf.text for leaf in doc.leaves()) == TEXT
+
+    def test_leaf_boundaries_are_markup_positions(self):
+        doc = two_hierarchy_doc()
+        expected = {0, 11, 12, 23, 5, 6, 7}
+        assert set(doc.spans.boundaries) == expected | {0, len(TEXT)}
+
+    def test_leaf_parents_innermost_per_hierarchy(self):
+        doc = two_hierarchy_doc()
+        parents = doc.leaf_at(5).parents()
+        assert sorted(p.tag for p in parents) == ["line", "w"]
+
+    def test_uncovered_leaf_parent_is_root_once(self):
+        builder = GoddagBuilder("abcdef")
+        builder.add_hierarchy("h1")
+        builder.add_hierarchy("h2")
+        builder.add_annotation("h1", "x", 0, 2)
+        doc = builder.build()
+        parents = doc.leaf_at(3).parents()
+        assert len(parents) == 1
+        assert parents[0].is_root
+
+    def test_leaf_navigation(self):
+        doc = two_hierarchy_doc()
+        first = doc.leaf(0)
+        assert first.previous_leaf() is None
+        walk = [first.text]
+        leaf = first
+        while (leaf := leaf.next_leaf()) is not None:
+            walk.append(leaf.text)
+        assert "".join(walk) == TEXT
+
+
+class TestChildNodes:
+    def test_gap_leaves_interleaved(self):
+        doc = two_hierarchy_doc()
+        phrase = next(doc.elements(tag="phrase"))
+        kinds = [
+            node.tag if node.is_element else node.text
+            for node in phrase.child_nodes()
+        ]
+        assert kinds == ["w", " ", "w", " ", "of sixpence"]
+
+    def test_root_children_merge_hierarchies(self):
+        doc = two_hierarchy_doc()
+        children = doc.root.child_nodes()
+        tags = [n.tag if n.is_element else "#text" for n in children]
+        # The space at [11,12) is covered by phrase, so no root-level gap.
+        assert tags == ["line", "phrase", "line"]
+
+    def test_root_gap_leaves_uncovered_by_all_hierarchies(self):
+        builder = GoddagBuilder("aa bb cc")
+        builder.add_hierarchy("h1")
+        builder.add_hierarchy("h2")
+        builder.add_annotation("h1", "x", 0, 2)
+        builder.add_annotation("h2", "y", 6, 8)
+        doc = builder.build()
+        children = doc.root.child_nodes()
+        kinds = [n.tag if n.is_element else n.text for n in children]
+        assert kinds == ["x", " bb ", "y"]
+
+    def test_text_of_element(self):
+        doc = two_hierarchy_doc()
+        line_two = list(doc.elements(tag="line"))[1]
+        assert line_two.text == "of sixpence"
+
+
+class TestDynamicInsert:
+    def test_insert_adopts_contained_children(self):
+        doc = two_hierarchy_doc()
+        clause = doc.insert_element("linguistic", "clause", 5, 11)
+        assert [c.tag for c in clause.element_children] == ["w", "w"]
+        assert clause.parent.tag == "phrase"
+        assert doc.check_invariants() == []
+
+    def test_insert_conflict_same_hierarchy(self):
+        doc = two_hierarchy_doc()
+        with pytest.raises(MarkupConflictError):
+            doc.insert_element("linguistic", "bad", 0, 6)
+
+    def test_insert_cross_hierarchy_overlap_ok(self):
+        doc = two_hierarchy_doc()
+        doc.add_hierarchy("editorial")
+        element = doc.insert_element("editorial", "damage", 9, 14)
+        assert element.overlapping()
+        assert doc.check_invariants() == []
+
+    def test_insert_equal_span_nests_inside(self):
+        doc = two_hierarchy_doc()
+        inner = doc.insert_element("linguistic", "emph", 5, 6)
+        assert inner.parent.tag == "w"
+
+    def test_insert_into_unknown_hierarchy(self):
+        doc = two_hierarchy_doc()
+        with pytest.raises(HierarchyError):
+            doc.insert_element("nope", "a", 0, 2)
+
+    def test_insert_bad_span(self):
+        doc = two_hierarchy_doc()
+        with pytest.raises(SpanError):
+            doc.insert_element("physical", "a", 5, 99)
+
+    def test_insert_records_tag_in_hierarchy(self):
+        doc = two_hierarchy_doc()
+        doc.add_hierarchy("editorial")
+        doc.insert_element("editorial", "damage", 9, 14)
+        assert "damage" in doc.hierarchy("editorial").tags
+
+
+class TestMilestones:
+    def test_empty_element_placement(self):
+        doc = two_hierarchy_doc()
+        milestone = doc.insert_empty_element("physical", "pb", 12)
+        assert milestone.is_empty
+        assert milestone.parent.tag == "line"
+        assert milestone.parent.start == 12
+
+    def test_milestone_at_document_end_goes_to_root(self):
+        doc = two_hierarchy_doc()
+        milestone = doc.insert_empty_element("physical", "pb", 23)
+        assert milestone.parent.is_root
+
+    def test_milestones_do_not_overlap(self):
+        doc = two_hierarchy_doc()
+        milestone = doc.insert_empty_element("physical", "pb", 12)
+        assert milestone.overlapping() == []
+
+    def test_milestone_goes_to_deepest_covering_element(self):
+        # Rule R: an offset-inserted milestone at a word's start anchors
+        # inside the deepest element whose half-open span covers it.
+        doc = two_hierarchy_doc()
+        anchor = doc.insert_empty_element("linguistic", "anchor", 7)
+        assert anchor.parent.tag == "w"
+        assert anchor.parent.start == 7
+
+    def test_milestone_between_siblings_ordering(self):
+        doc = two_hierarchy_doc()
+        doc.insert_empty_element("linguistic", "anchor", 6)
+        phrase = next(doc.elements(tag="phrase"))
+        tags = [c.tag for c in phrase.element_children]
+        assert tags == ["w", "anchor", "w"]
+
+
+class TestRemove:
+    def test_remove_splices_children_up(self):
+        doc = two_hierarchy_doc()
+        phrase = next(doc.elements(tag="phrase"))
+        doc.remove_element(phrase)
+        assert doc.element_count("linguistic") == 2
+        words = list(doc.elements(tag="w"))
+        assert all(w.parent.is_root for w in words)
+        assert doc.check_invariants() == []
+
+    def test_remove_root_rejected(self):
+        doc = two_hierarchy_doc()
+        with pytest.raises(MarkupConflictError):
+            doc.remove_element(doc.root)
+
+    def test_remove_detached_element_rejected(self):
+        doc = two_hierarchy_doc()
+        phrase = next(doc.elements(tag="phrase"))
+        doc.remove_element(phrase)
+        with pytest.raises(MarkupConflictError):
+            doc.remove_element(phrase)
+
+    def test_insert_then_remove_roundtrips_census(self):
+        doc = two_hierarchy_doc()
+        doc.add_hierarchy("editorial")
+        before = doc.stats()["elements"]
+        element = doc.insert_element("editorial", "damage", 9, 14)
+        doc.remove_element(element)
+        assert doc.stats()["elements"] == before
+
+
+class TestDocumentOrderIteration:
+    def test_elements_in_document_order(self):
+        doc = two_hierarchy_doc()
+        starts = [e.start for e in doc.elements()]
+        assert starts == sorted(starts)
+
+    def test_filter_by_tag(self):
+        doc = two_hierarchy_doc()
+        assert [e.tag for e in doc.elements(tag="line")] == ["line", "line"]
+
+    def test_filter_by_hierarchy(self):
+        doc = two_hierarchy_doc()
+        tags = {e.tag for e in doc.elements(hierarchy="linguistic")}
+        assert tags == {"phrase", "w"}
+
+
+class TestStats:
+    def test_census(self):
+        doc = two_hierarchy_doc()
+        stats = doc.stats()
+        assert stats["hierarchies"] == 2
+        assert stats["elements"] == 5
+        assert stats["leaves"] == 6
+        assert stats["element_edges"] == 5
+        # every leaf has exactly one innermost parent per covering state
+        assert stats["leaf_edges"] >= stats["leaves"]
+
+
+class TestCrossHierarchyQueries:
+    def test_coextensive(self):
+        builder = GoddagBuilder("abcdef")
+        builder.add_hierarchy("h1")
+        builder.add_hierarchy("h2")
+        builder.add_annotation("h1", "a", 1, 4)
+        builder.add_annotation("h2", "b", 1, 4)
+        doc = builder.build()
+        a = next(doc.elements(tag="a"))
+        assert [e.tag for e in a.coextensive()] == ["b"]
+
+    def test_containing_and_contained(self):
+        doc = two_hierarchy_doc()
+        word = next(doc.elements(tag="w"))  # [5, 6)
+        assert "line" in {e.tag for e in word.containing()}
+        line = list(doc.elements(tag="line"))[0]  # [0, 11)
+        assert {e.tag for e in line.contained()} == {"w"}
+
+    def test_root_contains_everything(self):
+        doc = two_hierarchy_doc()
+        assert len(doc.root.contained()) == doc.element_count()

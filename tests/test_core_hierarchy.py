@@ -1,0 +1,162 @@
+"""Unit tests for the CMH schema layer: conflicts, coloring, auto-partition."""
+
+import pytest
+
+from repro.core.hierarchy import (
+    ConcurrentSchema,
+    Hierarchy,
+    conflict_graph,
+    greedy_color,
+    minimal_hierarchies,
+    partition_tags,
+)
+from repro.errors import HierarchyError
+
+
+class TestHierarchy:
+    def test_observe_tags(self):
+        h = Hierarchy("physical")
+        h.observe_tag("line")
+        h.observe_tag("page")
+        assert h.tags == frozenset({"line", "page"})
+        assert h.declares("line")
+        assert not h.declares("word")
+
+
+class TestConcurrentSchema:
+    def test_tag_ownership_routing(self):
+        schema = ConcurrentSchema()
+        schema.add_hierarchy("physical", tags=["page", "line"])
+        schema.add_hierarchy("linguistic", tags=["s", "w"])
+        assert schema.owner_of("line") == "physical"
+        assert schema.owner_of("w") == "linguistic"
+        assert schema.owner_of("unknown") is None
+
+    def test_duplicate_tag_claim_rejected(self):
+        schema = ConcurrentSchema()
+        schema.add_hierarchy("a", tags=["x"])
+        with pytest.raises(HierarchyError):
+            schema.add_hierarchy("b", tags=["x"])
+
+    def test_duplicate_hierarchy_rejected(self):
+        schema = ConcurrentSchema()
+        schema.add_hierarchy("a")
+        with pytest.raises(HierarchyError):
+            schema.add_hierarchy("a")
+
+    def test_assign_tag_later(self):
+        schema = ConcurrentSchema()
+        schema.add_hierarchy("a")
+        schema.assign_tag("x", "a")
+        assert schema.owner_of("x") == "a"
+        with pytest.raises(HierarchyError):
+            schema.assign_tag("x", "b")
+
+    def test_ranks_follow_declaration_order(self):
+        schema = ConcurrentSchema()
+        schema.add_hierarchy("first")
+        schema.add_hierarchy("second")
+        assert schema.hierarchy("first").rank == 0
+        assert schema.hierarchy("second").rank == 1
+
+    def test_iteration_and_len(self):
+        schema = ConcurrentSchema()
+        schema.add_hierarchy("a")
+        schema.add_hierarchy("b")
+        assert len(schema) == 2
+        assert [h.name for h in schema] == ["a", "b"]
+        assert "a" in schema
+
+
+class TestConflictGraph:
+    def test_overlap_makes_edge(self):
+        graph = conflict_graph([("a", 0, 6), ("b", 4, 9)])
+        assert "b" in graph["a"]
+        assert "a" in graph["b"]
+
+    def test_nesting_makes_no_edge(self):
+        graph = conflict_graph([("a", 0, 10), ("b", 2, 5)])
+        assert graph["a"] == set()
+        assert graph["b"] == set()
+
+    def test_adjacency_makes_no_edge(self):
+        graph = conflict_graph([("a", 0, 5), ("b", 5, 9)])
+        assert graph["a"] == set()
+
+    def test_self_overlap_recorded(self):
+        graph = conflict_graph([("a", 0, 6), ("a", 4, 9)])
+        assert "a" in graph["a"]
+
+    def test_zero_width_ignored(self):
+        graph = conflict_graph([("a", 3, 3), ("b", 0, 9)])
+        assert "a" not in graph  # zero-width never conflicts
+
+    def test_transitive_case(self):
+        # a overlaps b, b overlaps c, but a nests in c: only two edges.
+        graph = conflict_graph([("a", 2, 6), ("b", 4, 9), ("c", 0, 8)])
+        assert graph["a"] == {"b"}
+        assert graph["b"] == {"a", "c"}
+        assert graph["c"] == {"b"}
+
+
+class TestGreedyColoring:
+    def test_bipartite_case(self):
+        graph = {"a": {"b"}, "b": {"a"}, "c": set()}
+        colors = greedy_color(graph)
+        assert colors["a"] != colors["b"]
+
+    def test_triangle_needs_three(self):
+        graph = {
+            "a": {"b", "c"},
+            "b": {"a", "c"},
+            "c": {"a", "b"},
+        }
+        colors = greedy_color(graph)
+        assert len({colors["a"], colors["b"], colors["c"]}) == 3
+
+    def test_self_loop_raises(self):
+        with pytest.raises(HierarchyError):
+            greedy_color({"a": {"a"}})
+
+    def test_deterministic(self):
+        graph = {"a": {"b"}, "b": {"a", "c"}, "c": {"b"}}
+        assert greedy_color(graph) == greedy_color(graph)
+
+
+class TestAutoPartition:
+    ANNOTATIONS = [
+        # physical lines vs linguistic phrases: classic cross-cut
+        ("line", 0, 10), ("line", 10, 20), ("line", 20, 30),
+        ("phrase", 5, 15), ("phrase", 15, 25),
+        ("w", 5, 8), ("w", 11, 14),
+    ]
+
+    def test_partition_separates_conflicts(self):
+        classes = partition_tags(self.ANNOTATIONS)
+        by_tag = {tag: i for i, tags in enumerate(classes) for tag in tags}
+        assert by_tag["line"] != by_tag["phrase"]
+
+    def test_partition_classes_are_conflict_free(self):
+        classes = partition_tags(self.ANNOTATIONS)
+        graph = conflict_graph(self.ANNOTATIONS)
+        for tags in classes:
+            for tag in tags:
+                assert graph[tag].isdisjoint(tags), (tag, tags)
+
+    def test_unconflicted_tag_lands_in_first_class(self):
+        # w nests within everything, so greedy coloring gives it color 0.
+        classes = partition_tags(self.ANNOTATIONS)
+        assert "w" in classes[0]
+
+    def test_minimal_hierarchies_count(self):
+        assert minimal_hierarchies(self.ANNOTATIONS) == 2
+
+    def test_schema_from_annotations(self):
+        schema = ConcurrentSchema.from_annotations(self.ANNOTATIONS)
+        assert len(schema) == 2
+        assert schema.owner_of("line") != schema.owner_of("phrase")
+
+    def test_empty_annotations(self):
+        assert partition_tags([]) == []
+        schema = ConcurrentSchema.from_annotations([])
+        assert len(schema) == 0

@@ -1,0 +1,104 @@
+"""Unit tests for the static interval index (incl. brute-force cross-check)."""
+
+import random
+from dataclasses import dataclass
+
+from repro.core.intervals import StaticIntervalIndex
+
+
+@dataclass(frozen=True)
+class Item:
+    start: int
+    end: int
+    label: int = 0
+
+
+def brute_intersecting(items, start, end):
+    return {i for i in items if i.start < end and i.end > start}
+
+
+def brute_containing(items, start, end):
+    if start == end:
+        return {i for i in items if i.start <= start and i.end >= end}
+    return {i for i in items if i.start <= start and i.end >= end}
+
+
+def brute_contained(items, start, end):
+    return {i for i in items if i.start >= start and i.end <= end}
+
+
+class TestSmallCases:
+    ITEMS = [Item(0, 10, 1), Item(2, 5, 2), Item(4, 8, 3), Item(9, 12, 4)]
+
+    def test_intersecting(self):
+        index = StaticIntervalIndex(self.ITEMS)
+        got = set(index.intersecting(3, 6))
+        assert got == {Item(0, 10, 1), Item(2, 5, 2), Item(4, 8, 3)}
+
+    def test_intersecting_is_half_open(self):
+        index = StaticIntervalIndex(self.ITEMS)
+        assert Item(9, 12, 4) not in set(index.intersecting(0, 9))
+        assert Item(9, 12, 4) in set(index.intersecting(0, 10))
+
+    def test_stabbing(self):
+        index = StaticIntervalIndex(self.ITEMS)
+        assert set(index.stabbing(9)) == {Item(0, 10, 1), Item(9, 12, 4)}
+        assert set(index.stabbing(11)) == {Item(9, 12, 4)}
+
+    def test_containing(self):
+        index = StaticIntervalIndex(self.ITEMS)
+        assert set(index.containing(4, 5)) == {
+            Item(0, 10, 1), Item(2, 5, 2), Item(4, 8, 3),
+        }
+
+    def test_containing_zero_width(self):
+        index = StaticIntervalIndex(self.ITEMS)
+        got = set(index.containing(5, 5))
+        assert Item(2, 5, 2) in got  # end == anchor is inclusive for anchors
+        assert Item(0, 10, 1) in got
+
+    def test_contained_in(self):
+        index = StaticIntervalIndex(self.ITEMS)
+        assert set(index.contained_in(1, 9)) == {Item(2, 5, 2), Item(4, 8, 3)}
+
+    def test_empty_index(self):
+        index = StaticIntervalIndex([])
+        assert index.intersecting(0, 100) == []
+        assert index.containing(3, 4) == []
+        assert len(index) == 0
+
+    def test_result_ordering(self):
+        index = StaticIntervalIndex(self.ITEMS)
+        got = index.intersecting(0, 12)
+        keys = [(i.start, -i.end) for i in got]
+        assert keys == sorted(keys)
+
+    def test_all_items(self):
+        index = StaticIntervalIndex(self.ITEMS)
+        assert set(index.all_items()) == set(self.ITEMS)
+
+
+class TestRandomizedAgainstBruteForce:
+    def test_randomized(self):
+        rng = random.Random(20050610)
+        for trial in range(25):
+            n = rng.randint(0, 60)
+            items = []
+            for label in range(n):
+                start = rng.randint(0, 80)
+                end = start + rng.randint(1, 25)
+                items.append(Item(start, end, label))
+            index = StaticIntervalIndex(items)
+            for _ in range(20):
+                qs = rng.randint(0, 90)
+                qe = qs + rng.randint(0, 20)
+                if qs < qe:
+                    assert set(index.intersecting(qs, qe)) == brute_intersecting(
+                        items, qs, qe
+                    ), (trial, qs, qe)
+                    assert set(index.contained_in(qs, qe)) == brute_contained(
+                        items, qs, qe
+                    ), (trial, qs, qe)
+                assert set(index.containing(qs, qe)) == brute_containing(
+                    items, qs, qe
+                ), (trial, qs, qe)

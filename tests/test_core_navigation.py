@@ -1,0 +1,115 @@
+"""Unit tests for document order and whole-document traversal."""
+
+import pytest
+
+from repro import GoddagBuilder
+from repro.core.navigation import (
+    all_nodes,
+    compare,
+    document_order,
+    following,
+    order_key,
+    preceding,
+    preorder,
+)
+
+
+@pytest.fixture()
+def doc():
+    builder = GoddagBuilder("one two three")
+    builder.add_hierarchy("a")
+    builder.add_hierarchy("b")
+    builder.add_annotation("a", "x", 0, 7)    # "one two"
+    builder.add_annotation("a", "y", 8, 13)   # "three"
+    builder.add_annotation("b", "z", 4, 13)   # "two three"
+    return builder.build()
+
+
+class TestOrderKey:
+    def test_root_is_first(self, doc):
+        nodes = all_nodes(doc)
+        assert nodes[0].is_root
+
+    def test_element_precedes_its_first_leaf(self, doc):
+        nodes = all_nodes(doc)
+        x = next(e for e in doc.elements(tag="x"))
+        first_leaf = x.leaves()[0]
+        assert nodes.index(x) < nodes.index(first_leaf)
+
+    def test_hierarchy_rank_breaks_coextensive_tie(self):
+        builder = GoddagBuilder("abc")
+        builder.add_hierarchy("first")
+        builder.add_hierarchy("second")
+        builder.add_annotation("second", "s", 0, 3)
+        builder.add_annotation("first", "f", 0, 3)
+        doc = builder.build()
+        nodes = all_nodes(doc, include_root=False)
+        tags = [n.tag for n in nodes if n.is_element]
+        assert tags == ["f", "s"]
+
+    def test_zero_width_sorts_at_anchor_before_solid(self, doc):
+        milestone = doc.insert_empty_element("a", "pb", 8)
+        y = next(doc.elements(tag="y"))
+        assert order_key(milestone) < order_key(y)
+
+    def test_rejects_non_nodes(self):
+        with pytest.raises(TypeError):
+            order_key("not a node")
+
+
+class TestDocumentOrder:
+    def test_sorts_and_dedups(self, doc):
+        x = next(doc.elements(tag="x"))
+        y = next(doc.elements(tag="y"))
+        ordered = document_order([y, x, y, doc.leaf(0), x])
+        assert ordered == [x, doc.leaf(0), y]
+
+    def test_compare(self, doc):
+        x = next(doc.elements(tag="x"))
+        y = next(doc.elements(tag="y"))
+        assert compare(x, y) == -1
+        assert compare(y, x) == 1
+        assert compare(x, x) == 0
+
+
+class TestFollowingPreceding:
+    def test_following_excludes_overlapping(self, doc):
+        x = next(doc.elements(tag="x"))       # [0,7)
+        z = next(doc.elements(tag="z"))       # [4,13) overlaps x
+        names = [getattr(n, "tag", None) for n in following(x)]
+        assert "z" not in names
+        assert "y" in names
+
+    def test_preceding_mirror(self, doc):
+        y = next(doc.elements(tag="y"))       # [8,13)
+        tags = [n.tag for n in preceding(y) if n.is_element]
+        assert tags == ["x"]
+
+    def test_following_and_preceding_disjoint(self, doc):
+        x = next(doc.elements(tag="x"))
+        assert set(following(x)).isdisjoint(set(preceding(x)))
+
+    def test_leaf_following(self, doc):
+        first = doc.leaf(0)
+        texts = [n.text for n in following(first) if n.is_leaf]
+        assert "".join(texts) == doc.text[first.end:]
+
+
+class TestPreorder:
+    def test_single_hierarchy_preorder_visits_all_leaves(self, doc):
+        visited = list(preorder(doc, "a"))
+        leaf_text = "".join(n.text for n in visited if n.is_leaf)
+        assert leaf_text == doc.text
+
+    def test_preorder_parent_before_child(self, doc):
+        doc.insert_element("a", "inner", 0, 3)
+        visited = [n for n in preorder(doc, "a") if n.is_element]
+        tags = [n.tag for n in visited]
+        assert tags.index("x") < tags.index("inner")
+
+    def test_preorder_ignores_other_hierarchies(self, doc):
+        visited = list(preorder(doc, "a"))
+        assert all(
+            not (n.is_element and not n.is_root and n.hierarchy == "b")
+            for n in visited
+        )

@@ -1,0 +1,148 @@
+"""Unit tests for the structural relation predicates."""
+
+import pytest
+
+from repro import GoddagBuilder
+from repro.core.relations import (
+    coextensive,
+    contains_span,
+    dominates,
+    follows,
+    left_overlaps,
+    overlap_text,
+    overlaps,
+    precedes,
+    relation_name,
+    right_overlaps,
+    shared_leaves,
+)
+
+
+@pytest.fixture()
+def doc():
+    builder = GoddagBuilder("the quick brown fox jumps")
+    builder.add_hierarchy("phys")
+    builder.add_hierarchy("ling")
+    builder.add_annotation("phys", "line", 0, 15)     # "the quick brown"
+    builder.add_annotation("phys", "line", 16, 25)    # "fox jumps"
+    builder.add_annotation("ling", "np", 4, 19)       # "quick brown fox"
+    builder.add_annotation("ling", "w", 4, 9)         # "quick"
+    builder.add_annotation("ling", "vp", 20, 25)      # "jumps"
+    return builder.build()
+
+
+def by_tag(doc, tag, index=0):
+    return list(doc.elements(tag=tag))[index]
+
+
+class TestDominance:
+    def test_root_dominates_all(self, doc):
+        for element in doc.elements():
+            assert dominates(doc.root, element)
+        for leaf in doc.leaves():
+            assert dominates(doc.root, leaf)
+
+    def test_parent_dominates_child(self, doc):
+        np, w = by_tag(doc, "np"), by_tag(doc, "w")
+        assert dominates(np, w)
+        assert not dominates(w, np)
+
+    def test_element_dominates_covered_leaves(self, doc):
+        line = by_tag(doc, "line")
+        for leaf in line.leaves():
+            assert dominates(line, leaf)
+
+    def test_cross_hierarchy_containment_is_not_dominance(self, doc):
+        line2, vp = by_tag(doc, "line", 1), by_tag(doc, "vp")
+        assert line2.span.contains(vp.span)
+        assert not dominates(line2, vp)
+        assert contains_span(line2, vp)
+
+    def test_irreflexive(self, doc):
+        np = by_tag(doc, "np")
+        assert not dominates(np, np)
+
+
+class TestOverlap:
+    def test_symmetric(self, doc):
+        line1, np = by_tag(doc, "line"), by_tag(doc, "np")
+        assert overlaps(line1, np)
+        assert overlaps(np, line1)
+
+    def test_orientation(self, doc):
+        line1, np = by_tag(doc, "line"), by_tag(doc, "np")
+        # line1 = [0,15), np = [4,19): line straddles np's start.
+        assert left_overlaps(line1, np)
+        assert right_overlaps(np, line1)
+        assert not right_overlaps(line1, np)
+
+    def test_same_hierarchy_never_overlaps(self, doc):
+        line1, line2 = by_tag(doc, "line"), by_tag(doc, "line", 1)
+        assert not overlaps(line1, line2)
+
+    def test_containment_not_overlap(self, doc):
+        np, w = by_tag(doc, "np"), by_tag(doc, "w")
+        assert not overlaps(np, w)
+
+    def test_leaves_never_overlap(self, doc):
+        np = by_tag(doc, "np")
+        for leaf in doc.leaves():
+            assert not overlaps(np, leaf)
+
+
+class TestSharedContent:
+    def test_overlap_text(self, doc):
+        line1, np = by_tag(doc, "line"), by_tag(doc, "np")
+        assert overlap_text(line1, np) == "quick brown"
+
+    def test_shared_leaves_concatenate_to_overlap_text(self, doc):
+        line1, np = by_tag(doc, "line"), by_tag(doc, "np")
+        text = "".join(leaf.text for leaf in shared_leaves(line1, np))
+        assert text == overlap_text(line1, np)
+
+    def test_disjoint_share_nothing(self, doc):
+        line1, vp = by_tag(doc, "line"), by_tag(doc, "vp")
+        assert overlap_text(line1, vp) == ""
+        assert shared_leaves(line1, vp) == []
+
+
+class TestOrderRelations:
+    def test_precedes_follows(self, doc):
+        line1, vp = by_tag(doc, "line"), by_tag(doc, "vp")
+        assert precedes(line1, vp)
+        assert follows(vp, line1)
+        assert not precedes(vp, line1)
+
+    def test_overlapping_nodes_neither_precede_nor_follow(self, doc):
+        line1, np = by_tag(doc, "line"), by_tag(doc, "np")
+        assert not precedes(line1, np)
+        assert not precedes(np, line1)
+
+
+class TestCoextension:
+    def test_coextensive_across_hierarchies(self):
+        builder = GoddagBuilder("abcdef")
+        builder.add_hierarchy("h1")
+        builder.add_hierarchy("h2")
+        builder.add_annotation("h1", "a", 1, 4)
+        builder.add_annotation("h2", "b", 1, 4)
+        doc = builder.build()
+        a, b = next(doc.elements(tag="a")), next(doc.elements(tag="b"))
+        assert coextensive(a, b)
+        assert relation_name(a, b) == "coextensive"
+
+
+class TestRelationPartition:
+    def test_every_solid_pair_gets_exactly_one_relation(self, doc):
+        """For solid elements the relations partition all ordered pairs."""
+        elements = [e for e in doc.elements() if not e.is_empty]
+        for a in elements:
+            for b in elements:
+                if a is b:
+                    assert relation_name(a, b) == "self"
+                    continue
+                name = relation_name(a, b)
+                assert name in {
+                    "dominates", "dominated-by", "overlaps", "coextensive",
+                    "precedes", "follows", "contains-span", "contained-span",
+                }, (a, b, name)

@@ -1,0 +1,169 @@
+"""Unit tests for the span algebra and the shared leaf table."""
+
+import pytest
+
+from repro.core.spans import Span, SpanTable
+from repro.errors import SpanError
+
+
+class TestSpan:
+    def test_length_and_emptiness(self):
+        assert len(Span(2, 7)) == 5
+        assert Span(3, 3).is_empty
+        assert not Span(3, 4).is_empty
+
+    def test_rejects_invalid(self):
+        with pytest.raises(SpanError):
+            Span(-1, 4)
+        with pytest.raises(SpanError):
+            Span(5, 4)
+
+    def test_contains_point_half_open(self):
+        span = Span(2, 5)
+        assert span.contains_point(2)
+        assert span.contains_point(4)
+        assert not span.contains_point(5)
+        assert not span.contains_point(1)
+
+    def test_containment(self):
+        outer, inner = Span(0, 10), Span(3, 7)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+        assert outer.contains(outer)
+        assert outer.properly_contains(inner)
+        assert not outer.properly_contains(outer)
+
+    def test_zero_width_containment(self):
+        assert Span(0, 10).contains(Span(5, 5))
+        assert Span(5, 5).contains(Span(5, 5))
+        assert not Span(5, 5).contains(Span(5, 6))
+
+    def test_intersection(self):
+        assert Span(0, 5).intersection(Span(3, 8)) == Span(3, 5)
+        assert Span(0, 5).intersection(Span(5, 8)) is None
+        assert Span(0, 5).intersection(Span(7, 9)) is None
+
+    def test_zero_width_never_intersects(self):
+        assert not Span(3, 3).intersects(Span(0, 10))
+        assert not Span(0, 10).intersects(Span(3, 3))
+
+    def test_proper_overlap(self):
+        assert Span(0, 6).overlaps(Span(4, 9))
+        assert Span(4, 9).overlaps(Span(0, 6))
+        # containment is not overlap
+        assert not Span(0, 9).overlaps(Span(2, 4))
+        # adjacency is not overlap
+        assert not Span(0, 4).overlaps(Span(4, 8))
+        # equality is not overlap
+        assert not Span(1, 5).overlaps(Span(1, 5))
+
+    def test_left_right_overlap_orientation(self):
+        a, b = Span(0, 6), Span(4, 9)
+        assert a.left_overlaps(b)
+        assert not a.right_overlaps(b)
+        assert b.right_overlaps(a)
+        assert not b.left_overlaps(a)
+
+    def test_overlap_iff_left_or_right(self):
+        cases = [
+            (Span(0, 6), Span(4, 9)),
+            (Span(0, 9), Span(2, 4)),
+            (Span(0, 4), Span(4, 8)),
+            (Span(1, 5), Span(1, 5)),
+            (Span(2, 8), Span(0, 4)),
+        ]
+        for a, b in cases:
+            assert a.overlaps(b) == (a.left_overlaps(b) or a.right_overlaps(b))
+
+    def test_precedes_follows(self):
+        assert Span(0, 3).precedes(Span(3, 6))
+        assert Span(3, 6).follows(Span(0, 3))
+        assert not Span(0, 4).precedes(Span(3, 6))
+        assert not Span(2, 2).precedes(Span(2, 2))
+
+    def test_union_hull(self):
+        assert Span(0, 3).union_hull(Span(8, 9)) == Span(0, 9)
+
+    def test_coextensive(self):
+        assert Span(2, 5).coextensive(Span(2, 5))
+        assert not Span(2, 5).coextensive(Span(2, 6))
+
+
+class TestSpanTable:
+    def test_initial_partition(self):
+        table = SpanTable(10)
+        assert len(table) == 1
+        assert table.leaf_span(0) == Span(0, 10)
+        assert table.boundaries == (0, 10)
+
+    def test_empty_text(self):
+        table = SpanTable(0)
+        assert len(table) == 0
+        assert table.boundaries == (0,)
+
+    def test_add_boundary_splits(self):
+        table = SpanTable(10)
+        assert table.add_boundary(4)
+        assert len(table) == 2
+        assert table.leaf_span(0) == Span(0, 4)
+        assert table.leaf_span(1) == Span(4, 10)
+
+    def test_duplicate_boundary_is_noop(self):
+        table = SpanTable(10)
+        table.add_boundary(4)
+        version = table.version
+        assert not table.add_boundary(4)
+        assert table.version == version
+
+    def test_boundary_out_of_range(self):
+        table = SpanTable(10)
+        with pytest.raises(SpanError):
+            table.add_boundary(11)
+        with pytest.raises(SpanError):
+            table.add_boundary(-1)
+
+    def test_leaves_partition_text(self):
+        table = SpanTable(20)
+        for offset in (5, 3, 11, 17, 3):
+            table.add_boundary(offset)
+        spans = list(table.spans())
+        assert spans[0].start == 0
+        assert spans[-1].end == 20
+        for left, right in zip(spans, spans[1:]):
+            assert left.end == right.start
+
+    def test_leaf_index_at(self):
+        table = SpanTable(10)
+        table.add_boundary(4)
+        table.add_boundary(7)
+        assert table.leaf_index_at(0) == 0
+        assert table.leaf_index_at(3) == 0
+        assert table.leaf_index_at(4) == 1
+        assert table.leaf_index_at(9) == 2
+        with pytest.raises(SpanError):
+            table.leaf_index_at(10)
+
+    def test_leaf_range_requires_existing_boundaries(self):
+        table = SpanTable(10)
+        table.add_boundary(4)
+        assert table.leaf_range(Span(0, 4)) == (0, 1)
+        assert table.leaf_range(Span(0, 10)) == (0, 2)
+        with pytest.raises(SpanError):
+            table.leaf_range(Span(0, 3))
+
+    def test_leaf_range_zero_width(self):
+        table = SpanTable(10)
+        table.add_boundary(4)
+        first, last = table.leaf_range(Span(4, 4))
+        assert first == last == 1
+
+    def test_bulk_boundaries(self):
+        table = SpanTable(30)
+        table.add_boundaries([10, 5, 20, 5, 0, 30])
+        assert table.boundaries == (0, 5, 10, 20, 30)
+
+    def test_version_tracks_changes(self):
+        table = SpanTable(10)
+        v0 = table.version
+        table.add_boundary(3)
+        assert table.version > v0

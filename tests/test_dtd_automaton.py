@@ -1,0 +1,181 @@
+"""Unit tests for Glushkov automata, incl. brute-force language oracles."""
+
+import itertools
+
+import pytest
+
+from repro.dtd import ContentAutomaton, parse_dtd
+from repro.dtd.ast import Choice, Name, Optional_, Plus, Seq, Star
+
+
+def automaton(spec: str) -> ContentAutomaton:
+    model = parse_dtd(f"<!ELEMENT x {spec}>").element("x").model
+    return ContentAutomaton(model)
+
+
+class TestAcceptance:
+    def test_single_name(self):
+        a = automaton("(a)")
+        assert a.accepts(["a"])
+        assert not a.accepts([])
+        assert not a.accepts(["a", "a"])
+        assert not a.accepts(["b"])
+
+    def test_sequence(self):
+        a = automaton("(a, b, c)")
+        assert a.accepts(["a", "b", "c"])
+        assert not a.accepts(["a", "c", "b"])
+        assert not a.accepts(["a", "b"])
+
+    def test_choice(self):
+        a = automaton("(a | b)")
+        assert a.accepts(["a"])
+        assert a.accepts(["b"])
+        assert not a.accepts(["a", "b"])
+
+    def test_star(self):
+        a = automaton("(a*)")
+        assert a.accepts([])
+        assert a.accepts(["a"] * 5)
+
+    def test_plus(self):
+        a = automaton("(a+)")
+        assert not a.accepts([])
+        assert a.accepts(["a"])
+        assert a.accepts(["a", "a", "a"])
+
+    def test_optional(self):
+        a = automaton("(a?, b)")
+        assert a.accepts(["b"])
+        assert a.accepts(["a", "b"])
+        assert not a.accepts(["a"])
+
+    def test_nested(self):
+        a = automaton("((a, b)+ | c)")
+        assert a.accepts(["c"])
+        assert a.accepts(["a", "b"])
+        assert a.accepts(["a", "b", "a", "b"])
+        assert not a.accepts(["a", "b", "a"])
+        assert not a.accepts(["c", "c"])
+
+    def test_valid_next(self):
+        a = automaton("(a, (b | c), d)")
+        states = a.step(a.initial(), "a")
+        assert a.valid_next(states) == {"b", "c"}
+
+
+class TestAgainstBruteForceOracle:
+    """Compare automaton acceptance with regex-free enumeration."""
+
+    SPECS = [
+        "(a, b, c)",
+        "(a | b)*",
+        "((a, b) | c)+",
+        "(a?, b*, c+)",
+        "((a | b), (c | d)?)*",
+        "(a, (b, c)*, d?)",
+    ]
+
+    def brute_language(self, spec, max_len):
+        a = automaton(spec)
+        return set(a.enumerate_words(max_len))
+
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_acceptance_agrees_with_enumeration(self, spec):
+        a = automaton(spec)
+        language = self.brute_language(spec, 4)
+        alphabet = sorted({s for s in a.symbols.values()})
+        for length in range(0, 5):
+            for word in itertools.product(alphabet, repeat=length):
+                assert a.accepts(word) == (word in language), (spec, word)
+
+
+class TestScatteredSubword:
+    def test_empty_is_always_scattered(self):
+        assert automaton("(a, b, c)").scattered_accepts([])
+
+    def test_subsequences_of_word(self):
+        a = automaton("(a, b, c)")
+        for word in ([], ["a"], ["b"], ["c"], ["a", "b"], ["a", "c"],
+                     ["b", "c"], ["a", "b", "c"]):
+            assert a.scattered_accepts(word), word
+
+    def test_wrong_order_rejected(self):
+        a = automaton("(a, b, c)")
+        assert not a.scattered_accepts(["b", "a"])
+        assert not a.scattered_accepts(["c", "a"])
+
+    def test_excess_symbols_rejected(self):
+        a = automaton("(a, b)")
+        assert not a.scattered_accepts(["a", "a"])
+        assert not a.scattered_accepts(["a", "b", "b"])
+
+    def test_foreign_symbol_rejected(self):
+        assert not automaton("(a, b)").scattered_accepts(["z"])
+
+    def test_scattered_with_repetition(self):
+        a = automaton("((a, b)+)")
+        assert a.scattered_accepts(["a", "a"])   # a,[b],a,[b]
+        assert a.scattered_accepts(["b", "a"])   # [a],b,a,[b]
+        assert a.scattered_accepts(["b", "b", "b"])
+
+    def test_scattered_against_brute_force(self):
+        """seq is scattered-subword iff it is a subsequence of some word."""
+
+        def is_subsequence(needle, haystack):
+            it = iter(haystack)
+            return all(symbol in it for symbol in needle)
+
+        for spec in TestAgainstBruteForceOracle.SPECS:
+            a = automaton(spec)
+            language = set(a.enumerate_words(6))
+            alphabet = sorted({s for s in a.symbols.values()})
+            for length in range(0, 4):
+                for seq in itertools.product(alphabet, repeat=length):
+                    oracle = any(is_subsequence(seq, word) for word in language)
+                    got = a.scattered_accepts(list(seq))
+                    # The oracle only sees words up to length 6; the
+                    # automaton may accept via longer completions, so
+                    # oracle=True must imply got=True, and disagreement
+                    # the other way is only legal for long completions.
+                    if oracle:
+                        assert got, (spec, seq)
+
+    def test_insertable_symbols(self):
+        a = automaton("(a, b, c)")
+        reachable = a.scattered_initial()
+        assert a.insertable_symbols(reachable) == {"a", "b", "c"}
+        _, reachable = a.scattered_step(reachable, "b")
+        assert a.insertable_symbols(reachable) == {"c"}
+
+
+class TestMixedModel:
+    def test_mixed_star_choice(self):
+        dtd = parse_dtd("<!ELEMENT line (#PCDATA | pb | w)*>")
+        a = ContentAutomaton(dtd.element("line").model)
+        assert a.accepts([])
+        assert a.accepts(["pb", "w", "pb"])
+        assert not a.accepts(["z"])
+
+    def test_pcdata_only_model(self):
+        dtd = parse_dtd("<!ELEMENT t (#PCDATA)>")
+        a = ContentAutomaton(dtd.element("t").model)
+        assert a.accepts([])
+        assert not a.accepts(["x"])
+
+
+class TestConstruction:
+    def test_position_count_equals_name_occurrences(self):
+        a = automaton("((a, b) | (a, c))*")
+        assert len(a.symbols) == 4
+
+    def test_coaccessible_covers_all_useful_positions(self):
+        # In Glushkov automata of DTD models every position is useful.
+        a = automaton("(a, (b | c)+, d?)")
+        assert a.coaccessible == frozenset(a.symbols)
+
+    def test_direct_ast_construction(self):
+        model = Seq((Name("a"), Star(Choice((Name("b"), Name("c"))))))
+        a = ContentAutomaton(model)
+        assert a.accepts(["a"])
+        assert a.accepts(["a", "b", "c", "b"])

@@ -1,0 +1,176 @@
+"""Unit tests for the DTD parser and content-model ASTs."""
+
+import pytest
+
+from repro.dtd import (
+    ANY,
+    CHILDREN,
+    DEFAULTED,
+    EMPTY,
+    FIXED,
+    IMPLIED,
+    MIXED,
+    REQUIRED,
+    Choice,
+    Name,
+    Optional_,
+    Plus,
+    Seq,
+    Star,
+    parse_dtd,
+)
+from repro.errors import DTDSyntaxError
+
+MANUSCRIPT_DTD = """
+<!-- physical structure of a manuscript edition -->
+<!ELEMENT r (page+)>
+<!ELEMENT page (line+)>
+<!ELEMENT line (#PCDATA | pb | damage)*>
+<!ELEMENT pb EMPTY>
+<!ELEMENT damage (#PCDATA)>
+<!ATTLIST page n NMTOKEN #REQUIRED>
+<!ATTLIST damage
+    type (rubbed | torn | stained) "rubbed"
+    cert CDATA #IMPLIED>
+<!ATTLIST pb facs CDATA #FIXED "folio">
+"""
+
+
+class TestElementDeclarations:
+    def test_parses_all_elements(self):
+        dtd = parse_dtd(MANUSCRIPT_DTD)
+        assert dtd.declared_tags() == {"r", "page", "line", "pb", "damage"}
+
+    def test_children_content(self):
+        dtd = parse_dtd(MANUSCRIPT_DTD)
+        decl = dtd.element("r")
+        assert decl.kind == CHILDREN
+        assert decl.model == Plus(Name("page"))
+
+    def test_empty_content(self):
+        dtd = parse_dtd(MANUSCRIPT_DTD)
+        assert dtd.element("pb").kind == EMPTY
+
+    def test_mixed_content(self):
+        dtd = parse_dtd(MANUSCRIPT_DTD)
+        decl = dtd.element("line")
+        assert decl.kind == MIXED
+        assert decl.allows_text
+        assert decl.alphabet() == {"pb", "damage"}
+
+    def test_pcdata_only(self):
+        dtd = parse_dtd(MANUSCRIPT_DTD)
+        decl = dtd.element("damage")
+        assert decl.kind == MIXED
+        assert decl.alphabet() == frozenset()
+
+    def test_any_content(self):
+        dtd = parse_dtd("<!ELEMENT x ANY>")
+        assert dtd.element("x").kind == ANY
+        assert dtd.element("x").allows_text
+
+    def test_nested_groups(self):
+        dtd = parse_dtd("<!ELEMENT x ((a, b) | (c, d))+>")
+        model = dtd.element("x").model
+        assert model == Plus(
+            Choice((Seq((Name("a"), Name("b"))), Seq((Name("c"), Name("d")))))
+        )
+
+    def test_occurrence_markers(self):
+        dtd = parse_dtd("<!ELEMENT x (a?, b*, c+)>")
+        model = dtd.element("x").model
+        assert model == Seq((Optional_(Name("a")), Star(Name("b")), Plus(Name("c"))))
+
+    def test_duplicate_element_rejected(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("<!ELEMENT x EMPTY> <!ELEMENT x ANY>")
+
+    def test_mixed_separator_rejected(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("<!ELEMENT x (a, b | c)>")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("<!WHATEVER>")
+
+    def test_unterminated_comment_rejected(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("<!-- never closed")
+
+    def test_entities_and_pis_skipped(self):
+        dtd = parse_dtd(
+            '<?xml-ish pi?> <!ENTITY amp "&#38;"> <!ELEMENT x EMPTY>'
+        )
+        assert dtd.declares("x")
+
+
+class TestAttlistDeclarations:
+    def test_required_attribute(self):
+        dtd = parse_dtd(MANUSCRIPT_DTD)
+        definition = dtd.attributes_of("page")["n"]
+        assert definition.type == "NMTOKEN"
+        assert definition.default_kind == REQUIRED
+
+    def test_enumerated_attribute_with_default(self):
+        dtd = parse_dtd(MANUSCRIPT_DTD)
+        definition = dtd.attributes_of("damage")["type"]
+        assert definition.type == ("rubbed", "torn", "stained")
+        assert definition.default_kind == DEFAULTED
+        assert definition.default_value == "rubbed"
+
+    def test_implied_attribute(self):
+        dtd = parse_dtd(MANUSCRIPT_DTD)
+        assert dtd.attributes_of("damage")["cert"].default_kind == IMPLIED
+
+    def test_fixed_attribute(self):
+        dtd = parse_dtd(MANUSCRIPT_DTD)
+        definition = dtd.attributes_of("pb")["facs"]
+        assert definition.default_kind == FIXED
+        assert definition.default_value == "folio"
+
+    def test_enumeration_permits(self):
+        dtd = parse_dtd(MANUSCRIPT_DTD)
+        definition = dtd.attributes_of("damage")["type"]
+        assert definition.permits("torn")
+        assert not definition.permits("burned")
+
+
+class TestRoundTrip:
+    def test_to_source_reparses(self):
+        dtd = parse_dtd(MANUSCRIPT_DTD)
+        again = parse_dtd(dtd.to_source())
+        assert again.declared_tags() == dtd.declared_tags()
+        for tag in dtd.declared_tags():
+            assert again.element(tag).kind == dtd.element(tag).kind
+
+    def test_model_source_roundtrip(self):
+        source = "<!ELEMENT x ((a, b) | c+ | d?)*>"
+        model = parse_dtd(source).element("x").model
+        again = parse_dtd(f"<!ELEMENT x {model.to_source()}>").element("x").model
+        assert again == model
+
+
+class TestCanContainText:
+    DTD = parse_dtd(
+        """
+        <!ELEMENT a (b)>
+        <!ELEMENT b (c)>
+        <!ELEMENT c (#PCDATA)>
+        <!ELEMENT d (e)>
+        <!ELEMENT e EMPTY>
+        """
+    )
+
+    def test_direct_mixed(self):
+        assert self.DTD.can_contain_text("c")
+
+    def test_transitive(self):
+        assert self.DTD.can_contain_text("a")
+        assert self.DTD.can_contain_text("b")
+
+    def test_never(self):
+        assert not self.DTD.can_contain_text("d")
+        assert not self.DTD.can_contain_text("e")
+
+    def test_undeclared_is_permissive(self):
+        assert self.DTD.can_contain_text("unknown")

@@ -1,0 +1,254 @@
+"""Unit tests for potential validity (prevalidation)."""
+
+import itertools
+
+import pytest
+
+from repro import GoddagBuilder
+from repro.dtd import ContentAutomaton, PotentialValidity, parse_dtd
+from repro.dtd.potential import (
+    forward_sets,
+    gap_insertable_symbols,
+    suffix_sets,
+)
+from repro.errors import PotentialValidityError
+
+EDITION_DTD = parse_dtd(
+    """
+    <!ELEMENT r (page+)>
+    <!ELEMENT page (head?, line+)>
+    <!ELEMENT head (#PCDATA)>
+    <!ELEMENT line (#PCDATA | pb)*>
+    <!ELEMENT pb EMPTY>
+    """
+)
+
+
+def empty_edition(text="some manuscript text"):
+    builder = GoddagBuilder(text)
+    builder.add_hierarchy("phys", dtd=EDITION_DTD)
+    return builder.build()
+
+
+class TestScatteredSequences:
+    def test_partial_page_is_potentially_valid(self):
+        doc = empty_edition()
+        doc.insert_element("phys", "page", 0, 20)
+        checker = PotentialValidity(EDITION_DTD)
+        # page requires line+, but a line can still be inserted.
+        assert checker.is_potentially_valid(doc, "phys")
+
+    def test_invalid_order_is_hopeless(self):
+        doc = empty_edition()
+        page = doc.insert_element("phys", "page", 0, 20)
+        doc.insert_element("phys", "line", 0, 8)
+        doc.insert_element("phys", "head", 9, 13)  # head after line: dead
+        checker = PotentialValidity(EDITION_DTD)
+        violations = checker.check_element(doc, page)
+        assert any("cannot be completed" in v.message for v in violations)
+
+    def test_head_before_line_is_fine(self):
+        doc = empty_edition()
+        doc.insert_element("phys", "page", 0, 20)
+        doc.insert_element("phys", "head", 0, 4)
+        doc.insert_element("phys", "line", 5, 20)
+        checker = PotentialValidity(EDITION_DTD)
+        assert checker.is_potentially_valid(doc, "phys")
+
+    def test_undeclared_tag_is_hopeless(self):
+        doc = empty_edition()
+        element = doc.insert_element("phys", "mystery", 0, 4)
+        checker = PotentialValidity(EDITION_DTD)
+        violations = checker.check_element(doc, element)
+        assert any("undeclared" in v.message for v in violations)
+
+
+class TestTextCoverage:
+    def test_text_inside_element_content_is_coverable(self):
+        # page has element content; its text must eventually be inside
+        # a line (mixed) — line is insertable, so potentially valid.
+        doc = empty_edition()
+        doc.insert_element("phys", "page", 0, 20)
+        checker = PotentialValidity(EDITION_DTD)
+        assert checker.is_potentially_valid(doc, "phys")
+
+    def test_uncoverable_text_detected(self):
+        dtd = parse_dtd(
+            """
+            <!ELEMENT box (slot, slot)>
+            <!ELEMENT slot EMPTY>
+            """
+        )
+        builder = GoddagBuilder("content")
+        builder.add_hierarchy("h", dtd=dtd)
+        builder.add_annotation("h", "box", 0, 7)
+        doc = builder.build()
+        checker = PotentialValidity(dtd)
+        violations = checker.check_hierarchy(doc, "h")
+        assert any("never be covered" in v.message for v in violations)
+
+    def test_gap_position_matters(self):
+        # model: (a, b); a can hold text, b cannot.  Text *after* b has
+        # no insertable text-capable cover.
+        dtd = parse_dtd(
+            """
+            <!ELEMENT x (a, b)>
+            <!ELEMENT a (#PCDATA)>
+            <!ELEMENT b EMPTY>
+            """
+        )
+        builder = GoddagBuilder("111 222")
+        builder.add_hierarchy("h", dtd=dtd)
+        builder.add_annotation("h", "x", 0, 7)
+        builder.add_annotation("h", "a", 0, 3)
+        builder.add_annotation("h", "b", 3, 3)
+        doc = builder.build()  # text " 222" sits after b — only space+digits
+        checker = PotentialValidity(dtd)
+        violations = checker.check_hierarchy(doc, "h")
+        assert any("never be covered" in v.message for v in violations)
+
+    def test_empty_element_with_text_is_hopeless(self):
+        dtd = parse_dtd("<!ELEMENT pb EMPTY>")
+        builder = GoddagBuilder("data")
+        builder.add_hierarchy("h", dtd=dtd)
+        builder.add_annotation("h", "pb", 0, 4)
+        doc = builder.build()
+        checker = PotentialValidity(dtd)
+        violations = checker.check_hierarchy(doc, "h")
+        assert any("EMPTY" in v.message for v in violations)
+
+
+class TestGapMachinery:
+    AUTOMATON = ContentAutomaton(
+        parse_dtd("<!ELEMENT x (a, b, c)>").element("x").model
+    )
+
+    def test_forward_sets_shrink(self):
+        forward = forward_sets(self.AUTOMATON, ["b"])
+        assert forward is not None
+        # after consuming b (with insertions), only c remains consumable
+        symbols = {self.AUTOMATON.symbols[p] for p in forward[1]}
+        assert symbols == {"c"}
+
+    def test_forward_none_for_non_subword(self):
+        assert forward_sets(self.AUTOMATON, ["b", "a"]) is None
+
+    def test_suffix_sets(self):
+        suffix = suffix_sets(self.AUTOMATON, ["a", "c"])
+        assert all(suffix)
+
+    def test_gap_insertable(self):
+        seq = ["a", "c"]
+        forward = forward_sets(self.AUTOMATON, seq)
+        suffix = suffix_sets(self.AUTOMATON, seq)
+        # gap 1 (between a and c) admits exactly b
+        assert gap_insertable_symbols(self.AUTOMATON, forward, suffix, 1) == {"b"}
+        # gap 0 (before a) admits nothing (inserting a/b/c before a kills it)
+        assert gap_insertable_symbols(self.AUTOMATON, forward, suffix, 0) == frozenset()
+        # gap 2 (after c) admits nothing
+        assert gap_insertable_symbols(self.AUTOMATON, forward, suffix, 2) == frozenset()
+
+    def test_gap_insertable_with_repetition(self):
+        automaton = ContentAutomaton(
+            parse_dtd("<!ELEMENT x (a+, b)>").element("x").model
+        )
+        seq = ["a", "b"]
+        forward = forward_sets(automaton, seq)
+        suffix = suffix_sets(automaton, seq)
+        assert "a" in gap_insertable_symbols(automaton, forward, suffix, 1)
+
+    def test_brute_force_gap_oracle(self):
+        """Gap-insertable symbols agree with trying every insertion and
+        testing scattered acceptance."""
+        automaton = ContentAutomaton(
+            parse_dtd("<!ELEMENT x ((a, b)+, c?)>").element("x").model
+        )
+        alphabet = sorted(set(automaton.symbols.values()))
+        for length in range(0, 3):
+            for seq in itertools.product(alphabet, repeat=length):
+                seq = list(seq)
+                forward = forward_sets(automaton, seq)
+                if forward is None:
+                    continue
+                suffix = suffix_sets(automaton, seq)
+                if seq and not (suffix[0] & forward[0]):
+                    continue
+                for gap in range(len(seq) + 1):
+                    got = gap_insertable_symbols(automaton, forward, suffix, gap)
+                    expected = {
+                        symbol
+                        for symbol in alphabet
+                        if automaton.scattered_accepts(
+                            seq[:gap] + [symbol] + seq[gap:]
+                        )
+                    }
+                    assert got == expected, (seq, gap)
+
+
+class TestEditorPrimitives:
+    def test_can_insert_accepts_good_edit(self):
+        doc = empty_edition()
+        doc.insert_element("phys", "page", 0, 20)
+        checker = PotentialValidity(EDITION_DTD)
+        ok, reason = checker.can_insert(doc, "phys", "line", 0, 8)
+        assert ok, reason
+
+    def test_can_insert_rejects_bad_tag(self):
+        doc = empty_edition()
+        doc.insert_element("phys", "page", 0, 20)
+        checker = PotentialValidity(EDITION_DTD)
+        ok, reason = checker.can_insert(doc, "phys", "mystery", 0, 8)
+        assert not ok
+        assert "undeclared" in reason
+
+    def test_can_insert_rejects_overlap(self):
+        doc = empty_edition()
+        doc.insert_element("phys", "page", 0, 10)
+        checker = PotentialValidity(EDITION_DTD)
+        ok, reason = checker.can_insert(doc, "phys", "line", 5, 15)
+        assert not ok
+        assert "overlaps" in reason
+
+    def test_can_insert_rolls_back(self):
+        doc = empty_edition()
+        doc.insert_element("phys", "page", 0, 20)
+        before = doc.element_count()
+        checker = PotentialValidity(EDITION_DTD)
+        checker.can_insert(doc, "phys", "line", 0, 8)
+        checker.can_insert(doc, "phys", "mystery", 0, 8)
+        assert doc.element_count() == before
+        assert doc.check_invariants() == []
+
+    def test_insertable_tags_menu(self):
+        doc = empty_edition()
+        doc.insert_element("phys", "page", 0, 20)
+        checker = PotentialValidity(EDITION_DTD)
+        tags = checker.insertable_tags(doc, "phys", 0, 8)
+        assert "line" in tags
+        assert "mystery" not in tags
+
+    def test_head_not_insertable_after_line(self):
+        doc = empty_edition()
+        doc.insert_element("phys", "page", 0, 20)
+        doc.insert_element("phys", "line", 0, 8)
+        checker = PotentialValidity(EDITION_DTD)
+        ok, _ = checker.can_insert(doc, "phys", "head", 9, 13)
+        assert not ok
+
+    def test_assert_raises(self):
+        doc = empty_edition()
+        doc.insert_element("phys", "mystery", 0, 4)
+        checker = PotentialValidity(EDITION_DTD)
+        with pytest.raises(PotentialValidityError):
+            checker.assert_potentially_valid(doc, "phys")
+
+
+class TestScatteredVsClassicalValidity:
+    def test_valid_implies_potentially_valid(self):
+        """Classically valid documents are potentially valid a fortiori."""
+        doc = empty_edition("heading text then line one")
+        doc.insert_element("phys", "page", 0, 26)
+        doc.insert_element("phys", "head", 0, 12)
+        doc.insert_element("phys", "line", 13, 26)
+        checker = PotentialValidity(EDITION_DTD)
+        assert checker.is_potentially_valid(doc, "phys")

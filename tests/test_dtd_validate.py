@@ -1,0 +1,166 @@
+"""Unit tests for classical validation of hierarchy trees."""
+
+import pytest
+
+from repro import GoddagBuilder
+from repro.dtd import parse_dtd
+from repro.dtd.validate import (
+    assert_valid,
+    validate_document,
+    validate_element,
+    validate_hierarchy,
+)
+from repro.errors import ValidationError
+
+PHYS_DTD = parse_dtd(
+    """
+    <!ELEMENT page (line+)>
+    <!ELEMENT line (#PCDATA | pb)*>
+    <!ELEMENT pb EMPTY>
+    <!ATTLIST page n NMTOKEN #REQUIRED>
+    """
+)
+
+
+def physical_doc(valid=True):
+    builder = GoddagBuilder("first line\nsecond line")
+    builder.add_hierarchy("phys", dtd=PHYS_DTD)
+    attrs = {"n": "1"} if valid else {}
+    builder.add_annotation("phys", "page", 0, 22, attrs)
+    builder.add_annotation("phys", "line", 0, 10)
+    builder.add_annotation("phys", "line", 11, 22)
+    return builder.build()
+
+
+class TestValidDocument:
+    def test_no_violations(self):
+        doc = physical_doc()
+        assert validate_hierarchy(doc, "phys") == []
+
+    def test_assert_valid_passes(self):
+        assert_valid(physical_doc())
+
+    def test_validate_document_uses_attached_dtds(self):
+        assert validate_document(physical_doc()) == []
+
+
+class TestContentViolations:
+    def test_wrong_child(self):
+        doc = physical_doc()
+        doc.insert_element("phys", "page", 0, 10, {"n": "2"})
+        violations = validate_hierarchy(doc, "phys")
+        assert any("content model" in v.message for v in violations)
+
+    def test_missing_required_child(self):
+        builder = GoddagBuilder("just text")
+        builder.add_hierarchy("phys", dtd=PHYS_DTD)
+        builder.add_annotation("phys", "page", 0, 9, {"n": "1"})
+        doc = builder.build()
+        violations = validate_hierarchy(doc, "phys")
+        assert any("do not match" in v.message for v in violations)
+
+    def test_text_in_element_content(self):
+        # page has element content; direct text inside it is illegal.
+        builder = GoddagBuilder("stray text before line")
+        builder.add_hierarchy("phys", dtd=PHYS_DTD)
+        builder.add_annotation("phys", "page", 0, 22, {"n": "1"})
+        builder.add_annotation("phys", "line", 12, 22)
+        doc = builder.build()
+        violations = validate_hierarchy(doc, "phys")
+        assert any("character data" in v.message for v in violations)
+
+    def test_whitespace_in_element_content_tolerated(self):
+        builder = GoddagBuilder("  first line")
+        builder.add_hierarchy("phys", dtd=PHYS_DTD)
+        builder.add_annotation("phys", "page", 0, 12, {"n": "1"})
+        builder.add_annotation("phys", "line", 2, 12)
+        doc = builder.build()
+        assert validate_hierarchy(doc, "phys") == []
+
+    def test_empty_element_with_content(self):
+        dtd = parse_dtd("<!ELEMENT pb EMPTY>")
+        builder = GoddagBuilder("oops")
+        builder.add_hierarchy("h", dtd=dtd)
+        builder.add_annotation("h", "pb", 0, 4)
+        doc = builder.build()
+        violations = validate_hierarchy(doc, "h")
+        assert any("EMPTY" in v.message for v in violations)
+
+    def test_undeclared_element(self):
+        doc = physical_doc()
+        doc.insert_element("phys", "mystery", 0, 4)
+        violations = validate_hierarchy(doc, "phys")
+        assert any("not declared" in v.message for v in violations)
+
+    def test_any_element_accepts_everything(self):
+        dtd = parse_dtd("<!ELEMENT x ANY> <!ELEMENT y EMPTY>")
+        builder = GoddagBuilder("stuff here")
+        builder.add_hierarchy("h", dtd=dtd)
+        builder.add_annotation("h", "x", 0, 10)
+        builder.add_annotation("h", "y", 2, 2)
+        doc = builder.build()
+        assert validate_hierarchy(doc, "h") == []
+
+
+class TestAttributeViolations:
+    def test_missing_required(self):
+        doc = physical_doc(valid=False)
+        violations = validate_hierarchy(doc, "phys")
+        assert any("required attribute" in v.message for v in violations)
+
+    def test_illegal_enum_value(self):
+        dtd = parse_dtd(
+            "<!ELEMENT d (#PCDATA)> <!ATTLIST d type (a | b) #REQUIRED>"
+        )
+        builder = GoddagBuilder("text")
+        builder.add_hierarchy("h", dtd=dtd)
+        builder.add_annotation("h", "d", 0, 4, {"type": "z"})
+        doc = builder.build()
+        violations = validate_hierarchy(doc, "h")
+        assert any("illegal value" in v.message for v in violations)
+
+    def test_fixed_mismatch(self):
+        dtd = parse_dtd(
+            '<!ELEMENT d (#PCDATA)> <!ATTLIST d v CDATA #FIXED "yes">'
+        )
+        builder = GoddagBuilder("text")
+        builder.add_hierarchy("h", dtd=dtd)
+        builder.add_annotation("h", "d", 0, 4, {"v": "no"})
+        doc = builder.build()
+        violations = validate_hierarchy(doc, "h")
+        assert any("#FIXED" in v.message for v in violations)
+
+    def test_undeclared_attribute_ignored(self):
+        doc = physical_doc()
+        next(doc.elements(tag="page")).set("extra", "1")
+        assert validate_hierarchy(doc, "phys") == []
+
+
+class TestAssertValid:
+    def test_raises_with_context(self):
+        doc = physical_doc(valid=False)
+        with pytest.raises(ValidationError) as info:
+            assert_valid(doc)
+        assert info.value.hierarchy == "phys"
+        assert info.value.tag == "page"
+
+    def test_hierarchy_without_dtd_is_vacuously_valid(self):
+        builder = GoddagBuilder("anything")
+        builder.add_hierarchy("free")
+        builder.add_annotation("free", "whatever", 0, 8)
+        doc = builder.build()
+        assert_valid(doc)
+
+
+class TestValidateElement:
+    def test_single_element_check(self):
+        doc = physical_doc()
+        page = next(doc.elements(tag="page"))
+        assert validate_element(doc, page, PHYS_DTD) == []
+
+    def test_violation_carries_location(self):
+        doc = physical_doc(valid=False)
+        page = next(doc.elements(tag="page"))
+        violation = validate_element(doc, page, PHYS_DTD)[0]
+        assert (violation.start, violation.end) == (0, 22)
+        assert violation.hierarchy == "phys"

@@ -1,0 +1,122 @@
+"""Unit tests for hierarchy filtering and range extraction."""
+
+import pytest
+
+from repro import GoddagBuilder
+from repro.compare import documents_isomorphic
+from repro.errors import FilterError, HierarchyError
+from repro.filters import CLIP_ATTR, extract_range, filter_tags, project
+
+
+def build_doc():
+    text = "alpha beta gamma delta"
+    builder = GoddagBuilder(text)
+    builder.add_hierarchy("phys")
+    builder.add_hierarchy("ling")
+    builder.add_annotation("phys", "line", 0, 10, {"n": "1"})
+    builder.add_annotation("phys", "line", 11, 22, {"n": "2"})
+    builder.add_annotation("ling", "s", 0, 22)
+    builder.add_annotation("ling", "w", 0, 5)
+    builder.add_annotation("ling", "w", 6, 10)
+    builder.add_annotation("ling", "w", 11, 16)
+    builder.add_annotation("ling", "w", 17, 22)
+    return builder.build()
+
+
+class TestProject:
+    def test_keeps_selected_hierarchy_only(self):
+        doc = build_doc()
+        view = project(doc, ["phys"])
+        assert view.hierarchy_names() == ("phys",)
+        assert view.element_count() == 2
+        assert view.text == doc.text
+
+    def test_projection_preserves_structure(self):
+        doc = build_doc()
+        view = project(doc, ["phys", "ling"])
+        assert documents_isomorphic(doc, view)
+
+    def test_leaf_table_shrinks(self):
+        doc = build_doc()
+        view = project(doc, ["phys"])
+        assert len(view.spans) < len(doc.spans)
+
+    def test_unknown_hierarchy(self):
+        doc = build_doc()
+        with pytest.raises(HierarchyError):
+            project(doc, ["nope"])
+
+    def test_root_attributes_survive(self):
+        doc = build_doc()
+        doc.root.attributes["lang"] = "grc"
+        assert project(doc, ["phys"]).root.attributes == {"lang": "grc"}
+
+
+class TestFilterTags:
+    def test_predicate_filter(self):
+        doc = build_doc()
+        out = filter_tags(doc, lambda tag: tag != "w")
+        assert {e.tag for e in out.elements()} == {"line", "s"}
+
+    def test_collection_filter(self):
+        doc = build_doc()
+        out = filter_tags(doc, {"line"})
+        assert {e.tag for e in out.elements()} == {"line"}
+
+    def test_children_splice_up(self):
+        doc = build_doc()
+        out = filter_tags(doc, lambda tag: tag != "s")
+        words = list(out.elements(tag="w"))
+        assert all(w.parent.is_root for w in words)
+
+    def test_empty_filter_keeps_hierarchies(self):
+        doc = build_doc()
+        out = filter_tags(doc, set())
+        assert out.hierarchy_names() == doc.hierarchy_names()
+        assert out.element_count() == 0
+
+
+class TestExtractRange:
+    def test_window_text(self):
+        doc = build_doc()
+        out = extract_range(doc, 11, 22)
+        assert out.text == "gamma delta"
+
+    def test_contained_elements_shift(self):
+        doc = build_doc()
+        out = extract_range(doc, 11, 22)
+        words = list(out.elements(tag="w"))
+        assert [(w.start, w.end) for w in words] == [(0, 5), (6, 11)]
+        assert all(CLIP_ATTR not in w.attributes for w in words)
+
+    def test_straddling_elements_clipped_and_marked(self):
+        doc = build_doc()
+        out = extract_range(doc, 6, 16)
+        sentence = next(out.elements(tag="s"))
+        assert (sentence.start, sentence.end) == (0, 10)
+        assert sentence.attributes[CLIP_ATTR] == "both"
+        line1 = next(e for e in out.elements(tag="line") if e.start == 0)
+        assert line1.attributes[CLIP_ATTR] == "start"
+
+    def test_disjoint_elements_dropped(self):
+        doc = build_doc()
+        out = extract_range(doc, 0, 5)
+        assert {e.tag for e in out.elements()} == {"line", "s", "w"}
+        assert len(list(out.elements(tag="w"))) == 1
+
+    def test_zero_width_kept_in_window(self):
+        doc = build_doc()
+        doc.insert_empty_element("phys", "pb", 11)
+        out = extract_range(doc, 11, 22)
+        pb = next(out.elements(tag="pb"))
+        assert pb.start == 0 and pb.is_empty
+
+    def test_invalid_window(self):
+        doc = build_doc()
+        with pytest.raises(FilterError):
+            extract_range(doc, 5, 99)
+
+    def test_whole_document_extraction_is_isomorphic(self):
+        doc = build_doc()
+        out = extract_range(doc, 0, len(doc.text))
+        assert documents_isomorphic(doc, out)

@@ -1,0 +1,250 @@
+"""Property-based tests (hypothesis) of the core invariants.
+
+These cover the claims the whole framework leans on: leaf partitioning,
+the overlap algebra, round-trip losslessness across representations,
+storage round-trips, and editing reversibility — each against randomly
+generated concurrent documents.
+"""
+
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
+
+from repro.compare import canonical_form, documents_isomorphic
+from repro.core.spans import Span, SpanTable
+from repro.sacx import (
+    parse_concurrent,
+    parse_flat_standoff,
+    parse_fragmentation,
+    parse_milestones,
+    parse_standoff,
+)
+from repro.serialize import (
+    export_distributed,
+    export_fragmentation,
+    export_milestones,
+    export_standoff,
+)
+
+# -- strategies -----------------------------------------------------------------
+
+TAGS = ("a", "b", "c", "d", "e")
+
+texts = st.text(
+    alphabet=st.sampled_from("ab cd\n<&\"'éß"), min_size=1, max_size=60
+)
+
+
+@st.composite
+def annotated_documents(draw):
+    """A text plus a soup of annotations, built into a GODDAG via
+    conflict auto-partition (always succeeds by construction)."""
+    text = draw(texts)
+    n = draw(st.integers(min_value=0, max_value=12))
+    annotations = []
+    for _ in range(n):
+        start = draw(st.integers(min_value=0, max_value=len(text)))
+        end = draw(st.integers(min_value=start, max_value=len(text)))
+        tag = draw(st.sampled_from(TAGS))
+        annotations.append((tag, start, end))
+    # Tags that overlap *themselves* cannot live in any single
+    # hierarchy; rename such instances apart deterministically.
+    fixed = []
+    for index, (tag, start, end) in enumerate(annotations):
+        fixed.append((f"{tag}{index}", start, end))
+    return parse_flat_standoff(text, fixed)
+
+
+# -- span table properties -----------------------------------------------------------
+
+@given(
+    st.integers(min_value=0, max_value=200),
+    st.lists(st.integers(min_value=0, max_value=200), max_size=20),
+)
+def test_spantable_partitions_text(length, offsets):
+    table = SpanTable(length)
+    for offset in offsets:
+        if 0 <= offset <= length:
+            table.add_boundary(offset)
+    spans = list(table.spans())
+    if length == 0:
+        assert spans == []
+        return
+    assert spans[0].start == 0
+    assert spans[-1].end == length
+    for left, right in zip(spans, spans[1:]):
+        assert left.end == right.start
+    assert sum(len(span) for span in spans) == length
+
+
+@given(
+    st.integers(0, 50), st.integers(0, 50),
+    st.integers(0, 50), st.integers(0, 50),
+)
+def test_span_overlap_algebra(a1, a2, b1, b2):
+    a = Span(min(a1, a2), max(a1, a2))
+    b = Span(min(b1, b2), max(b1, b2))
+    # symmetry
+    assert a.overlaps(b) == b.overlaps(a)
+    # irreflexivity
+    assert not a.overlaps(a)
+    # overlap <=> exactly one straddle orientation
+    assert a.overlaps(b) == (a.left_overlaps(b) or a.right_overlaps(b))
+    assert not (a.left_overlaps(b) and a.right_overlaps(b))
+    # overlap, containment, disjointness are mutually exclusive
+    relations = [
+        a.overlaps(b),
+        a.contains(b) or b.contains(a),
+        not a.intersects(b),
+    ]
+    if not a.is_empty and not b.is_empty:
+        assert sum(bool(r) for r in relations) == 1
+
+
+# -- GODDAG structural properties --------------------------------------------------------
+
+@settings(max_examples=50, suppress_health_check=[HealthCheck.too_slow],
+          deadline=None)
+@given(annotated_documents())
+def test_built_documents_satisfy_invariants(doc):
+    assert doc.check_invariants() == []
+
+
+@settings(max_examples=50, suppress_health_check=[HealthCheck.too_slow],
+          deadline=None)
+@given(annotated_documents())
+def test_leaves_partition_text(doc):
+    assert "".join(leaf.text for leaf in doc.leaves()) == doc.text
+
+
+@settings(max_examples=50, suppress_health_check=[HealthCheck.too_slow],
+          deadline=None)
+@given(annotated_documents())
+def test_no_same_hierarchy_overlap(doc):
+    """The defining guarantee of the auto-partition + builder stack."""
+    for name in doc.hierarchy_names():
+        elements = [e for e in doc.elements(hierarchy=name) if not e.is_empty]
+        for i, a in enumerate(elements):
+            for b in elements[i + 1:]:
+                assert not a.span.overlaps(b.span), (a, b)
+
+
+@settings(max_examples=50, suppress_health_check=[HealthCheck.too_slow],
+          deadline=None)
+@given(annotated_documents())
+def test_overlapping_matches_bruteforce(doc):
+    """The indexed overlapping() agrees with the O(n^2) definition."""
+    elements = [e for e in doc.elements() if not e.is_empty]
+    for element in elements:
+        expected = {
+            id(other)
+            for other in elements
+            if other.hierarchy != element.hierarchy
+            and element.span.overlaps(other.span)
+        }
+        got = {id(other) for other in element.overlapping()}
+        assert got == expected
+
+
+@settings(max_examples=50, suppress_health_check=[HealthCheck.too_slow],
+          deadline=None)
+@given(annotated_documents())
+def test_leaf_parents_are_innermost_covers(doc):
+    for leaf in doc.leaves():
+        for parent in leaf.parents():
+            if parent.is_root:
+                continue
+            assert parent.span.contains(leaf.span)
+            # innermost: no child of the parent also covers the leaf
+            for child in parent.element_children:
+                if not child.is_empty:
+                    assert not child.span.contains(leaf.span)
+
+
+# -- representation round-trips -------------------------------------------------------------
+
+@settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow],
+          deadline=None)
+@given(annotated_documents())
+def test_distributed_roundtrip(doc):
+    assume(doc.hierarchy_names())
+    assert documents_isomorphic(doc, parse_concurrent(export_distributed(doc)))
+
+
+@settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow],
+          deadline=None)
+@given(annotated_documents())
+def test_fragmentation_roundtrip(doc):
+    assume(doc.hierarchy_names())
+    assert documents_isomorphic(
+        doc, parse_fragmentation(export_fragmentation(doc))
+    )
+
+
+@settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow],
+          deadline=None)
+@given(annotated_documents())
+def test_milestone_roundtrip(doc):
+    assume(doc.hierarchy_names())
+    assert documents_isomorphic(
+        doc, parse_milestones(export_milestones(doc))
+    )
+
+
+@settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow],
+          deadline=None)
+@given(annotated_documents())
+def test_standoff_roundtrip(doc):
+    assert documents_isomorphic(doc, parse_standoff(export_standoff(doc)))
+
+
+@settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow],
+          deadline=None)
+@given(annotated_documents())
+def test_canonical_form_is_idempotent(doc):
+    once = canonical_form(doc)
+    assert canonical_form(parse_standoff(once)) == once
+
+
+# -- storage round-trip ------------------------------------------------------------------------
+
+@settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow],
+          deadline=None)
+@given(annotated_documents())
+def test_relational_encoding_roundtrip(doc):
+    from repro.storage import decode_document, encode_document
+
+    assert documents_isomorphic(doc, decode_document(*encode_document(doc, "p")))
+
+
+# -- editing reversibility -----------------------------------------------------------------------
+
+@settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow],
+          deadline=None)
+@given(
+    annotated_documents(),
+    st.lists(
+        st.tuples(
+            st.integers(0, 60), st.integers(0, 60), st.sampled_from(TAGS)
+        ),
+        max_size=6,
+    ),
+)
+def test_editor_undo_all_restores_census(doc, edits):
+    from repro.editing import Editor
+    from repro.errors import ReproError
+
+    editor = Editor(doc, prevalidate=False)
+    before = canonical_form(doc)
+    applied = 0
+    for start, end, tag in edits:
+        lo, hi = min(start, end), max(start, end)
+        if hi > doc.length:
+            continue
+        try:
+            editor.insert_markup(doc.hierarchy_names()[0] if doc.hierarchy_names() else "", tag, lo, hi)
+            applied += 1
+        except ReproError:
+            continue
+    for _ in range(applied):
+        editor.undo()
+    assert canonical_form(doc) == before
+    assert doc.check_invariants() == []

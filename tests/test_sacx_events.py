@@ -1,0 +1,106 @@
+"""Unit tests for the content-event layer and the ElementTree cross-check."""
+
+import pytest
+
+from repro.errors import WellFormednessError
+from repro.sacx.events import content_events, events_to_spans
+from repro.sacx.etree_driver import content_events_etree
+
+
+class TestContentEvents:
+    def test_text_is_markup_free(self):
+        parsed = content_events("<r>sing <w>a</w> song</r>")
+        assert parsed.text == "sing a song"
+        assert parsed.root_tag == "r"
+
+    def test_offsets_are_content_offsets(self):
+        parsed = content_events("<r>sing <w>a</w> song</r>")
+        (start, end) = (parsed.events[0], parsed.events[1])
+        assert (start.kind, start.tag, start.offset) == ("start", "w", 5)
+        assert (end.kind, end.tag, end.offset) == ("end", "w", 6)
+
+    def test_root_excluded_from_events(self):
+        parsed = content_events("<r>plain</r>")
+        assert parsed.events == ()
+
+    def test_root_attributes_kept(self):
+        parsed = content_events('<r xml:lang="ang">text</r>')
+        assert dict(parsed.root_attributes) == {"xml:lang": "ang"}
+
+    def test_empty_elements(self):
+        parsed = content_events("<r>one<pb/>two</r>")
+        event = parsed.events[0]
+        assert (event.kind, event.tag, event.offset) == ("empty", "pb", 3)
+
+    def test_whitespace_outside_root_ok(self):
+        parsed = content_events("\n  <r>x</r>\n")
+        assert parsed.text == "x"
+
+    def test_comments_do_not_shift_offsets(self):
+        parsed = content_events("<r>ab<!-- note --><w>cd</w></r>")
+        assert parsed.events[0].offset == 2
+        assert parsed.text == "abcd"
+
+    @pytest.mark.parametrize("bad", [
+        "no markup at all",
+        "<r>one</r><r>two</r>",
+        "<r><a>text</b></r>",
+        "<r>unclosed",
+        "x<r>text</r>",
+        "<r/>extra</r>",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(WellFormednessError):
+            content_events(bad)
+
+
+class TestEventsToSpans:
+    def test_nested_spans(self):
+        parsed = content_events("<r><a>x<b>y</b></a></r>")
+        spans = events_to_spans(parsed.events)
+        assert ("a", 0, 2, {}) in spans
+        assert ("b", 1, 2, {}) in spans
+
+    def test_zero_width_span(self):
+        parsed = content_events("<r>x<pb/>y</r>")
+        assert events_to_spans(parsed.events) == [("pb", 1, 1, {})]
+
+    def test_attributes_carried(self):
+        parsed = content_events('<r><w lemma="singan">sing</w></r>')
+        assert events_to_spans(parsed.events) == [
+            ("w", 0, 4, {"lemma": "singan"})
+        ]
+
+
+class TestEtreeCrossCheck:
+    DOCUMENTS = [
+        "<r>sing <w>a</w> song</r>",
+        "<r><a>x<b>y</b>z</a> tail</r>",
+        "<r>one<pb/>two<pb/>three</r>",
+        '<r><w lemma="singan">sing</w> on</r>',
+        "<r><line>first</line>\n<line>second</line></r>",
+        "<r>entity &amp; test <x>&#65;</x></r>",
+    ]
+
+    @pytest.mark.parametrize("source", DOCUMENTS)
+    def test_scanner_agrees_with_etree(self, source):
+        ours = content_events(source)
+        theirs = content_events_etree(source)
+        assert ours.text == theirs.text
+        assert ours.root_tag == theirs.root_tag
+        # Compare span sets: <a></a> vs <a/> tokenize differently but
+        # denote the same zero-width span.
+        ours_spans = sorted(
+            (t, s, e, tuple(sorted(a.items())))
+            for (t, s, e, a) in events_to_spans(ours.events)
+        )
+        theirs_spans = sorted(
+            (t, s, e, tuple(sorted(a.items())))
+            for (t, s, e, a) in events_to_spans(theirs.events)
+        )
+        assert ours_spans == theirs_spans
+
+    def test_explicit_empty_pair_equivalent_to_empty_tag(self):
+        a = content_events("<r>x<m></m>y</r>")
+        b = content_events("<r>x<m/>y</r>")
+        assert events_to_spans(a.events) == events_to_spans(b.events)

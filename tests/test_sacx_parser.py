@@ -1,0 +1,123 @@
+"""Unit tests for the SACX merge parser and its handler interface."""
+
+import pytest
+
+from repro.errors import TextMismatchError, WellFormednessError
+from repro.sacx import (
+    EventCountingHandler,
+    SACXParser,
+    parse_concurrent,
+    parse_distributed,
+    parse_distributed_list,
+)
+
+PHYS = "<r><line>sing a song</line> <line>of sixpence</line></r>"
+LING = "<r>sing <phrase><w>a</w> <w>song</w> of sixpence</phrase></r>"
+
+
+class TestParseConcurrent:
+    def test_builds_goddag(self):
+        doc = parse_concurrent({"physical": PHYS, "linguistic": LING})
+        assert doc.text == "sing a song of sixpence"
+        assert doc.hierarchy_names() == ("physical", "linguistic")
+        assert doc.element_count("physical") == 2
+        assert doc.element_count("linguistic") == 3
+        assert doc.check_invariants() == []
+
+    def test_overlap_detected(self):
+        doc = parse_concurrent({"physical": PHYS, "linguistic": LING})
+        phrase = next(doc.elements(tag="phrase"))
+        # phrase [5,23) straddles line1 [0,11); line2 [12,23) is contained.
+        assert [e.tag for e in phrase.overlapping()] == ["line"]
+        assert [e.tag for e in phrase.contained()] == ["line"]
+
+    def test_single_document_works(self):
+        doc = parse_concurrent({"only": PHYS})
+        assert doc.element_count() == 2
+
+    def test_root_attributes_merged(self):
+        doc = parse_concurrent({
+            "a": '<r lang="ang">text</r>',
+            "b": "<r>text</r>",
+        })
+        assert doc.root.attributes == {"lang": "ang"}
+
+    def test_zero_width_elements(self):
+        doc = parse_concurrent({
+            "a": "<r>one<pb/>two</r>",
+            "b": "<r><s>onetwo</s></r>",
+        })
+        pb = next(doc.elements(tag="pb"))
+        assert pb.is_empty
+        assert pb.start == 3
+
+    def test_empty_sources_rejected(self):
+        with pytest.raises(WellFormednessError):
+            parse_concurrent({})
+
+
+class TestConsistencyChecks:
+    def test_text_mismatch(self):
+        with pytest.raises(TextMismatchError) as info:
+            parse_concurrent({
+                "a": "<r>sing a song</r>",
+                "b": "<r>sing a sing</r>",
+            })
+        assert info.value.offset == 8
+
+    def test_length_mismatch(self):
+        with pytest.raises(TextMismatchError):
+            parse_concurrent({
+                "a": "<r>sing a song</r>",
+                "b": "<r>sing a</r>",
+            })
+
+    def test_root_tag_mismatch(self):
+        with pytest.raises(TextMismatchError):
+            parse_concurrent({
+                "a": "<r>text</r>",
+                "b": "<doc>text</doc>",
+            })
+
+    def test_markup_difference_is_fine(self):
+        doc = parse_concurrent({
+            "a": "<r><x>text</x></r>",
+            "b": "<r>te<y/>xt</r>",
+        })
+        assert doc.element_count() == 2
+
+
+class TestHandlerInterface:
+    def test_counting_handler(self):
+        handler = EventCountingHandler()
+        result = SACXParser(handler).parse(
+            {"physical": PHYS, "linguistic": LING}
+        )
+        assert result is None
+        assert handler.starts == 5
+        assert handler.ends == 5
+        assert handler.text_length == 23
+
+    def test_event_order_is_by_offset(self):
+        order = []
+
+        class Recorder(EventCountingHandler):
+            def start_element(self, hierarchy, tag, offset, attributes):
+                order.append((offset, "start", hierarchy, tag))
+
+            def end_element(self, hierarchy, tag, offset):
+                order.append((offset, "end", hierarchy, tag))
+
+        SACXParser(Recorder()).parse({"physical": PHYS, "linguistic": LING})
+        offsets = [entry[0] for entry in order]
+        assert offsets == sorted(offsets)
+
+
+class TestConvenienceWrappers:
+    def test_parse_distributed(self):
+        doc = parse_distributed({"physical": PHYS})
+        assert doc.hierarchy_names() == ("physical",)
+
+    def test_parse_distributed_list(self):
+        doc = parse_distributed_list([PHYS, LING])
+        assert doc.hierarchy_names() == ("h0", "h1")

@@ -1,0 +1,92 @@
+"""Unit tests for the offset-tracking XML scanner."""
+
+import pytest
+
+from repro.errors import WellFormednessError
+from repro.sacx.scanner import (
+    COMMENT,
+    DOCTYPE,
+    EMPTY,
+    END,
+    PI,
+    START,
+    TEXT,
+    scan,
+)
+
+
+def kinds(source):
+    return [token.kind for token in scan(source)]
+
+
+class TestBasicTokens:
+    def test_simple_document(self):
+        tokens = list(scan("<r>hello</r>"))
+        assert [t.kind for t in tokens] == [START, TEXT, END]
+        assert tokens[0].name == "r"
+        assert tokens[1].data == "hello"
+        assert tokens[2].name == "r"
+
+    def test_empty_element(self):
+        tokens = list(scan("<r><pb/></r>"))
+        assert [t.kind for t in tokens] == [START, EMPTY, END]
+        assert tokens[1].name == "pb"
+
+    def test_attributes(self):
+        token = next(scan('<page n="3" rend=\'red\'/>'))
+        assert token.attribute_dict == {"n": "3", "rend": "red"}
+
+    def test_attribute_entities(self):
+        token = next(scan('<a title="Tom &amp; Jerry &#x41;"/>'))
+        assert token.attribute_dict == {"title": "Tom & Jerry A"}
+
+    def test_text_entities(self):
+        tokens = list(scan("<r>&lt;tag&gt; &amp; &quot;x&quot; &#65;</r>"))
+        assert tokens[1].data == '<tag> & "x" A'
+
+    def test_cdata(self):
+        tokens = list(scan("<r><![CDATA[<not> & markup]]></r>"))
+        assert tokens[1].kind == TEXT
+        assert tokens[1].data == "<not> & markup"
+
+    def test_comment(self):
+        tokens = list(scan("<r><!-- note --></r>"))
+        assert tokens[1].kind == COMMENT
+        assert tokens[1].data == " note "
+
+    def test_pi_and_decl(self):
+        tokens = list(scan('<?xml version="1.0"?><r/>'))
+        assert tokens[0].kind == PI
+
+    def test_doctype_with_subset(self):
+        source = '<!DOCTYPE r [ <!ELEMENT r (a)> ]><r><a/></r>'
+        tokens = list(scan(source))
+        assert tokens[0].kind == DOCTYPE
+        assert "<!ELEMENT" in tokens[0].data
+
+    def test_line_column_tracking(self):
+        tokens = list(scan("<r>\n  <a/>\n</r>"))
+        a = next(t for t in tokens if t.kind == EMPTY)
+        assert a.line == 2
+        assert a.column == 3
+
+
+class TestScannerErrors:
+    @pytest.mark.parametrize("bad", [
+        "<r><unclosed</r>",
+        "<r attr></r>",
+        "<r attr=value></r>",
+        '<r a="1" a="2"></r>',
+        "<r><!-- unterminated </r>",
+        "<r><![CDATA[ unterminated </r>",
+        "<1tag/>",
+        "</>",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(WellFormednessError):
+            list(scan(bad))
+
+    def test_error_carries_position(self):
+        with pytest.raises(WellFormednessError) as info:
+            list(scan("<r>\n<broken</r>"))
+        assert info.value.line == 2

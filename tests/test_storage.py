@@ -1,0 +1,203 @@
+"""Tests for the persistent storage layer (both backends)."""
+
+import pytest
+
+from repro.compare import documents_isomorphic
+from repro.errors import StorageError
+from repro.storage import (
+    GoddagStore,
+    SqliteStore,
+    decode_document,
+    encode_document,
+    file_stats,
+    load_file,
+    save_file,
+    scan_spans,
+)
+from repro.workloads import WorkloadSpec, figure_one_document, generate
+
+
+@pytest.fixture()
+def doc():
+    return figure_one_document()
+
+
+class TestRelationalEncoding:
+    def test_roundtrip(self, doc):
+        rows = encode_document(doc, "figure1")
+        again = decode_document(*rows)
+        assert documents_isomorphic(doc, again)
+
+    def test_roundtrip_preserves_nesting_exactly(self, doc):
+        rows = encode_document(doc, "figure1")
+        again = decode_document(*rows)
+        for original, restored in zip(doc.elements(), again.elements()):
+            assert original.tag == restored.tag
+            assert original.span == restored.span
+            assert original.parent.tag == restored.parent.tag
+
+    def test_dtd_survives(self, doc):
+        rows = encode_document(doc, "figure1")
+        again = decode_document(*rows)
+        assert again.hierarchy("physical").dtd.declares("line")
+
+    def test_element_ids_are_preorder(self, doc):
+        _, _, element_rows = encode_document(doc, "figure1")
+        for row in element_rows:
+            assert row.parent_id < row.elem_id
+
+    def test_synthetic_roundtrip(self):
+        document = generate(WorkloadSpec(words=400, seed=99))
+        rows = encode_document(document, "syn")
+        assert documents_isomorphic(document, decode_document(*rows))
+
+
+class TestSqliteStore:
+    def test_save_load(self, doc):
+        with SqliteStore() as store:
+            store.save(doc, "figure1")
+            again = store.load("figure1")
+        assert documents_isomorphic(doc, again)
+
+    def test_duplicate_save_rejected(self, doc):
+        with SqliteStore() as store:
+            store.save(doc, "x")
+            with pytest.raises(StorageError):
+                store.save(doc, "x")
+            store.save(doc, "x", overwrite=True)
+
+    def test_missing_document(self):
+        with SqliteStore() as store:
+            with pytest.raises(StorageError):
+                store.load("ghost")
+
+    def test_names_and_delete(self, doc):
+        with SqliteStore() as store:
+            store.save(doc, "a")
+            store.save(doc, "b")
+            assert store.names() == ["a", "b"]
+            store.delete("a")
+            assert store.names() == ["b"]
+
+    def test_count_elements(self, doc):
+        with SqliteStore() as store:
+            store.save(doc, "f")
+            assert store.count_elements("f") == doc.element_count()
+            assert store.count_elements("f", "w") == 13
+
+    def test_elements_by_tag(self, doc):
+        with SqliteStore() as store:
+            store.save(doc, "f")
+            lines = store.elements_by_tag("f", "line")
+            assert [e.attributes["n"] for e in lines] == ["1", "2", "3"]
+
+    def test_elements_intersecting(self, doc):
+        res = next(doc.elements(tag="res"))
+        with SqliteStore() as store:
+            store.save(doc, "f")
+            hits = store.elements_intersecting("f", res.start, res.end)
+        tags = {e.tag for e in hits}
+        assert "res" in tags and "line" in tags and "w" in tags
+
+    def test_overlap_join_matches_memory(self, doc):
+        expected = set()
+        for element in doc.elements(tag="res"):
+            for other in element.overlapping():
+                if other.tag == "line":
+                    expected.add((element.start, other.start))
+        with SqliteStore() as store:
+            store.save(doc, "f")
+            pairs = store.overlapping_pairs("f", "res", "line")
+        assert {(a.start, b.start) for a, b in pairs} == expected
+
+    def test_text_window(self, doc):
+        with SqliteStore() as store:
+            store.save(doc, "f")
+            assert store.text_of("f", 0, 5) == "Hwaet"
+
+    def test_file_persistence(self, doc, tmp_path):
+        path = str(tmp_path / "store.db")
+        with SqliteStore(path) as store:
+            store.save(doc, "f")
+        with SqliteStore(path) as store:
+            assert store.has("f")
+            assert documents_isomorphic(doc, store.load("f"))
+
+
+class TestBinaryBackend:
+    def test_roundtrip(self, doc, tmp_path):
+        path = tmp_path / "doc.gdag"
+        save_file(doc, path, "figure1")
+        assert documents_isomorphic(doc, load_file(path))
+
+    def test_scan_spans_without_loading(self, doc, tmp_path):
+        path = tmp_path / "doc.gdag"
+        save_file(doc, path)
+        res = next(doc.elements(tag="res"))
+        hits = scan_spans(path, res.start, res.end)
+        tags = {tag for (_, tag, _, _) in hits}
+        assert "res" in tags and "line" in tags
+
+    def test_scan_matches_memory(self, tmp_path):
+        document = generate(WorkloadSpec(words=300, seed=5))
+        path = tmp_path / "syn.gdag"
+        save_file(document, path)
+        window = (50, 120)
+        expected = {
+            (e.hierarchy, e.tag, e.start, e.end)
+            for e in document.elements()
+            if not e.is_empty and e.start < window[1] and e.end > window[0]
+        }
+        assert set(scan_spans(path, *window)) == expected
+
+    def test_file_stats(self, doc, tmp_path):
+        path = tmp_path / "doc.gdag"
+        save_file(doc, path)
+        stats = file_stats(path)
+        assert stats["elements"] == doc.element_count()
+        assert stats["total_bytes"] > stats["text_bytes"]
+
+    def test_magic_check(self, tmp_path):
+        path = tmp_path / "junk.gdag"
+        path.write_bytes(b"not a gdag file")
+        with pytest.raises(StorageError):
+            load_file(path)
+
+
+class TestGoddagStoreFacade:
+    def test_sqlite_facade(self, doc):
+        with GoddagStore() as store:
+            store.save(doc, "f")
+            assert store.names() == ["f"]
+            assert documents_isomorphic(doc, store.load("f"))
+
+    def test_binary_facade(self, doc, tmp_path):
+        with GoddagStore(tmp_path / "docs", backend="binary") as store:
+            store.save(doc, "f")
+            assert store.names() == ["f"]
+            assert documents_isomorphic(doc, store.load("f"))
+            store.delete("f")
+            assert store.names() == []
+
+    def test_binary_needs_directory(self):
+        with pytest.raises(StorageError):
+            GoddagStore(backend="binary")
+
+    def test_unknown_backend(self):
+        with pytest.raises(StorageError):
+            GoddagStore(backend="papyrus")
+
+    def test_facade_span_query_agreement(self, doc, tmp_path):
+        with GoddagStore() as sql_store:
+            sql_store.save(doc, "f")
+            sql_hits = set(sql_store.elements_intersecting("f", 10, 40))
+        with GoddagStore(tmp_path / "docs", backend="binary") as bin_store:
+            bin_store.save(doc, "f")
+            bin_hits = set(bin_store.elements_intersecting("f", 10, 40))
+        assert sql_hits == bin_hits
+
+    def test_binary_overlap_join_unsupported(self, doc, tmp_path):
+        with GoddagStore(tmp_path / "docs", backend="binary") as store:
+            store.save(doc, "f")
+            with pytest.raises(StorageError):
+                store.overlapping_pairs("f", "a", "b")

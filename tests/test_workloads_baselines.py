@@ -1,0 +1,200 @@
+"""Tests for the corpus, the synthetic generator, and the baselines —
+including agreement between baseline query answers and the GODDAG's."""
+
+import pytest
+
+from repro.baselines import (
+    FragmentationBaseline,
+    MilestoneBaseline,
+    parse_and_merge,
+    parse_dom,
+)
+from repro.compare import documents_isomorphic
+from repro.sacx import parse_concurrent
+from repro.serialize import export_distributed, export_fragmentation, export_milestones
+from repro.workloads import (
+    FIGURE_CENSUS,
+    FRAGMENT_SOURCES,
+    FRAGMENT_TEXT,
+    WorkloadSpec,
+    figure_one_conflicts,
+    figure_one_document,
+    generate,
+    generate_sources,
+    workload_summary,
+)
+from repro.xpath import xpath
+
+
+class TestCorpus:
+    def test_all_encodings_share_the_text(self):
+        from repro.sacx.events import content_events
+
+        for source in FRAGMENT_SOURCES.values():
+            assert content_events(source).text == FRAGMENT_TEXT
+
+    def test_census_matches_figure_two(self):
+        stats = figure_one_document().stats()
+        for key, expected in FIGURE_CENSUS.items():
+            assert stats[key] == expected, key
+
+    def test_conflicts_match_figure_one(self):
+        # "some of <w> markup are in conflict with <line>, <res>, or <dmg>"
+        conflicts = figure_one_conflicts()
+        assert ("res", "w") in conflicts
+        assert ("dmg", "w") in conflicts
+        assert ("line", "res") in conflicts or ("dmg", "line") in conflicts
+
+    def test_dtds_attach(self):
+        doc = figure_one_document()
+        assert doc.hierarchy("physical").dtd.declares("line")
+
+    def test_corpus_is_valid_against_its_dtds(self):
+        from repro.dtd import validate_document
+
+        assert validate_document(figure_one_document()) == []
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        spec = WorkloadSpec(words=300, seed=42)
+        assert documents_isomorphic(generate(spec), generate(spec))
+
+    def test_different_seeds_differ(self):
+        a = generate(WorkloadSpec(words=300, seed=1))
+        b = generate(WorkloadSpec(words=300, seed=2))
+        assert not documents_isomorphic(a, b)
+
+    def test_invariants_hold(self):
+        doc = generate(WorkloadSpec(words=500))
+        assert doc.check_invariants() == []
+
+    def test_hierarchy_count_knob(self):
+        for k in (1, 3, 6):
+            doc = generate(WorkloadSpec(words=200, hierarchies=k))
+            assert len(doc.hierarchy_names()) == k
+
+    def test_overlap_density_knob_monotone(self):
+        low = generate(WorkloadSpec(words=2000, overlap_density=0.0, seed=7))
+        high = generate(WorkloadSpec(words=2000, overlap_density=0.9, seed=7))
+        assert (
+            workload_summary(high)["overlapping_pairs"]
+            > workload_summary(low)["overlapping_pairs"]
+        )
+
+    def test_zero_density_editorial_stays_inside_lines(self):
+        doc = generate(WorkloadSpec(words=1000, overlap_density=0.0, seed=3))
+        for element in doc.elements(hierarchy="editorial"):
+            assert not any(
+                other.tag == "line" for other in element.overlapping()
+            )
+
+    def test_sources_roundtrip(self):
+        spec = WorkloadSpec(words=300)
+        sources = generate_sources(spec)
+        again = parse_concurrent(sources)
+        assert documents_isomorphic(generate(spec), again)
+
+
+class TestDomBaseline:
+    def test_dom_parse_counts(self):
+        dom = parse_dom(FRAGMENT_SOURCES["physical"])
+        assert dom.element_count() == 3
+        assert dom.text == FRAGMENT_TEXT
+
+    def test_merge_recovers_boundaries(self):
+        doc = figure_one_document()
+        merged = parse_and_merge(FRAGMENT_SOURCES)
+        assert merged["boundaries"] == list(doc.spans.boundaries)
+
+    def test_text_mismatch_detected(self):
+        with pytest.raises(ValueError):
+            parse_and_merge({"a": "<r>one</r>", "b": "<r>two</r>"})
+
+
+class TestFragmentationBaselineAgreement:
+    """The baseline must give the same *answers* as the GODDAG —
+    only slower.  Answer agreement is what makes E4 a fair race."""
+
+    @pytest.fixture()
+    def setup(self):
+        doc = generate(WorkloadSpec(words=800, overlap_density=0.3, seed=11))
+        baseline = FragmentationBaseline(export_fragmentation(doc))
+        return doc, baseline
+
+    def test_logical_counts_agree(self, setup):
+        doc, baseline = setup
+        for tag in ("line", "s", "w", "vline"):
+            expected = sum(1 for _ in doc.elements(tag=tag))
+            assert baseline.count_logical(tag) == expected, tag
+
+    def test_overlap_pairs_agree(self, setup):
+        doc, baseline = setup
+        goddag_pairs = set()
+        for vline in doc.elements(tag="vline"):
+            for other in vline.overlapping():
+                if other.tag == "line":
+                    goddag_pairs.add(
+                        (vline.start, vline.end, other.start, other.end)
+                    )
+        baseline_pairs = {
+            (a.start, a.end, b.start, b.end)
+            for a, b in baseline.overlap_pairs("vline", "line")
+        }
+        assert baseline_pairs == goddag_pairs
+
+    def test_logical_text_reassembles(self, setup):
+        doc, baseline = setup
+        expected = sorted(e.text for e in doc.elements(tag="vline"))
+        assert sorted(baseline.logical_text("vline")) == expected
+
+    def test_containment_agrees(self, setup):
+        doc, baseline = setup
+        expected = sum(
+            1
+            for line in doc.elements(tag="line")
+            for w in line.contained()
+            if w.tag == "w"
+        )
+        assert baseline.containment_pairs("line", "w") == expected
+
+
+class TestMilestoneBaselineAgreement:
+    @pytest.fixture()
+    def setup(self):
+        doc = generate(WorkloadSpec(words=600, overlap_density=0.3, seed=13))
+        baseline = MilestoneBaseline(export_milestones(doc, primary="physical"))
+        return doc, baseline
+
+    def test_range_counts_agree(self, setup):
+        doc, baseline = setup
+        for tag in ("s", "w", "vline"):
+            expected = sum(1 for _ in doc.elements(tag=tag))
+            assert baseline.count(tag) == expected, tag
+
+    def test_overlap_pairs_agree(self, setup):
+        doc, baseline = setup
+        expected = sum(
+            1
+            for vline in doc.elements(tag="vline")
+            for other in vline.overlapping()
+            if other.tag == "line"
+        )
+        assert len(baseline.overlap_pairs("vline", "line")) == expected
+
+
+class TestGoddagAnswersOnCorpus:
+    def test_figure_one_demo_queries(self):
+        doc = figure_one_document()
+        # which words did the restoration touch?  The restoration starts
+        # mid-word, so 'geardagum' overlaps and 'theodcyninga' nests.
+        touched = xpath(doc, "//res/contained::w | //res/overlapping::w")
+        assert [w.text for w in touched] == ["geardagum", "theodcyninga"]
+        # ... and the restored part of 'geardagum' is exactly 'dagum'.
+        res = xpath(doc, "//res")[0]
+        from repro.xpath import ExtendedXPath
+        shared = ExtendedXPath("overlap-text(//w[5])").evaluate(doc, res)
+        assert shared == "dagum"
+        # which line does the damage start on?
+        lines = xpath(doc, "//dmg/overlapping-left::line | //dmg/containing::line")
+        assert lines

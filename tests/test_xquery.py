@@ -1,0 +1,134 @@
+"""Tests for the FLWOR (XQuery-extension) layer."""
+
+import pytest
+
+from repro import GoddagBuilder
+from repro.errors import XPathSyntaxError
+from repro.xquery import XQuery, parse_xquery, xquery
+
+
+@pytest.fixture()
+def doc():
+    text = "swa hwilc swa thas boc raet and raede"
+    builder = GoddagBuilder(text)
+    builder.add_hierarchy("phys")
+    builder.add_hierarchy("ling")
+    builder.add_hierarchy("edit")
+    builder.add_annotation("phys", "line", 0, 18, {"n": "1"})
+    builder.add_annotation("phys", "line", 19, 37, {"n": "2"})
+    builder.add_annotation("ling", "w", 0, 3)
+    builder.add_annotation("ling", "w", 4, 9)
+    builder.add_annotation("ling", "w", 10, 13)
+    builder.add_annotation("ling", "w", 14, 18)
+    builder.add_annotation("ling", "w", 19, 22)
+    builder.add_annotation("ling", "w", 23, 27)
+    builder.add_annotation("edit", "res", 14, 22)
+    return builder.build()
+
+
+class TestParsing:
+    def test_minimal_query(self):
+        query = parse_xquery("for $x in //w return $x")
+        assert len(query.clauses) == 1
+
+    def test_multiple_for_bindings(self):
+        query = parse_xquery("for $x in //a, $y in //b return $x")
+        assert len(query.clauses) == 2
+
+    def test_all_clause_kinds(self):
+        query = parse_xquery(
+            "for $x in //w let $n := string($x) "
+            "where span-length($x) > 2 order by start($x) descending "
+            "return $n"
+        )
+        assert len(query.clauses) == 4
+
+    @pytest.mark.parametrize("bad", [
+        "return //w",                      # no for/let
+        "for $x in //w",                   # no return
+        "for x in //w return $x",          # missing $
+        "let $x = //w return $x",          # = instead of :=
+        "for $x in //w order //w return $x",  # order without by
+        "for $x in //w return $x where 1", # clause after return
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(XPathSyntaxError):
+            parse_xquery(bad)
+
+
+class TestEvaluation:
+    def test_simple_for_return(self, doc):
+        out = xquery(doc, "for $w in //w return string($w)")
+        assert out == ["swa", "hwilc", "swa", "thas", "boc", "raet"]
+
+    def test_where_filter(self, doc):
+        out = xquery(
+            doc,
+            "for $w in //w where span-length($w) > 3 return string($w)",
+        )
+        assert out == ["hwilc", "thas", "raet"]
+
+    def test_let_binding(self, doc):
+        out = xquery(
+            doc,
+            "for $l in //line let $k := count($l/contained::w) "
+            "return concat(string($l/@n), ':', string($k))",
+        )
+        assert out == ["1:4", "2:2"]
+
+    def test_cross_hierarchy_join(self, doc):
+        """The demo query class: for each restoration, the words it
+        touches, via the overlapping/contained axes."""
+        out = xquery(
+            doc,
+            "for $r in //res "
+            "for $w in $r/contained::w | $r/overlapping::w "
+            "return string($w)",
+        )
+        assert out == ["thas", "boc"]
+
+    def test_nested_fors_are_a_cartesian_join(self, doc):
+        out = xquery(
+            doc,
+            "for $l in //line for $r in //res "
+            "where $r/overlapping::line[@n = $l/@n] "
+            "return string($l/@n)",
+        )
+        assert out == ["1", "2"]  # res overlaps both lines
+
+    def test_order_by(self, doc):
+        out = xquery(
+            doc,
+            "for $w in //w order by string($w) return string($w)",
+        )
+        assert out == sorted(["swa", "hwilc", "swa", "thas", "boc", "raet"])
+
+    def test_order_by_descending(self, doc):
+        out = xquery(
+            doc,
+            "for $w in //w order by start($w) descending return string($w)",
+        )
+        assert out[0] == "raet"
+
+    def test_order_by_numeric_key(self, doc):
+        out = xquery(
+            doc,
+            "for $w in //w order by span-length($w) return span-length($w)",
+        )
+        assert out == sorted(out)
+
+    def test_scalar_iteration(self, doc):
+        out = xquery(doc, "for $n in count(//w) return $n + 1")
+        assert out == [7.0]
+
+    def test_compiled_reuse(self, doc):
+        query = XQuery("for $w in //w return span-length($w)")
+        assert query.evaluate(doc) == query.evaluate(doc)
+
+    def test_where_with_variable_comparison(self, doc):
+        out = xquery(
+            doc,
+            "let $limit := 3 "
+            "for $w in //w where span-length($w) = $limit return string($w)",
+        )
+        assert out == ["swa", "swa", "boc"]
