@@ -1,0 +1,128 @@
+"""E9 — indexed vs unindexed query speed across document sizes.
+
+Measures the three query classes the index subsystem accelerates, on
+the synthetic corpora of ``workloads/generator.py``:
+
+* **name-test** — a selective tag lookup (``//page``): the unindexed
+  engine streams every element of the document; the structural summary
+  resolves the step to its candidate list;
+* **contains** — a full-text predicate (``//w[contains(., 'gar')]``):
+  unindexed, one substring scan per candidate; indexed, one binary
+  search over the term index's occurrence offsets;
+* **overlap** — a storage-level stabbing sweep over a stored document
+  (binary backend): unindexed, a full table scan per probe
+  (``scan_spans``); indexed, an interval query over the ``.gidx``
+  sidecar — the document is never materialized.
+
+Timings are best-of-N wall times (same protocol as the E4 headline
+check); each size row reports the speedup ratio indexed → unindexed.
+Run standalone for the report table::
+
+    PYTHONPATH=src python benchmarks/bench_e9_index_speedup.py
+
+or through pytest (the assertion is the acceptance bar: at the largest
+size, at least one class must clear 2x)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_e9_index_speedup.py -q
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.index import IndexManager
+from repro.storage import GoddagStore
+from repro.workloads import WorkloadSpec, generate
+from repro.xpath import ExtendedXPath
+
+SIZES = (1000, 4000, 8000)
+DENSITY = 0.25
+NAME_QUERY = ExtendedXPath("//page")
+CONTAINS_QUERY = ExtendedXPath("//w[contains(., 'gar')]")
+OVERLAP_PROBES = 200
+
+
+def best_of(fn, n: int = 5) -> float:
+    times = []
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def overlap_probe_offsets(length: int) -> list[int]:
+    step = max(1, length // OVERLAP_PROBES)
+    return list(range(0, length, step))[:OVERLAP_PROBES]
+
+
+def measure_size(words: int, tmp_dir) -> dict[str, float]:
+    """One row of the E9 table: per-class speedups at one corpus size."""
+    document = generate(
+        WorkloadSpec(words=words, hierarchies=4, overlap_density=DENSITY)
+    )
+    row: dict[str, float] = {"words": words}
+
+    # -- name-test and contains: in-memory engine, manager attached or not.
+    document.detach_index()
+    document.ordered_elements()  # pre-warm the shared document-order cache
+    baseline_name = best_of(lambda: NAME_QUERY.nodes(document))
+    baseline_contains = best_of(lambda: CONTAINS_QUERY.nodes(document))
+    manager = IndexManager.for_document(document)
+    manager.terms.occurrences("gar")  # pre-warm, like the E4 index warm-up
+    indexed_name = best_of(lambda: NAME_QUERY.nodes(document))
+    indexed_contains = best_of(lambda: CONTAINS_QUERY.nodes(document))
+    assert NAME_QUERY.nodes(document) and CONTAINS_QUERY.nodes(document)
+    row["name_test"] = baseline_name / indexed_name
+    row["contains"] = baseline_contains / indexed_contains
+
+    # -- overlap: stored document, sidecar index vs table scan.
+    store = GoddagStore(tmp_dir / f"e9-{words}", backend="binary")
+    store.save(document, "ms")
+    offsets = overlap_probe_offsets(document.length)
+
+    def sweep():
+        return [store.query_spans("ms", o, o + 1) for o in offsets]
+
+    baseline_sweep = best_of(sweep, n=3)
+    store.build_index("ms")
+    store.query_spans("ms", 0, 1)  # pre-warm the sidecar cache
+    indexed_sweep = best_of(sweep, n=3)
+    row["overlap"] = baseline_sweep / indexed_sweep
+    document.detach_index()
+    return row
+
+
+def run(tmp_dir) -> list[dict[str, float]]:
+    return [measure_size(words, tmp_dir) for words in SIZES]
+
+
+def report(rows: list[dict[str, float]]) -> str:
+    lines = [
+        "E9 — index speedup (ratios > 1 favor the index)",
+        f"{'words':>8} {'name-test':>10} {'contains':>10} {'overlap':>10}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['words']:>8} {row['name_test']:>9.1f}x "
+            f"{row['contains']:>9.1f}x {row['overlap']:>9.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def test_e9_index_speedup(tmp_path):
+    """Acceptance bar: ≥ 2x on at least one query class at the largest
+    corpus size (asserted loosely; the printed table records the rest)."""
+    rows = run(tmp_path)
+    print("\n" + report(rows))
+    largest = rows[-1]
+    best = max(largest["name_test"], largest["contains"], largest["overlap"])
+    assert best >= 2.0, largest
+
+
+if __name__ == "__main__":
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as tmp:
+        print(report(run(Path(tmp))))

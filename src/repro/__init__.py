@@ -42,6 +42,7 @@ from .core import (
 from .dtd import DTD, PotentialValidity, parse_dtd, validate_document
 from .editing import Editor
 from .filters import extract_range, filter_tags, project
+from .index import IndexManager
 from .sacx import (
     SACXParser,
     parse_concurrent,
@@ -92,6 +93,7 @@ __all__ = [
     "GoddagStore",
     "Hierarchy",
     "HierarchyError",
+    "IndexManager",
     "Leaf",
     "MarkupConflictError",
     "Node",

@@ -61,6 +61,7 @@ class GoddagDocument:
         self._version = 0
         self._ordered_cache: list[Element] = []
         self._ordered_cache_version = -1
+        self._index_manager = None
         self._root = Root(self, root_tag)
 
     # -- identity & bookkeeping ------------------------------------------------
@@ -90,8 +91,31 @@ class GoddagDocument:
         return self._version
 
     def touch(self) -> None:
-        """Bump the document version (called by mutators)."""
+        """Bump the document version (called by mutators).
+
+        Version bumps invalidate the version-stamped caches: the
+        ordered-element cache, cached order keys, and an attached index
+        manager.  The per-hierarchy interval indexes are reset
+        explicitly by the structural mutators (see :meth:`_dirty`).
+        """
         self._version += 1
+
+    @property
+    def index_manager(self):
+        """The attached :class:`~repro.index.manager.IndexManager`, if any.
+
+        The Extended XPath engine consults this automatically; query
+        results are identical with and without one attached.
+        """
+        return self._index_manager
+
+    def attach_index(self, manager) -> None:
+        """Attach a query-acceleration index manager to this document."""
+        self._index_manager = manager
+
+    def detach_index(self) -> None:
+        """Detach the index manager (queries return to unindexed paths)."""
+        self._index_manager = None
 
     def _next_ordinal(self) -> int:
         self._ordinal += 1

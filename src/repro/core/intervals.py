@@ -10,6 +10,15 @@ The structure is the classic "sort by start + segment tree over maximum
 end" augmentation: a query descends only into subtrees whose max-end
 clears the threshold, giving ``O(log n + k)`` per query.  The index is
 static; the owning document rebuilds it lazily after mutations.
+
+Zero-width spans (``start == end``) are *anchored* at their offset
+rather than silently dropped: for intersection and stabbing a
+zero-width item at ``a`` behaves like the position ``a`` itself (it is
+reported for every query window with ``start <= a < end``), for
+containment it participates by set inclusion (``[a, a)`` is contained
+in any window reaching ``a`` and contains only the zero-width window at
+``a``).  Empty item sequences build a valid index that answers every
+query with the empty list.
 """
 
 from __future__ import annotations
@@ -40,12 +49,15 @@ class StaticIntervalIndex(Generic[T]):
         n = len(self._items)
         self._size = n
         # Perfectly balanced implicit segment tree over max(end) per range.
+        # Zero-width spans enter the tree with the anchored end start+1 so
+        # intersection sees them as their anchor position; the true ends
+        # stay in _ends for the containment filters.
         tree_len = 1
         while tree_len < max(1, n):
             tree_len *= 2
         self._tree = [-1] * (2 * tree_len)
-        for i, end in enumerate(self._ends):
-            self._tree[tree_len + i] = end
+        for i, (start, end) in enumerate(zip(self._starts, self._ends)):
+            self._tree[tree_len + i] = end if end > start else start + 1
         for i in range(tree_len - 1, 0, -1):
             self._tree[i] = max(self._tree[2 * i], self._tree[2 * i + 1])
 
@@ -54,10 +66,10 @@ class StaticIntervalIndex(Generic[T]):
 
     # -- internal ------------------------------------------------------------
 
-    def _collect_end_gt(self, lo: int, hi: int, threshold: int) -> list[T]:
-        """All items with index in ``[lo, hi)`` whose end > ``threshold``."""
-        out: list[T] = []
-        if lo >= hi:
+    def _collect_indices_gt(self, lo: int, hi: int, threshold: int) -> list[int]:
+        """Indices in ``[lo, hi)`` whose (anchored) end > ``threshold``."""
+        out: list[int] = []
+        if lo >= hi or not self._size:
             return out
         leaves = len(self._tree) // 2
 
@@ -65,7 +77,7 @@ class StaticIntervalIndex(Generic[T]):
             if node_lo >= hi or node_hi <= lo or self._tree[node] <= threshold:
                 return
             if node_hi - node_lo == 1:
-                out.append(self._items[node_lo])
+                out.append(node_lo)
                 return
             mid = (node_lo + node_hi) // 2
             descend(2 * node, node_lo, mid)
@@ -80,35 +92,41 @@ class StaticIntervalIndex(Generic[T]):
         """Items sharing at least one character position with ``[start, end)``.
 
         Result is ordered by ``(start, -end)``, i.e. outermost-first among
-        items that begin together.
+        items that begin together.  Zero-width items anchored at ``a`` are
+        included when ``start <= a < end``.
         """
         hi = bisect_left(self._starts, end)
-        return self._collect_end_gt(0, hi, start)
+        return [self._items[i] for i in self._collect_indices_gt(0, hi, start)]
 
     def stabbing(self, offset: int) -> list[T]:
-        """Items whose span contains the character position ``offset``."""
+        """Items whose span contains the character position ``offset``
+        (including zero-width items anchored exactly at ``offset``)."""
         return self.intersecting(offset, offset + 1)
 
     def containing(self, start: int, end: int) -> list[T]:
         """Items whose span contains ``[start, end)`` entirely (allows equal).
 
         For zero-width targets (``start == end``) this returns the items
-        with ``item.start <= start`` and ``item.end >= end``.
+        with ``item.start <= start`` and ``item.end >= end`` — boundary
+        inclusive, so an item ending exactly at the anchor contains it.
+        A zero-width *item* contains only the zero-width target at its
+        own anchor.
         """
         hi = bisect_right(self._starts, start)
-        if start == end:
-            # Threshold is inclusive for zero-width anchors.
-            return self._collect_end_ge(0, hi, end)
-        return self._collect_end_gt(0, hi, end - 1)
-
-    def _collect_end_ge(self, lo: int, hi: int, threshold: int) -> list[T]:
-        """All items with index in ``[lo, hi)`` whose end >= ``threshold``."""
-        return self._collect_end_gt(lo, hi, threshold - 1)
+        return [
+            self._items[i]
+            for i in self._collect_indices_gt(0, hi, end - 1)
+            if self._ends[i] >= end
+        ]
 
     def contained_in(self, start: int, end: int) -> list[T]:
-        """Items whose span lies entirely within ``[start, end)``."""
+        """Items whose span lies entirely within ``[start, end)``.
+
+        By set inclusion a zero-width item anchored at ``a`` is contained
+        whenever ``start <= a <= end``.
+        """
         lo = bisect_left(self._starts, start)
-        hi = bisect_left(self._starts, end)
+        hi = bisect_right(self._starts, end)
         return [
             item
             for item, item_end in zip(self._items[lo:hi], self._ends[lo:hi])

@@ -1,0 +1,43 @@
+"""Query-acceleration indexes for GODDAG documents.
+
+Three cooperating indexes plus a manager:
+
+* :class:`StructuralSummary` — DescribeX-style label-path partitioning
+  per hierarchy, resolving name tests to candidate element lists;
+* :class:`TermIndex` — tokenized leaf text → posting lists, serving
+  exact ``contains()`` predicates by binary search;
+* :class:`OverlapIndex` — serializable per-hierarchy interval tables,
+  answering stabbing/overlap queries on *stored* documents without
+  materializing the GODDAG;
+* :class:`IndexManager` — builds all three, tracks document versions
+  (lazy rebuild after edits), and is what the Extended XPath engine and
+  the storage backends consult.
+
+Attach to a document and every compiled query accelerates transparently::
+
+    from repro.index import IndexManager
+
+    IndexManager.for_document(doc)          # build + attach
+    ExtendedXPath("//w").nodes(doc)         # now index-served
+
+Results are always byte-identical to the unindexed engine: any step the
+indexes cannot serve falls back to the classic evaluation path.
+"""
+
+from .manager import IndexManager
+from .overlap import HierarchyIntervals, OverlapIndex
+from .sidecar import read_sidecar, sidecar_path, write_sidecar
+from .structural import StructuralSummary
+from .term import TermIndex, tokenize
+
+__all__ = [
+    "HierarchyIntervals",
+    "IndexManager",
+    "OverlapIndex",
+    "StructuralSummary",
+    "TermIndex",
+    "read_sidecar",
+    "sidecar_path",
+    "tokenize",
+    "write_sidecar",
+]

@@ -1,0 +1,157 @@
+"""The index manager: builds, refreshes, and serves the three indexes.
+
+One :class:`IndexManager` owns, for one document, a structural summary
+(:mod:`.structural`), a term index (:mod:`.term`) and an overlap index
+(:mod:`.overlap`).  It is version-stamped against the document exactly
+like the lazy interval indexes of :mod:`repro.core.intervals`: any
+mutation bumps ``document.version``, which marks the manager stale, and
+the next index access rebuilds transparently.  The term index is keyed
+to the immutable document text and therefore survives every rebuild.
+
+Attach a manager with :meth:`IndexManager.attach` (or the
+``for_document`` convenience) and the Extended XPath engine picks it up
+automatically; queries fall back to the unindexed paths whenever the
+manager cannot serve a step, so results are always identical with and
+without an index.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .overlap import OverlapIndex
+from .structural import StructuralSummary, encode_path
+from .term import TermIndex
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..core.goddag import GoddagDocument
+    from ..core.node import Element
+
+#: Current persisted payload format.
+PAYLOAD_FORMAT = 1
+
+
+class IndexManager:
+    """Query-acceleration indexes over one GODDAG document."""
+
+    def __init__(self, document: "GoddagDocument", build: bool = True) -> None:
+        self.document = document
+        self.build_count = 0
+        self._built_version = -1
+        self._structural: StructuralSummary | None = None
+        self._overlap: OverlapIndex | None = None
+        self._terms: TermIndex | None = None
+        if build:
+            self.refresh()
+
+    @classmethod
+    def for_document(cls, document: "GoddagDocument") -> "IndexManager":
+        """Build a manager and attach it to the document in one step."""
+        return cls(document).attach()
+
+    def attach(self) -> "IndexManager":
+        """Register this manager on the document for engine pickup."""
+        self.document.attach_index(self)
+        return self
+
+    def detach(self) -> "IndexManager":
+        if self.document.index_manager is self:
+            self.document.detach_index()
+        return self
+
+    # -- freshness (the lazy-rebuild contract) --------------------------------
+
+    @property
+    def is_stale(self) -> bool:
+        """True when the document mutated after the last build."""
+        return self._built_version != self.document.version
+
+    @property
+    def built_version(self) -> int:
+        return self._built_version
+
+    def refresh(self, force: bool = False) -> "IndexManager":
+        """Rebuild the structural and overlap indexes if stale (or forced).
+
+        The term index is built once: the text is immutable.
+        """
+        if force or self.is_stale or self._structural is None:
+            self._structural = StructuralSummary(self.document)
+            self._overlap = OverlapIndex.from_document(self.document)
+            if self._terms is None:
+                self._terms = TermIndex.from_text(self.document.text)
+            self._built_version = self.document.version
+            self.build_count += 1
+        return self
+
+    @property
+    def structural(self) -> StructuralSummary:
+        self.refresh()
+        return self._structural
+
+    @property
+    def overlap(self) -> OverlapIndex:
+        self.refresh()
+        return self._overlap
+
+    @property
+    def terms(self) -> TermIndex:
+        if self._terms is None:
+            self._terms = TermIndex.from_text(self.document.text)
+        return self._terms
+
+    # -- the engine-facing query surface --------------------------------------
+
+    def name_candidates(
+        self, name: str, hierarchy: str | None = None
+    ) -> "list[Element] | None":
+        """Document-order elements matching a name test, or ``None`` when
+        the index cannot prune the step."""
+        return self.structural.candidates(name, hierarchy)
+
+    def supports_contains(self, needle: str) -> bool:
+        """True when ``contains`` with this literal is index-servable."""
+        return TermIndex.is_indexable(needle)
+
+    def contains_span(self, start: int, end: int, needle: str) -> bool:
+        """Exactly ``needle in document.text[start:end]`` (indexable needles)."""
+        return self.terms.span_contains(start, end, needle)
+
+    # -- persistence ------------------------------------------------------------
+
+    def payload(self, name: str = "") -> dict:
+        """The serializable form consumed by both storage backends."""
+        self.refresh()
+        paths = [
+            (hierarchy, encode_path(path), path[-1], count,
+             [(e.start, e.end)
+              for e in self.structural.partition(hierarchy, path)])
+            for hierarchy, path, count in self.structural.label_paths()
+        ]
+        return {
+            "format": PAYLOAD_FORMAT,
+            "name": name,
+            "doc_length": self.document.length,
+            "overlap": self.overlap.payload(),
+            "terms": {term: list(starts) for term, starts in self.terms.items()},
+            "paths": paths,
+        }
+
+    def stats(self) -> dict[str, int]:
+        """Size census of the three indexes (benchmarks print this)."""
+        self.refresh()
+        return {
+            "elements": self.structural.element_count(),
+            "solid_elements": self.overlap.element_count(),
+            "label_paths": self.structural.partition_count(),
+            "terms": self.terms.term_count,
+            "postings": self.terms.posting_count,
+            "builds": self.build_count,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "stale" if self.is_stale else "fresh"
+        return (
+            f"IndexManager({state}, version={self._built_version}, "
+            f"builds={self.build_count})"
+        )

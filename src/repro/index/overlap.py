@@ -1,0 +1,181 @@
+"""Persistent overlap index: serializable per-hierarchy interval tables.
+
+The in-memory GODDAG answers cross-hierarchy overlap queries from its
+lazily built :class:`~repro.core.intervals.StaticIntervalIndex` per
+hierarchy.  Those structures live and die with the document object; this
+module is their *persistent* counterpart: plain sorted arrays of
+``(start, end, tag)`` per hierarchy that serialize to storage (SQLite
+rows or a binary ``.gidx`` sidecar) and answer stabbing, intersection
+and proper-overlap queries on *stored* documents without materializing
+a single GODDAG node — the overlap-index design of Hasibi & Bratsberg
+applied to the framework's storage layer.
+
+Queries run through a :class:`StaticIntervalIndex` built over the
+arrays (indices as items), so a reloaded index keeps the ``O(log n +
+k)`` bound of the in-memory one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..core.intervals import StaticIntervalIndex
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..core.goddag import GoddagDocument
+
+#: A storage-level query answer: no node is materialized.
+SpanHit = tuple[str, str, int, int]  # (hierarchy, tag, start, end)
+
+
+class HierarchyIntervals:
+    """The sorted interval table of one hierarchy's solid elements."""
+
+    __slots__ = ("hierarchy", "starts", "ends", "tags", "_index")
+
+    def __init__(
+        self,
+        hierarchy: str,
+        starts: list[int],
+        ends: list[int],
+        tags: list[str],
+    ) -> None:
+        if not (len(starts) == len(ends) == len(tags)):
+            raise ValueError("parallel interval arrays must agree in length")
+        self.hierarchy = hierarchy
+        self.starts = starts
+        self.ends = ends
+        self.tags = tags
+        self._index: StaticIntervalIndex[int] | None = None
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+    def _interval_index(self) -> StaticIntervalIndex[int]:
+        # Items are row indices; the arrays are already (start, -end)
+        # sorted, so the index construction keeps row order stable.
+        if self._index is None:
+            self._index = StaticIntervalIndex(
+                range(len(self.starts)),
+                start_of=self.starts.__getitem__,
+                end_of=self.ends.__getitem__,
+            )
+        return self._index
+
+    def hit(self, row: int) -> SpanHit:
+        return (self.hierarchy, self.tags[row], self.starts[row], self.ends[row])
+
+    def intersecting(self, start: int, end: int) -> list[int]:
+        """Row indices of intervals sharing a position with ``[start, end)``."""
+        return self._interval_index().intersecting(start, end)
+
+    def stabbing(self, offset: int) -> list[int]:
+        return self._interval_index().stabbing(offset)
+
+
+class OverlapIndex:
+    """Per-hierarchy interval tables over one document's solid elements."""
+
+    __slots__ = ("tables",)
+
+    def __init__(self, tables: dict[str, HierarchyIntervals]) -> None:
+        self.tables = tables
+
+    @classmethod
+    def from_document(cls, document: "GoddagDocument") -> "OverlapIndex":
+        tables: dict[str, HierarchyIntervals] = {}
+        for name in document.hierarchy_names():
+            rows = sorted(
+                (
+                    (element.start, -element.end, element.tag)
+                    for element in document.elements(hierarchy=name)
+                    if not element.is_empty
+                ),
+            )
+            tables[name] = HierarchyIntervals(
+                name,
+                [start for (start, _, _) in rows],
+                [-negated for (_, negated, _) in rows],
+                [tag for (_, _, tag) in rows],
+            )
+        return cls(tables)
+
+    # -- queries (storage-level answers, no nodes) ----------------------------
+
+    def hierarchy_names(self) -> tuple[str, ...]:
+        return tuple(self.tables)
+
+    def element_count(self) -> int:
+        return sum(len(table) for table in self.tables.values())
+
+    def _selected(self, hierarchy: str | None) -> Iterator[HierarchyIntervals]:
+        if hierarchy is None:
+            yield from self.tables.values()
+        elif hierarchy in self.tables:
+            yield self.tables[hierarchy]
+
+    def intersecting(
+        self, start: int, end: int, hierarchy: str | None = None
+    ) -> list[SpanHit]:
+        """Solid elements sharing at least one position with ``[start, end)``,
+        ordered by ``(start, -end, hierarchy)``."""
+        out: list[SpanHit] = []
+        for table in self._selected(hierarchy):
+            out.extend(table.hit(row) for row in table.intersecting(start, end))
+        out.sort(key=_hit_key)
+        return out
+
+    def stabbing(self, offset: int, hierarchy: str | None = None) -> list[SpanHit]:
+        """Solid elements containing the position ``offset``."""
+        return self.intersecting(offset, offset + 1, hierarchy)
+
+    def overlapping(
+        self, start: int, end: int, hierarchy: str | None = None
+    ) -> list[SpanHit]:
+        """Elements *properly* overlapping ``[start, end)`` — they intersect
+        it and neither side contains the other (the ``overlapping`` axis
+        relation, answered in storage)."""
+        out: list[SpanHit] = []
+        if start >= end:
+            return out
+        for table in self._selected(hierarchy):
+            for row in table.intersecting(start, end):
+                other_start, other_end = table.starts[row], table.ends[row]
+                contains = other_start <= start and end <= other_end
+                contained = start <= other_start and other_end <= end
+                if not contains and not contained:
+                    out.append(table.hit(row))
+        out.sort(key=_hit_key)
+        return out
+
+    # -- persistence -----------------------------------------------------------
+
+    def payload(self) -> dict[str, dict[str, list]]:
+        """JSON-shaped form: ``{hierarchy: {starts, ends, tags}}``."""
+        return {
+            name: {
+                "starts": list(table.starts),
+                "ends": list(table.ends),
+                "tags": list(table.tags),
+            }
+            for name, table in self.tables.items()
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, dict[str, list]]) -> "OverlapIndex":
+        return cls(
+            {
+                name: HierarchyIntervals(
+                    name,
+                    list(entry["starts"]),
+                    list(entry["ends"]),
+                    list(entry["tags"]),
+                )
+                for name, entry in payload.items()
+            }
+        )
+
+
+def _hit_key(hit: SpanHit) -> tuple[int, int, str, str]:
+    hierarchy, tag, start, end = hit
+    return (start, -end, hierarchy, tag)

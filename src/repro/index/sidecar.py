@@ -1,0 +1,217 @@
+"""The binary ``.gidx`` sidecar format for persisted indexes.
+
+The binary storage backend keeps one ``<name>.gdag`` file per document;
+its indexes live in a sibling ``<name>.gidx`` sidecar so the document
+file itself never changes shape.  Like the GDAG1 format the sidecar is
+a versioned magic, a JSON header, and packed little-endian sections:
+
+.. code-block:: text
+
+    GIDX1\\n
+    u32 header_length  | JSON header: format, name, doc_length,
+                       |   element_count, region byte lengths, and the
+                       |   per-section tables of contents
+    overlap region     | per hierarchy: count × '<III' (start, end, tag_idx)
+    terms region       | one u32 array; header maps term → [offset, count]
+    paths region       | u32 span pairs; header rows carry offsets
+
+Readers ask for the sections they need (:func:`read_sidecar` with
+``sections=("overlap",)`` seeks past the rest), which is what lets the
+storage layer answer a stabbing query on a stored document by reading a
+few kilobytes of interval table instead of deserializing the GODDAG.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from pathlib import Path
+
+from .._util import pack_u32, unpack_u32
+from ..errors import StorageError
+
+MAGIC = b"GIDX1\n"
+SIDECAR_SUFFIX = ".gidx"
+
+_ALL_SECTIONS = ("overlap", "terms", "paths")
+_TRIPLET = struct.Struct("<III")
+
+
+def sidecar_path(document_path: str | Path) -> Path:
+    """The sidecar location for a stored document file."""
+    return Path(document_path).with_suffix(SIDECAR_SUFFIX)
+
+
+def write_sidecar(path: str | Path, payload: dict) -> None:
+    """Serialize an index payload (see ``IndexManager.payload``)."""
+    # -- overlap region: per-hierarchy (start, end, tag_idx) triplets.
+    overlap_toc: dict[str, dict] = {}
+    overlap_parts: list[bytes] = []
+    offset = 0
+    for hierarchy, entry in payload.get("overlap", {}).items():
+        pool: list[str] = []
+        pool_index: dict[str, int] = {}
+        packed = bytearray()
+        for start, end, tag in zip(entry["starts"], entry["ends"], entry["tags"]):
+            if tag not in pool_index:
+                pool_index[tag] = len(pool)
+                pool.append(tag)
+            packed += _TRIPLET.pack(start, end, pool_index[tag])
+        overlap_toc[hierarchy] = {
+            "count": len(entry["starts"]),
+            "offset": offset,
+            "pool": pool,
+        }
+        overlap_parts.append(bytes(packed))
+        offset += len(packed)
+    overlap_region = b"".join(overlap_parts)
+
+    # -- terms region: one shared u32 array of posting starts.
+    term_toc: dict[str, list[int]] = {}
+    all_starts: list[int] = []
+    for term, starts in payload.get("terms", {}).items():
+        term_toc[term] = [len(all_starts), len(starts)]
+        all_starts.extend(starts)
+    terms_region = pack_u32(all_starts)
+
+    # -- paths region: u32 span pairs per partition row.
+    path_rows: list[list] = []
+    all_spans: list[int] = []
+    for hierarchy, path_str, tag, count, spans in payload.get("paths", []):
+        path_rows.append([hierarchy, path_str, tag, count, len(all_spans)])
+        for start, end in spans:
+            all_spans.append(start)
+            all_spans.append(end)
+    paths_region = pack_u32(all_spans)
+
+    header = {
+        "format": payload.get("format", 1),
+        "name": payload.get("name", ""),
+        "doc_length": payload.get("doc_length", 0),
+        "element_count": sum(
+            toc["count"] for toc in overlap_toc.values()
+        ),
+        "regions": {
+            "overlap": len(overlap_region),
+            "terms": len(terms_region),
+            "paths": len(paths_region),
+        },
+        "overlap": overlap_toc,
+        "term_entries": term_toc,
+        "path_rows": path_rows,
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    # Write-then-rename: a crash mid-write must never leave a truncated
+    # sidecar behind (readers would fail loudly instead of falling back).
+    target = Path(path)
+    scratch = target.with_name(target.name + ".tmp")
+    with open(scratch, "wb") as fh:
+        fh.write(MAGIC)
+        fh.write(struct.pack("<I", len(header_bytes)))
+        fh.write(header_bytes)
+        fh.write(overlap_region)
+        fh.write(terms_region)
+        fh.write(paths_region)
+    os.replace(scratch, target)
+
+
+def read_header(fh) -> dict:
+    magic = fh.read(len(MAGIC))
+    if magic != MAGIC:
+        raise StorageError(f"not a GIDX1 sidecar (magic {magic!r})")
+    length_bytes = fh.read(4)
+    if len(length_bytes) < 4:
+        raise StorageError("truncated GIDX1 sidecar header")
+    (header_length,) = struct.unpack("<I", length_bytes)
+    raw = fh.read(header_length)
+    if len(raw) < header_length:
+        raise StorageError("truncated GIDX1 sidecar header")
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StorageError(f"corrupt GIDX1 sidecar header: {exc}") from exc
+
+
+def read_sidecar_header(path: str | Path) -> dict:
+    """The sidecar's JSON header alone — tables of contents and per-row
+    metadata (e.g. partition populations), no region I/O."""
+    with open(path, "rb") as fh:
+        return read_header(fh)
+
+
+def read_sidecar(
+    path: str | Path, sections: tuple[str, ...] = _ALL_SECTIONS
+) -> dict:
+    """Read an index payload back, loading only the requested sections.
+
+    Unrequested regions are seeked past, so e.g. an overlap-only read of
+    a large sidecar never touches the term postings.
+    """
+    wanted = set(sections)
+    unknown = wanted.difference(_ALL_SECTIONS)
+    if unknown:
+        raise StorageError(f"unknown sidecar sections {sorted(unknown)!r}")
+    with open(path, "rb") as fh:
+        header = read_header(fh)
+        try:
+            return _read_sections(fh, header, wanted)
+        except (struct.error, ValueError, KeyError, IndexError,
+                TypeError) as exc:
+            raise StorageError(
+                f"corrupt GIDX1 sidecar {Path(path).name!r}: {exc}"
+            ) from exc
+
+
+def _read_sections(fh, header: dict, wanted: set[str]) -> dict:
+    regions = header["regions"]
+    payload: dict = {
+        "format": header["format"],
+        "name": header["name"],
+        "doc_length": header["doc_length"],
+        "element_count": header["element_count"],
+    }
+
+    if "overlap" in wanted:
+        region = fh.read(regions["overlap"])
+        overlap: dict[str, dict[str, list]] = {}
+        for hierarchy, toc in header["overlap"].items():
+            starts: list[int] = []
+            ends: list[int] = []
+            tags: list[str] = []
+            pool = toc["pool"]
+            base = toc["offset"]
+            for i in range(toc["count"]):
+                start, end, tag_idx = _TRIPLET.unpack_from(
+                    region, base + i * _TRIPLET.size
+                )
+                starts.append(start)
+                ends.append(end)
+                tags.append(pool[tag_idx])
+            overlap[hierarchy] = {
+                "starts": starts, "ends": ends, "tags": tags,
+            }
+        payload["overlap"] = overlap
+    else:
+        fh.seek(regions["overlap"], 1)
+
+    if "terms" in wanted:
+        all_starts = unpack_u32(fh.read(regions["terms"]))
+        payload["terms"] = {
+            term: all_starts[offset : offset + count]
+            for term, (offset, count) in header["term_entries"].items()
+        }
+    else:
+        fh.seek(regions["terms"], 1)
+
+    if "paths" in wanted:
+        all_spans = unpack_u32(fh.read(regions["paths"]))
+        rows = []
+        for hierarchy, path_str, tag, count, offset in header["path_rows"]:
+            spans = [
+                (all_spans[offset + 2 * i], all_spans[offset + 2 * i + 1])
+                for i in range(count)
+            ]
+            rows.append((hierarchy, path_str, tag, count, spans))
+        payload["paths"] = rows
+    return payload

@@ -1,0 +1,156 @@
+"""DescribeX-style structural summary of a GODDAG document.
+
+The summary partitions the elements of every hierarchy by their *label
+path* — the root-to-element sequence of tags within that hierarchy —
+and additionally keeps flat document-order lists per tag, per hierarchy,
+and per ``(hierarchy, tag)`` pair.  A name-test step of the query engine
+then resolves to a prebuilt candidate list instead of a full document
+traversal, and a storage backend can answer "how many ``line`` elements,
+and where" from the persisted partition rows without touching the
+element table.
+
+The summary is a snapshot: the owning :class:`~repro.index.manager.IndexManager`
+rebuilds it lazily when the document version moves (the same contract as
+the lazy interval indexes in :mod:`repro.core.intervals`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..core.goddag import GoddagDocument
+    from ..core.node import Element
+
+#: Separator used when a label path is rendered as one string ("page/line").
+PATH_SEPARATOR = "/"
+
+
+def encode_path(path: tuple[str, ...]) -> str:
+    """Render a label path as one string, unambiguously.
+
+    Tags are never validated anywhere in the library, so a tag may
+    itself contain the separator; escaping keeps the encoding injective
+    (``('a/b',)`` and ``('a', 'b')`` encode differently), which the
+    persisted forms rely on for their uniqueness keys.
+    """
+    return PATH_SEPARATOR.join(
+        tag.replace("\\", "\\\\").replace(PATH_SEPARATOR, "\\" + PATH_SEPARATOR)
+        for tag in path
+    )
+
+
+def decode_path(encoded: str) -> tuple[str, ...]:
+    """Inverse of :func:`encode_path`."""
+    parts: list[str] = []
+    buffer: list[str] = []
+    i = 0
+    while i < len(encoded):
+        ch = encoded[i]
+        if ch == "\\" and i + 1 < len(encoded):
+            buffer.append(encoded[i + 1])
+            i += 2
+        elif ch == PATH_SEPARATOR:
+            parts.append("".join(buffer))
+            buffer = []
+            i += 1
+        else:
+            buffer.append(ch)
+            i += 1
+    parts.append("".join(buffer))
+    return tuple(parts)
+
+
+class StructuralSummary:
+    """Label-path partitioning plus flat per-tag element lists."""
+
+    __slots__ = ("_by_tag", "_by_hierarchy", "_by_pair", "_partitions")
+
+    def __init__(self, document: "GoddagDocument") -> None:
+        by_tag: dict[str, list["Element"]] = {}
+        by_hierarchy: dict[str, list["Element"]] = {}
+        by_pair: dict[tuple[str, str], list["Element"]] = {}
+        # ordered_elements() is the canonical document order, so every
+        # flat list below is a document-order subsequence by construction.
+        for element in document.ordered_elements():
+            by_tag.setdefault(element.tag, []).append(element)
+            by_hierarchy.setdefault(element.hierarchy, []).append(element)
+            by_pair.setdefault((element.hierarchy, element.tag), []).append(element)
+        self._by_tag = by_tag
+        self._by_hierarchy = by_hierarchy
+        self._by_pair = by_pair
+
+        # Label-path partitions, per hierarchy, in per-hierarchy preorder.
+        partitions: dict[tuple[str, tuple[str, ...]], list["Element"]] = {}
+        for name in document.hierarchy_names():
+            stack: list[tuple["Element", tuple[str, ...]]] = [
+                (top, (top.tag,))
+                for top in reversed(document.top_level(name))
+            ]
+            while stack:
+                element, path = stack.pop()
+                partitions.setdefault((name, path), []).append(element)
+                stack.extend(
+                    (child, path + (child.tag,))
+                    for child in reversed(element.element_children)
+                )
+        self._partitions = partitions
+
+    # -- candidate resolution (the query-engine entry point) -----------------
+
+    def candidates(
+        self, name: str, hierarchy: str | None = None
+    ) -> list["Element"] | None:
+        """Document-order elements matching a name test, or ``None`` when
+        the summary cannot prune (a bare ``*`` matches everything).
+
+        The list is the caller's to keep: mutations never reach the
+        summary's internal partitions.
+        """
+        if hierarchy is None:
+            if name == "*":
+                return None
+            return list(self._by_tag.get(name, ()))
+        if name == "*":
+            return list(self._by_hierarchy.get(hierarchy, ()))
+        return list(self._by_pair.get((hierarchy, name), ()))
+
+    def tag_count(self, name: str, hierarchy: str | None = None) -> int:
+        """Number of elements a name test would match."""
+        found = self.candidates(name, hierarchy)
+        if found is None:
+            return sum(len(elements) for elements in self._by_tag.values())
+        return len(found)
+
+    def tags(self, hierarchy: str | None = None) -> frozenset[str]:
+        """The tag vocabulary, overall or of one hierarchy."""
+        if hierarchy is None:
+            return frozenset(self._by_tag)
+        return frozenset(
+            tag for (h, tag) in self._by_pair if h == hierarchy
+        )
+
+    # -- label-path partitions ------------------------------------------------
+
+    def partition(
+        self, hierarchy: str, path: tuple[str, ...] | str
+    ) -> list["Element"]:
+        """Elements whose root-to-element label path is ``path`` (a tag
+        tuple, or a string produced by :func:`encode_path`)."""
+        if isinstance(path, str):
+            path = decode_path(path)
+        return list(self._partitions.get((hierarchy, path), ()))
+
+    def label_paths(
+        self, hierarchy: str | None = None
+    ) -> Iterator[tuple[str, tuple[str, ...], int]]:
+        """All ``(hierarchy, path, population)`` partitions."""
+        for (name, path), elements in sorted(self._partitions.items()):
+            if hierarchy is None or name == hierarchy:
+                yield name, path, len(elements)
+
+    def partition_count(self) -> int:
+        return len(self._partitions)
+
+    def element_count(self) -> int:
+        return sum(len(elements) for elements in self._by_tag.values())

@@ -1,0 +1,157 @@
+"""Full-text term index over the shared document text.
+
+The document text of a GODDAG is immutable, so the term index is built
+once per document and never goes stale — editing only moves markup.
+Tokens are the maximal runs of alphanumeric characters (``str.isalnum``
+per character), each posted with its start offset.  That choice makes
+the index *exact* for the query engine's ``contains(., 'lit')`` fast
+path whenever the literal itself is alphanumeric: every occurrence of
+such a literal in the text necessarily lies inside a single token, so
+
+    ``lit in text[start:end]``  ⇔  some occurrence span of ``lit``
+                                   fits inside ``[start, end)``
+
+and the right-hand side is a binary search over the cached occurrence
+offsets.  Literals containing whitespace or punctuation are declared
+non-indexable (:meth:`TermIndex.is_indexable`) and evaluated the plain
+way, keeping indexed results byte-identical to unindexed ones.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterator
+
+
+def find_all(haystack: str, needle: str) -> list[int]:
+    """Start offsets of every (possibly overlapping) occurrence of
+    ``needle`` in ``haystack``, ascending."""
+    out: list[int] = []
+    position = haystack.find(needle)
+    while position != -1:
+        out.append(position)
+        position = haystack.find(needle, position + 1)
+    return out
+
+
+def tokenize(text: str) -> Iterator[tuple[int, str]]:
+    """Yield ``(start_offset, token)`` for each maximal alphanumeric run."""
+    start = -1
+    for i, ch in enumerate(text):
+        if ch.isalnum():
+            if start < 0:
+                start = i
+        elif start >= 0:
+            yield start, text[start:i]
+            start = -1
+    if start >= 0:
+        yield start, text[start:]
+
+
+class TermIndex:
+    """Posting lists of text tokens, with exact substring acceleration."""
+
+    __slots__ = ("text_length", "_postings", "_occurrences")
+
+    def __init__(self, text_length: int, postings: dict[str, list[int]]) -> None:
+        self.text_length = text_length
+        self._postings = postings
+        self._occurrences: dict[str, list[int]] = {}
+
+    @classmethod
+    def from_text(cls, text: str) -> "TermIndex":
+        """Tokenize ``text`` and build the posting lists."""
+        postings: dict[str, list[int]] = {}
+        for start, token in tokenize(text):
+            postings.setdefault(token, []).append(start)
+        return cls(len(text), postings)
+
+    # -- vocabulary ------------------------------------------------------------
+
+    @property
+    def term_count(self) -> int:
+        return len(self._postings)
+
+    @property
+    def posting_count(self) -> int:
+        return sum(len(starts) for starts in self._postings.values())
+
+    def vocabulary(self) -> Iterator[str]:
+        return iter(self._postings)
+
+    def postings(self, term: str) -> list[int]:
+        """Start offsets of the exact token ``term`` (empty when absent)."""
+        return list(self._postings.get(term, ()))
+
+    # -- substring queries -----------------------------------------------------
+
+    @staticmethod
+    def is_indexable(needle: str) -> bool:
+        """True when the index answers ``contains`` for ``needle`` exactly:
+        non-empty and alphanumeric-only (so no occurrence can straddle a
+        token boundary)."""
+        return bool(needle) and needle.isalnum()
+
+    def _occurrence_list(self, needle: str) -> list[int]:
+        """The cached occurrence list itself — internal use only, so the
+        binary-search paths never pay a per-call copy."""
+        cached = self._occurrences.get(needle)
+        if cached is not None:
+            return cached
+        if not self.is_indexable(needle):
+            raise ValueError(f"needle {needle!r} is not indexable")
+        out = occurrences_from_terms(self._postings.items(), needle)
+        self._occurrences[needle] = out
+        return out
+
+    def occurrences(self, needle: str) -> list[int]:
+        """Sorted start offsets of every occurrence of ``needle`` in the
+        text (overlapping occurrences included).  ``needle`` must satisfy
+        :meth:`is_indexable`; results are cached per needle and the
+        returned list is the caller's to keep."""
+        return list(self._occurrence_list(needle))
+
+    def count(self, needle: str) -> int:
+        """Number of occurrences of ``needle`` in the text."""
+        return len(self._occurrence_list(needle))
+
+    def span_contains(self, start: int, end: int, needle: str) -> bool:
+        """Exactly ``needle in text[start:end]`` for indexable needles.
+
+        Binary-searches the cached occurrence offsets: the smallest
+        occurrence at or after ``start`` is the best candidate to fit
+        before ``end``.
+        """
+        occurrences = self._occurrence_list(needle)
+        i = bisect_left(occurrences, start)
+        return i < len(occurrences) and occurrences[i] + len(needle) <= end
+
+    # -- persistence -----------------------------------------------------------
+
+    def items(self) -> Iterator[tuple[str, list[int]]]:
+        """``(term, posting starts)`` pairs, sorted by term."""
+        for term in sorted(self._postings):
+            yield term, self._postings[term]
+
+    @classmethod
+    def from_items(
+        cls, text_length: int, items
+    ) -> "TermIndex":
+        """Rebuild from persisted ``(term, starts)`` pairs."""
+        return cls(text_length, {term: list(starts) for term, starts in items})
+
+
+def occurrences_from_terms(rows, needle: str) -> list[int]:
+    """Occurrence offsets of ``needle`` from raw ``(term, starts)`` rows.
+
+    The storage backends use this to answer term queries from persisted
+    posting rows without instantiating a :class:`TermIndex`.
+    """
+    out: list[int] = []
+    for term, starts in rows:
+        in_term = find_all(term, needle)
+        if in_term:
+            for start in starts:
+                out.extend(start + offset for offset in in_term)
+    out.sort()
+    return out

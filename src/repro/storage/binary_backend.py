@@ -158,6 +158,14 @@ def load_file(path: str | Path) -> GoddagDocument:
     return decode_document(doc_row, hierarchy_rows, element_rows)
 
 
+def read_text(path: str | Path) -> str:
+    """The document text alone: header + text region, element table and
+    attribute blob untouched."""
+    with open(path, "rb") as fh:
+        header = _read_header(fh)
+        return fh.read(header.text_bytes).decode("utf-8")
+
+
 def scan_spans(
     path: str | Path, start: int, end: int
 ) -> list[tuple[str, str, int, int]]:

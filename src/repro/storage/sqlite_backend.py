@@ -12,8 +12,10 @@ import json
 import sqlite3
 from dataclasses import dataclass
 
+from .._util import pack_u32, unpack_u32
 from ..core.goddag import GoddagDocument
 from ..errors import StorageError
+from ..index.term import occurrences_from_terms
 from .schema import (
     DocumentRow,
     ElementRow,
@@ -53,6 +55,37 @@ CREATE INDEX IF NOT EXISTS idx_elements_tag ON elements(doc_id, tag);
 CREATE INDEX IF NOT EXISTS idx_elements_span ON elements(doc_id, start, end);
 CREATE INDEX IF NOT EXISTS idx_elements_hierarchy
     ON elements(doc_id, hierarchy);
+CREATE TABLE IF NOT EXISTS index_meta (
+    doc_id INTEGER PRIMARY KEY REFERENCES documents(doc_id) ON DELETE CASCADE,
+    format INTEGER NOT NULL,
+    doc_length INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS index_paths (
+    doc_id INTEGER NOT NULL REFERENCES documents(doc_id) ON DELETE CASCADE,
+    hierarchy TEXT NOT NULL,
+    path TEXT NOT NULL,
+    tag TEXT NOT NULL,
+    n INTEGER NOT NULL,
+    spans BLOB NOT NULL,
+    PRIMARY KEY (doc_id, hierarchy, path)
+);
+CREATE TABLE IF NOT EXISTS index_terms (
+    doc_id INTEGER NOT NULL REFERENCES documents(doc_id) ON DELETE CASCADE,
+    term TEXT NOT NULL,
+    starts BLOB NOT NULL,
+    PRIMARY KEY (doc_id, term)
+);
+CREATE TABLE IF NOT EXISTS index_overlap (
+    doc_id INTEGER NOT NULL REFERENCES documents(doc_id) ON DELETE CASCADE,
+    hierarchy TEXT NOT NULL,
+    tag TEXT NOT NULL,
+    start INTEGER NOT NULL,
+    end INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_index_overlap_span
+    ON index_overlap(doc_id, start, end);
+CREATE INDEX IF NOT EXISTS idx_index_paths_tag
+    ON index_paths(doc_id, tag);
 """
 
 
@@ -225,6 +258,11 @@ class SqliteStore:
         ).fetchall()
         return [(_stored(row[:6]), _stored(row[6:])) for row in rows]
 
+    def text(self, name: str) -> str:
+        """The full document text, without reconstructing any element."""
+        _, row = self._document_row(name)
+        return row.text
+
     def text_of(self, name: str, start: int, end: int) -> str:
         """A text window, served straight from the database."""
         doc_id, _ = self._document_row(name)
@@ -233,6 +271,182 @@ class SqliteStore:
             (start + 1, end - start, doc_id),
         ).fetchone()
         return fragment
+
+    # -- persisted indexes (see repro.index) ---------------------------------------------
+    #
+    # The index tables mirror the IndexManager payload: label-path
+    # partition rows with packed spans, term posting rows, and one
+    # overlap row per solid element.  Queries below answer from these
+    # tables alone — no document reconstruction.
+
+    def save_index(self, name: str, payload: dict) -> None:
+        """Persist an ``IndexManager.payload()`` for a stored document."""
+        doc_id, _ = self._document_row(name)
+        with self._conn:
+            self._delete_index_rows(doc_id)
+            self._conn.execute(
+                "INSERT INTO index_meta VALUES (?, ?, ?)",
+                (doc_id, payload.get("format", 1),
+                 payload.get("doc_length", 0)),
+            )
+            self._conn.executemany(
+                "INSERT INTO index_paths VALUES (?, ?, ?, ?, ?, ?)",
+                [
+                    (doc_id, hierarchy, path, tag, count,
+                     pack_u32([v for span in spans for v in span]))
+                    for hierarchy, path, tag, count, spans
+                    in payload.get("paths", [])
+                ],
+            )
+            self._conn.executemany(
+                "INSERT INTO index_terms VALUES (?, ?, ?)",
+                [
+                    (doc_id, term, pack_u32(starts))
+                    for term, starts in payload.get("terms", {}).items()
+                ],
+            )
+            self._conn.executemany(
+                "INSERT INTO index_overlap VALUES (?, ?, ?, ?, ?)",
+                [
+                    (doc_id, hierarchy, tag, start, end)
+                    for hierarchy, entry in payload.get("overlap", {}).items()
+                    for start, end, tag in zip(
+                        entry["starts"], entry["ends"], entry["tags"]
+                    )
+                ],
+            )
+
+    def _delete_index_rows(self, doc_id: int) -> None:
+        for table in ("index_meta", "index_paths", "index_terms",
+                      "index_overlap"):
+            self._conn.execute(
+                f"DELETE FROM {table} WHERE doc_id = ?", (doc_id,)
+            )
+
+    def _doc_index_row(self, name: str) -> tuple[int, bool]:
+        """``(doc_id, has_index)`` in one statement — the gate every
+        index-aware query pays exactly once."""
+        row = self._conn.execute(
+            "SELECT d.doc_id, m.doc_id IS NOT NULL"
+            " FROM documents d LEFT JOIN index_meta m USING (doc_id)"
+            " WHERE d.name = ?", (name,),
+        ).fetchone()
+        if row is None:
+            raise StorageError(f"no stored document {name!r}")
+        return row[0], bool(row[1])
+
+    def has_index(self, name: str) -> bool:
+        return self._doc_index_row(name)[1]
+
+    def drop_index(self, name: str) -> None:
+        doc_id, _ = self._document_row(name)
+        with self._conn:
+            self._delete_index_rows(doc_id)
+
+    def _corrupt(self, name: str, exc: Exception) -> StorageError:
+        """Wrap a blob-decoding failure in the module's error contract."""
+        return StorageError(
+            f"corrupt persisted index for {name!r}: {exc} — "
+            f"drop_index({name!r}) removes it and restores unindexed queries"
+        )
+
+    def load_index(self, name: str) -> dict | None:
+        """The full persisted payload, or None when no index is stored."""
+        doc_id, _ = self._document_row(name)
+        meta = self._conn.execute(
+            "SELECT format, doc_length FROM index_meta WHERE doc_id = ?",
+            (doc_id,),
+        ).fetchone()
+        if meta is None:
+            return None
+        overlap: dict[str, dict[str, list]] = {}
+        for hierarchy, tag, start, end in self._conn.execute(
+            "SELECT hierarchy, tag, start, end FROM index_overlap"
+            " WHERE doc_id = ? ORDER BY hierarchy, start, end DESC", (doc_id,),
+        ):
+            entry = overlap.setdefault(
+                hierarchy, {"starts": [], "ends": [], "tags": []}
+            )
+            entry["starts"].append(start)
+            entry["ends"].append(end)
+            entry["tags"].append(tag)
+        try:
+            terms = {
+                term: unpack_u32(starts)
+                for term, starts in self._conn.execute(
+                    "SELECT term, starts FROM index_terms WHERE doc_id = ?",
+                    (doc_id,),
+                )
+            }
+            paths = []
+            for hierarchy, path, tag, count, spans in self._conn.execute(
+                "SELECT hierarchy, path, tag, n, spans FROM index_paths"
+                " WHERE doc_id = ? ORDER BY hierarchy, path", (doc_id,),
+            ):
+                flat = unpack_u32(spans)
+                paths.append(
+                    (hierarchy, path, tag, count,
+                     [(flat[2 * i], flat[2 * i + 1]) for i in range(count)])
+                )
+        except (ValueError, IndexError) as exc:
+            raise self._corrupt(name, exc) from exc
+        return {
+            "format": meta[0],
+            "name": name,
+            "doc_length": meta[1],
+            "overlap": overlap,
+            "terms": terms,
+            "paths": paths,
+        }
+
+    def index_overlap_query(
+        self, name: str, start: int, end: int
+    ) -> list[tuple[str, str, int, int]] | None:
+        """Solid elements intersecting [start, end) from the overlap
+        index, or ``None`` when no index is stored (caller falls back)."""
+        doc_id, indexed = self._doc_index_row(name)
+        if not indexed:
+            return None
+        return list(
+            self._conn.execute(
+                "SELECT hierarchy, tag, start, end FROM index_overlap"
+                " WHERE doc_id = ? AND start < ? AND end > ?"
+                " ORDER BY start, end DESC, hierarchy, tag",
+                (doc_id, end, start),
+            )
+        )
+
+    def index_term_occurrences(self, name: str, needle: str) -> list[int] | None:
+        """Occurrence offsets of an alphanumeric needle from the term
+        rows, or ``None`` when no index is stored (caller falls back)."""
+        doc_id, indexed = self._doc_index_row(name)
+        if not indexed:
+            return None
+        rows = (
+            (term, unpack_u32(starts))
+            for term, starts in self._conn.execute(
+                "SELECT term, starts FROM index_terms"
+                " WHERE doc_id = ? AND instr(term, ?) > 0",
+                (doc_id, needle),
+            )
+        )
+        try:
+            return occurrences_from_terms(rows, needle)
+        except ValueError as exc:
+            raise self._corrupt(name, exc) from exc
+
+    def index_tag_count(self, name: str, tag: str) -> int | None:
+        """Elements with ``tag`` per the structural summary, or ``None``
+        when no index is stored (zero rows and zero elements would be
+        indistinguishable; the caller falls back to a table count)."""
+        doc_id, indexed = self._doc_index_row(name)
+        if not indexed:
+            return None
+        (count,) = self._conn.execute(
+            "SELECT COALESCE(SUM(n), 0) FROM index_paths"
+            " WHERE doc_id = ? AND tag = ?", (doc_id, tag),
+        ).fetchone()
+        return count
 
 
 def _stored(row) -> StoredElement:

@@ -4,6 +4,15 @@
 storage-level queries, with the backend chosen at construction
 (``sqlite`` for multi-document stores with SQL-side queries, ``binary``
 for one-file-per-document archives with table scans).
+
+Stored documents can carry *persisted indexes* (:meth:`GoddagStore.build_index`):
+the sqlite backend keeps them in dedicated tables, the binary backend in
+``.gidx`` sidecar files next to the document.  Index-aware queries —
+:meth:`query_spans`, :meth:`term_occurrences`, :meth:`count_tag` — answer
+from the persisted index when one exists (without materializing the
+document) and fall back to the unindexed storage paths when it does not,
+returning the same answers either way.  Saving over or deleting a
+document drops its index; rebuild after re-saving.
 """
 
 from __future__ import annotations
@@ -12,7 +21,22 @@ from pathlib import Path
 
 from ..core.goddag import GoddagDocument
 from ..errors import StorageError
-from .binary_backend import file_stats, load_file, save_file, scan_spans
+from ..index.manager import IndexManager
+from ..index.overlap import OverlapIndex
+from ..index.sidecar import (
+    read_sidecar,
+    read_sidecar_header,
+    sidecar_path,
+    write_sidecar,
+)
+from ..index.term import TermIndex, find_all
+from .binary_backend import (
+    file_stats,
+    load_file,
+    read_text,
+    save_file,
+    scan_spans,
+)
 from .sqlite_backend import SqliteStore, StoredElement
 
 
@@ -25,6 +49,9 @@ class GoddagStore:
             raise StorageError(f"unknown backend {backend!r}")
         self.backend = backend
         self.location = location
+        # Per-name cache of sidecar sections loaded for the binary
+        # backend (the sqlite backend queries its tables directly).
+        self._sidecars: dict[str, dict] = {}
         if backend == "sqlite":
             self._sqlite: SqliteStore | None = SqliteStore(str(location))
         else:
@@ -38,6 +65,9 @@ class GoddagStore:
 
     def _file(self, name: str) -> Path:
         return self._directory / f"{name}.gdag"
+
+    def _sidecar_file(self, name: str) -> Path:
+        return sidecar_path(self._file(name))
 
     def close(self) -> None:
         if self._sqlite is not None:
@@ -54,11 +84,18 @@ class GoddagStore:
     def save(self, document: GoddagDocument, name: str,
              overwrite: bool = False) -> None:
         if self._sqlite is not None:
+            # Overwriting replaces the document row; its index rows die
+            # with the old doc_id (ON DELETE CASCADE).
             self._sqlite.save(document, name, overwrite=overwrite)
             return
         target = self._file(name)
         if target.exists() and not overwrite:
             raise StorageError(f"document {name!r} already stored")
+        # A pre-existing sidecar indexed the overwritten content; drop
+        # it *before* writing, so a crash mid-save can only lose the
+        # index (queries fall back) — never pair a stale index with the
+        # new document.
+        self._invalidate_sidecar(name)
         save_file(document, target, name)
 
     def load(self, name: str) -> GoddagDocument:
@@ -77,6 +114,7 @@ class GoddagStore:
         if not target.exists():
             raise StorageError(f"no stored document {name!r}")
         target.unlink()
+        self._invalidate_sidecar(name)
 
     def names(self) -> list[str]:
         if self._sqlite is not None:
@@ -87,6 +125,100 @@ class GoddagStore:
         if self._sqlite is not None:
             return self._sqlite.has(name)
         return self._file(name).exists()
+
+    # -- persisted indexes --------------------------------------------------------------
+
+    def build_index(self, name: str) -> dict[str, int]:
+        """Build and persist the index for a stored document.
+
+        Loads the document once, builds the three indexes (structural
+        summary, term index, overlap index), persists them to the
+        backend — sqlite tables or a ``.gidx`` sidecar — and returns the
+        size census.  Subsequent index-aware queries answer without
+        loading the document again.
+        """
+        document = self.load(name)
+        manager = IndexManager(document)
+        payload = manager.payload(name)
+        if self._sqlite is not None:
+            self._sqlite.save_index(name, payload)
+        else:
+            write_sidecar(self._sidecar_file(name), payload)
+            self._sidecars.pop(name, None)
+        return manager.stats()
+
+    def has_index(self, name: str) -> bool:
+        """True when a persisted index exists for ``name``."""
+        if self._sqlite is not None:
+            return self._sqlite.has_index(name)
+        if not self._file(name).exists():
+            raise StorageError(f"no stored document {name!r}")
+        return self._sidecar_file(name).exists()
+
+    def drop_index(self, name: str) -> None:
+        """Remove the persisted index (the document itself is untouched)."""
+        if self._sqlite is not None:
+            self._sqlite.drop_index(name)
+            return
+        if not self._file(name).exists():
+            raise StorageError(f"no stored document {name!r}")
+        self._invalidate_sidecar(name)
+
+    def _invalidate_sidecar(self, name: str) -> None:
+        self._sidecars.pop(name, None)
+        sidecar = self._sidecar_file(name)
+        if sidecar.exists():
+            sidecar.unlink()
+
+    def _sidecar_section(self, name: str, section: str):
+        """A lazily loaded, cached sidecar section (binary backend).
+
+        The cache is stamped with the sidecar file's ``(mtime, size)``
+        so another store (or process) rewriting the document and its
+        index on the same directory cannot leave this one serving stale
+        sections.  Any read failure — the sidecar dropped between our
+        ``has_index`` and the read, a crashed write left it short —
+        surfaces as the module's usual :class:`StorageError`.
+        """
+        sidecar = self._sidecar_file(name)
+        try:
+            stat = sidecar.stat()
+        except OSError as exc:
+            self._sidecars.pop(name, None)
+            raise StorageError(
+                f"cannot read the index sidecar of {name!r}: {exc}"
+            ) from exc
+        stamp = (stat.st_mtime_ns, stat.st_size)
+        cached = self._sidecars.get(name)
+        if cached is None or cached.get("stamp") != stamp:
+            cached = {"stamp": stamp}
+            self._sidecars[name] = cached
+        if section not in cached:
+            try:
+                if section == "header":
+                    payload = read_sidecar_header(sidecar)
+                else:
+                    payload = read_sidecar(sidecar, sections=(section,))
+            except OSError as exc:
+                self._sidecars.pop(name, None)
+                raise StorageError(
+                    f"cannot read the index sidecar of {name!r}: {exc}"
+                ) from exc
+            except StorageError as exc:
+                self._sidecars.pop(name, None)
+                raise StorageError(
+                    f"{exc} — drop_index({name!r}) removes the bad "
+                    "sidecar and restores unindexed queries"
+                ) from exc
+            if section == "overlap":
+                cached[section] = OverlapIndex.from_payload(payload["overlap"])
+            elif section == "terms":
+                cached[section] = TermIndex.from_items(
+                    payload["doc_length"], payload["terms"].items()
+                )
+            else:  # "header"
+                cached[section] = payload
+        return cached[section]
 
     # -- storage-level queries -----------------------------------------------------------
 
@@ -101,6 +233,75 @@ class GoddagStore:
                 if e.start < e.end
             ]
         return scan_spans(self._file(name), start, end)
+
+    def query_spans(
+        self, name: str, start: int, end: int
+    ) -> list[tuple[str, str, int, int]]:
+        """Index-aware span query: solid elements intersecting [start, end).
+
+        With a persisted index the answer comes from the overlap index —
+        an SQL range probe (sqlite) or an ``O(log n + k)`` interval query
+        over the sidecar tables (binary) — without materializing the
+        document.  Without one it falls back to
+        :meth:`elements_intersecting`.  Either way the result is the
+        same set, ordered by ``(start, -end, hierarchy, tag)``.
+        """
+        if self._sqlite is not None:
+            hits = self._sqlite.index_overlap_query(name, start, end)
+            if hits is not None:
+                return hits  # the SQL ORDER BY emits this exact order
+        elif self.has_index(name):
+            overlap: OverlapIndex = self._sidecar_section(name, "overlap")
+            return overlap.intersecting(start, end)  # sorted by contract
+        # Unindexed fallback: the producers emit storage order, and the
+        # binary scan reports zero-width anchors strictly inside the
+        # window while the overlap index (like the sqlite facade) serves
+        # solid elements only — filter and sort for identical answers.
+        hits = [
+            hit
+            for hit in self.elements_intersecting(name, start, end)
+            if hit[2] < hit[3]
+        ]
+        hits.sort(key=lambda hit: (hit[2], -hit[3], hit[0], hit[1]))
+        return hits
+
+    def term_occurrences(self, name: str, needle: str) -> list[int]:
+        """Start offsets of ``needle`` in the stored text (sorted).
+
+        Alphanumeric needles are answered from the persisted term index
+        when one exists; other needles (or unindexed documents) scan the
+        stored text — read on its own, never through a document
+        reconstruction.
+        """
+        if TermIndex.is_indexable(needle):
+            if self._sqlite is not None:
+                occurrences = self._sqlite.index_term_occurrences(name, needle)
+                if occurrences is not None:
+                    return occurrences
+            elif self.has_index(name):
+                terms: TermIndex = self._sidecar_section(name, "terms")
+                return terms.occurrences(needle)
+        if self._sqlite is not None:
+            return find_all(self._sqlite.text(name), needle)
+        if not self._file(name).exists():
+            raise StorageError(f"no stored document {name!r}")
+        return find_all(read_text(self._file(name)), needle)
+
+    def count_tag(self, name: str, tag: str) -> int:
+        """Number of elements with ``tag``, via the structural summary
+        when indexed (a metadata read) and a storage count otherwise."""
+        if self._sqlite is not None:
+            count = self._sqlite.index_tag_count(name, tag)
+            if count is not None:
+                return count
+        elif self.has_index(name):
+            # Populations live in the header's partition rows
+            # (hierarchy, path, tag, count, offset) — no region I/O.
+            header = self._sidecar_section(name, "header")
+            return sum(
+                row[3] for row in header["path_rows"] if row[2] == tag
+            )
+        return self.count_elements(name, tag)
 
     def count_elements(self, name: str, tag: str | None = None) -> int:
         if self._sqlite is not None:

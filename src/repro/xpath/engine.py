@@ -23,6 +23,10 @@ class ExtendedXPath:
     ``evaluate`` returns whatever the expression denotes — a node list,
     string, number, or boolean.  ``nodes``/``first``/``exists`` are
     typed conveniences for the common node-set case.
+
+    When the document has an :class:`~repro.index.manager.IndexManager`
+    attached (or one is passed via ``index=``), accelerable steps are
+    index-served; results are identical either way.
     """
 
     def __init__(self, expression: str) -> None:
@@ -31,18 +35,20 @@ class ExtendedXPath:
 
     def evaluate(
         self, document: GoddagDocument, context: Node | None = None,
-        variables: dict | None = None,
+        variables: dict | None = None, index=None,
     ) -> XPathValue:
         """Evaluate against ``document`` (optionally from ``context``,
         with optional ``$name`` variable bindings)."""
-        return Evaluator(document).evaluate(self.ast, context, variables)
+        return Evaluator(document, index=index).evaluate(
+            self.ast, context, variables
+        )
 
     def nodes(
         self, document: GoddagDocument, context: Node | None = None,
-        variables: dict | None = None,
+        variables: dict | None = None, index=None,
     ) -> list:
         """Evaluate, requiring a node-set result."""
-        value = self.evaluate(document, context, variables)
+        value = self.evaluate(document, context, variables, index=index)
         if not isinstance(value, list):
             raise TypeError(
                 f"{self.expression!r} evaluated to "
@@ -50,14 +56,16 @@ class ExtendedXPath:
             )
         return value
 
-    def first(self, document: GoddagDocument, context: Node | None = None):
+    def first(self, document: GoddagDocument, context: Node | None = None,
+              index=None):
         """First node of the result, or None."""
-        result = self.nodes(document, context)
+        result = self.nodes(document, context, index=index)
         return result[0] if result else None
 
-    def exists(self, document: GoddagDocument, context: Node | None = None) -> bool:
+    def exists(self, document: GoddagDocument, context: Node | None = None,
+               index=None) -> bool:
         """True when the node-set result is non-empty."""
-        return bool(self.nodes(document, context))
+        return bool(self.nodes(document, context, index=index))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ExtendedXPath({self.expression!r})"

@@ -6,6 +6,16 @@ functions of the concurrent-markup extension.  Comparison and coercion
 rules follow the XPath 1.0 specification (section 3.4): node-set
 comparisons are existential, ``=`` between a node-set and a string
 means "some node whose string-value equals", and so on.
+
+When the document carries an attached
+:class:`~repro.index.manager.IndexManager` (or one is passed to the
+evaluator), two step shapes are index-served with provably identical
+results: whole-document name-test steps (``descendant::tag`` from a
+root context resolve to the structural summary's candidate lists) and
+``contains(., 'lit')`` predicates over alphanumeric literals (answered
+by the term index).  Every other shape — and every case where the
+index declines — runs the classic evaluation path, so attaching an
+index never changes a query's answer.
 """
 
 from __future__ import annotations
@@ -39,6 +49,7 @@ from .axes import (
     sorted_nodes,
 )
 from .functions import FUNCTIONS, string_value
+from .optimizer import indexable_contains
 
 XPathValue = object  # list[XNode] | float | str | bool
 
@@ -102,9 +113,16 @@ class Context:
 class Evaluator:
     """Evaluates parsed Extended XPath expressions over one document."""
 
-    def __init__(self, document: GoddagDocument) -> None:
+    def __init__(self, document: GoddagDocument, index=None) -> None:
         self.document = document
         self.functions = dict(FUNCTIONS)
+        # The index manager consulted for accelerable steps: an explicit
+        # one wins, else whatever is attached to the document (if any).
+        # A manager built for another document is ignored outright.
+        manager = index if index is not None else document.index_manager
+        if manager is not None and manager.document is not document:
+            manager = None
+        self.index = manager
         # Bindings of the evaluation in progress; predicates inherit them.
         self._variables: dict = {}
 
@@ -301,21 +319,68 @@ class Evaluator:
         # (reverse axes nearest-first), so predicate positions are just
         # 1-based indexes into that order.  A name test can only match
         # elements, which lets prunable axes skip leaf materialization.
-        elements_only = step.test.kind == "name"
-        candidates, _reverse = apply_axis(
-            step.axis, node, self.document, elements_only
-        )
-        selected = [
-            candidate
-            for candidate in candidates
-            if _test_matches(step.test, candidate)
-        ]
+        selected = self._index_step_candidates(step, node)
+        if selected is None:
+            elements_only = step.test.kind == "name"
+            candidates, _reverse = apply_axis(
+                step.axis, node, self.document, elements_only
+            )
+            selected = [
+                candidate
+                for candidate in candidates
+                if _test_matches(step.test, candidate)
+            ]
         for predicate in step.predicates:
             selected = self._filter_nodes(selected, predicate)
         return selected
 
+    def _index_step_candidates(
+        self, step: Step, node: XNode
+    ) -> list[XNode] | None:
+        """Index-served candidates for a whole-document name-test step.
+
+        Serves ``descendant``/``descendant-or-self`` name tests from a
+        root context (the document node or the shared root element) out
+        of the structural summary; these are exactly the steps whose
+        unindexed axis stream is the full document-order element list,
+        so the summary's per-tag sublists are provably the same nodes in
+        the same order.  Returns ``None`` — fall back — for every other
+        shape.
+        """
+        manager = self.index
+        if manager is None:
+            return None
+        if step.axis not in ("descendant", "descendant-or-self"):
+            return None
+        test = step.test
+        if test.kind != "name":
+            return None
+        if test.name == "*" and test.hierarchy is None:
+            return None  # matches every element: nothing to prune
+        at_document = isinstance(node, DocumentNode)
+        at_root = isinstance(node, Element) and node.is_root
+        if not (at_document or at_root):
+            return None
+        if node.document is not self.document:
+            return None  # a variable-bound foreign root: not ours to serve
+        elements = manager.name_candidates(test.name, test.hierarchy)
+        if elements is None:
+            return None
+        out: list[XNode] = []
+        # The axis reaches the shared root except for descendant-from-root;
+        # the root sorts first in document order.
+        if (at_document or step.axis == "descendant-or-self") and _test_matches(
+            test, self.document.root
+        ):
+            out.append(self.document.root)
+        out.extend(elements)
+        return out
+
     def _filter_nodes(self, nodes: list[XNode], predicate: Expr) -> list[XNode]:
         """Apply one predicate with correct proximity positions."""
+        fast = self._index_contains_filter(nodes, predicate)
+        if fast is not None:
+            return fast
         size = len(nodes)
         kept: list[XNode] = []
         for index, node in enumerate(nodes):
@@ -328,6 +393,36 @@ class Evaluator:
             elif context.to_boolean(value):
                 kept.append(node)
         return kept
+
+    def _index_contains_filter(
+        self, nodes: list[XNode], predicate: Expr
+    ) -> list[XNode] | None:
+        """Term-index filtering for ``contains(., 'lit')`` predicates.
+
+        Applies only when the literal is index-servable (alphanumeric,
+        so token-boundary effects cannot arise) and every candidate is a
+        span-carrying node of *this* document (variable bindings can
+        smuggle in foreign nodes, whose text the term index knows
+        nothing about) — then ``contains`` is a binary search per node
+        instead of a substring scan.  ``None`` means fall back.
+        """
+        manager = self.index
+        if manager is None:
+            return None
+        needle = indexable_contains(predicate)
+        if needle is None or not manager.supports_contains(needle):
+            return None
+        if not all(
+            isinstance(node, (Element, Leaf))
+            and node.document is self.document
+            for node in nodes
+        ):
+            return None
+        return [
+            node
+            for node in nodes
+            if manager.contains_span(node.start, node.end, needle)
+        ]
 
 
 def _test_matches(test: NodeTest, node: XNode) -> bool:

@@ -1,4 +1,4 @@
-"""Compile-time rewrites of Extended XPath ASTs.
+"""Compile-time rewrites and analyses of Extended XPath ASTs.
 
 One classic rewrite, applied when provably safe:
 
@@ -10,6 +10,11 @@ document-order stream.  The rewrite changes predicate *context sizes*,
 so it is applied only when the child step carries no positional
 predicates (no bare numbers, no ``position()``/``last()`` calls) —
 the case where XPath 1.0 semantics provably coincide.
+
+This module also hosts the compile-time shape analyses the evaluator
+uses to decide whether an attached index manager may serve a step
+(:func:`indexable_contains`): recognizing index-accelerable predicates
+is a property of the AST, not of any particular document.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from .ast import (
     Expr,
     FilterExpr,
     FunctionCall,
+    Literal,
     LocationPath,
     Number,
     Step,
@@ -49,6 +55,34 @@ def uses_position(expr: Expr) -> bool:
     if isinstance(expr, LocationPath):
         return False  # ditto: steps get fresh contexts
     return False
+
+
+def indexable_contains(predicate: Expr) -> str | None:
+    """The literal of a ``contains(., 'lit')`` predicate, when a term
+    index may serve it *exactly*; ``None`` otherwise.
+
+    The subject must be the bare context node (``.``, i.e.
+    ``self::node()`` with no predicates) so the tested string is the
+    node's own text, and the needle must be a literal.  Whether that
+    literal is actually index-servable (alphanumeric-only, so no
+    occurrence can straddle a token boundary) is the term index's call
+    via ``TermIndex.is_indexable``.
+    """
+    if not isinstance(predicate, FunctionCall) or predicate.name != "contains":
+        return None
+    if len(predicate.args) != 2:
+        return None
+    subject, needle = predicate.args
+    if not isinstance(needle, Literal):
+        return None
+    if not isinstance(subject, LocationPath) or subject.absolute:
+        return None
+    if len(subject.steps) != 1:
+        return None
+    step = subject.steps[0]
+    if step.axis != "self" or step.test.kind != "node" or step.predicates:
+        return None
+    return needle.value
 
 
 def _step_is_positional(step: Step) -> bool:

@@ -102,3 +102,103 @@ class TestRandomizedAgainstBruteForce:
                 assert set(index.containing(qs, qe)) == brute_containing(
                     items, qs, qe
                 ), (trial, qs, qe)
+
+
+# -- zero-width and empty-sequence regressions --------------------------------
+#
+# Zero-width spans are *anchored*: for intersection/stabbing an item
+# [a, a) behaves like the position a; for containment it participates by
+# set inclusion.  Empty item sequences must build a working index.
+
+def brute_intersecting_anchored(items, start, end):
+    out = set()
+    for i in items:
+        if i.start == i.end:
+            if start <= i.start < end:
+                out.add(i)
+        elif i.start < end and i.end > start:
+            out.add(i)
+    return out
+
+
+def brute_contained_anchored(items, start, end):
+    return {i for i in items if i.start >= start and i.end <= end}
+
+
+class TestEmptyIndex:
+    def test_all_queries_are_empty_and_safe(self):
+        index = StaticIntervalIndex([])
+        assert len(index) == 0
+        assert index.intersecting(0, 100) == []
+        assert index.stabbing(0) == []
+        assert index.containing(3, 4) == []
+        assert index.containing(3, 3) == []
+        assert index.contained_in(0, 100) == []
+        assert index.all_items() == []
+
+    def test_single_zero_width_item(self):
+        anchor = Item(5, 5, 1)
+        index = StaticIntervalIndex([anchor])
+        assert index.stabbing(5) == [anchor]
+        assert index.stabbing(4) == []
+        assert index.intersecting(0, 10) == [anchor]
+        assert index.contained_in(5, 5) == [anchor]
+
+
+class TestZeroWidthAnchoring:
+    ITEMS = [Item(0, 10, 1), Item(4, 4, 2), Item(4, 8, 3), Item(10, 10, 4)]
+
+    def test_stabbing_reports_anchor(self):
+        index = StaticIntervalIndex(self.ITEMS)
+        assert set(index.stabbing(4)) == {Item(0, 10, 1), Item(4, 4, 2),
+                                          Item(4, 8, 3)}
+        assert set(index.stabbing(10)) == {Item(10, 10, 4)}
+
+    def test_intersecting_half_open_window(self):
+        index = StaticIntervalIndex(self.ITEMS)
+        # The anchor at 4 is inside [4, 5) but not [0, 4) or [5, 9).
+        assert Item(4, 4, 2) in set(index.intersecting(4, 5))
+        assert Item(4, 4, 2) not in set(index.intersecting(0, 4))
+        assert Item(4, 4, 2) not in set(index.intersecting(5, 9))
+
+    def test_zero_width_never_contains_solid(self):
+        index = StaticIntervalIndex(self.ITEMS)
+        assert Item(4, 4, 2) not in set(index.containing(4, 5))
+        assert Item(4, 4, 2) in set(index.containing(4, 4))
+
+    def test_contained_in_by_set_inclusion(self):
+        index = StaticIntervalIndex(self.ITEMS)
+        got = set(index.contained_in(4, 10))
+        assert got == {Item(4, 4, 2), Item(4, 8, 3), Item(10, 10, 4)}
+
+    def test_not_silently_dropped(self):
+        index = StaticIntervalIndex(self.ITEMS)
+        reported = set(index.intersecting(0, 11)) | set(index.stabbing(10))
+        assert set(self.ITEMS) <= reported
+
+    def test_randomized_with_zero_width(self):
+        rng = random.Random(20050611)
+        for trial in range(25):
+            n = rng.randint(0, 50)
+            items = []
+            for label in range(n):
+                start = rng.randint(0, 80)
+                width = rng.choice((0, 0, rng.randint(1, 25)))
+                items.append(Item(start, start + width, label))
+            index = StaticIntervalIndex(items)
+            for _ in range(20):
+                qs = rng.randint(0, 90)
+                qe = qs + rng.randint(1, 20)
+                assert set(index.intersecting(qs, qe)) == (
+                    brute_intersecting_anchored(items, qs, qe)
+                ), (trial, qs, qe)
+                assert set(index.contained_in(qs, qe)) == (
+                    brute_contained_anchored(items, qs, qe)
+                ), (trial, qs, qe)
+                assert set(index.containing(qs, qe)) == brute_containing(
+                    [i for i in items if i.start < i.end], qs, qe
+                ), (trial, qs, qe)
+                offset = rng.randint(0, 90)
+                assert set(index.stabbing(offset)) == (
+                    brute_intersecting_anchored(items, offset, offset + 1)
+                ), (trial, offset)
