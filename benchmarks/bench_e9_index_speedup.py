@@ -1,4 +1,4 @@
-"""E9 — indexed vs unindexed query speed across document sizes.
+"""E9 — indexed vs unindexed query speed, and editing-session maintenance.
 
 Measures the three query classes the index subsystem accelerates, on
 the synthetic corpora of ``workloads/generator.py``:
@@ -14,14 +14,23 @@ the synthetic corpora of ``workloads/generator.py``:
   (``scan_spans``); indexed, an interval query over the ``.gidx``
   sidecar — the document is never materialized.
 
+The **editing scenario** measures what incremental index maintenance
+buys an authoring session: k edits (milestone insertions, markup
+wrapped over existing lines, removals), each followed by a warm-index
+query.  The incremental manager absorbs each edit by replaying the
+document's delta journal; the baseline manager (``incremental=False``)
+pays a full structural + overlap rebuild per edit — exactly what every
+edit cost before the delta protocol existed.
+
 Timings are best-of-N wall times (same protocol as the E4 headline
 check); each size row reports the speedup ratio indexed → unindexed.
-Run standalone for the report table::
+Run standalone for the report tables::
 
     PYTHONPATH=src python benchmarks/bench_e9_index_speedup.py
 
-or through pytest (the assertion is the acceptance bar: at the largest
-size, at least one class must clear 2x)::
+or through pytest (the assertions are the acceptance bars: at the
+largest size, at least one query class must clear 2x, and incremental
+maintenance must beat rebuild-per-edit by ≥ 5x)::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_e9_index_speedup.py -q
 """
@@ -30,6 +39,7 @@ from __future__ import annotations
 
 import time
 
+from repro.editing import Editor
 from repro.index import IndexManager
 from repro.storage import GoddagStore
 from repro.workloads import WorkloadSpec, generate
@@ -40,6 +50,7 @@ DENSITY = 0.25
 NAME_QUERY = ExtendedXPath("//page")
 CONTAINS_QUERY = ExtendedXPath("//w[contains(., 'gar')]")
 OVERLAP_PROBES = 200
+SESSION_EDITS = 18
 
 
 def best_of(fn, n: int = 5) -> float:
@@ -93,8 +104,56 @@ def measure_size(words: int, tmp_dir) -> dict[str, float]:
     return row
 
 
+def editing_session(document, edits: int) -> None:
+    """k edits, each followed by a warm-index query (the authoring loop)."""
+    editor = Editor(document, prevalidate=False)
+    lines = list(document.elements(tag="line"))
+    step = max(1, document.length // edits)
+    for i in range(edits):
+        kind = i % 3
+        if kind == 0:
+            editor.insert_milestone("physical", "anchor", (i * step) % document.length)
+        elif kind == 1:
+            line = lines[i % len(lines)]
+            editor.insert_markup("physical", "seg", line.start, line.end)
+        else:
+            editor.undo()  # take back the wrap: removal via the journal
+        NAME_QUERY.nodes(document)  # the warm-index query after the edit
+
+
+def measure_editing(words: int, edits: int = SESSION_EDITS) -> dict[str, float]:
+    """One row of the editing table: incremental vs rebuild-per-edit."""
+    spec = WorkloadSpec(words=words, hierarchies=4, overlap_density=DENSITY)
+    incremental_doc = generate(spec)
+    rebuild_doc = generate(spec)
+    incremental = IndexManager.for_document(incremental_doc)
+    rebuild = IndexManager(rebuild_doc, incremental=False).attach()
+
+    t0 = time.perf_counter()
+    editing_session(incremental_doc, edits)
+    incremental_time = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    editing_session(rebuild_doc, edits)
+    rebuild_time = time.perf_counter() - t0
+    assert incremental.delta_count > 0 and incremental.build_count == 1
+    assert rebuild.build_count > edits // 2  # it really rebuilt per edit
+    incremental_doc.detach_index()
+    rebuild_doc.detach_index()
+    return {
+        "words": words,
+        "edits": edits,
+        "incremental_ms": incremental_time * 1e3,
+        "rebuild_ms": rebuild_time * 1e3,
+        "speedup": rebuild_time / incremental_time,
+    }
+
+
 def run(tmp_dir) -> list[dict[str, float]]:
     return [measure_size(words, tmp_dir) for words in SIZES]
+
+
+def run_editing() -> list[dict[str, float]]:
+    return [measure_editing(words) for words in SIZES]
 
 
 def report(rows: list[dict[str, float]]) -> str:
@@ -110,6 +169,21 @@ def report(rows: list[dict[str, float]]) -> str:
     return "\n".join(lines)
 
 
+def report_editing(rows: list[dict[str, float]]) -> str:
+    lines = [
+        "E9 — editing session: incremental maintenance vs rebuild-per-edit",
+        f"{'words':>8} {'edits':>6} {'incremental':>12} {'rebuild':>10} "
+        f"{'speedup':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['words']:>8} {row['edits']:>6} "
+            f"{row['incremental_ms']:>10.1f}ms {row['rebuild_ms']:>8.1f}ms "
+            f"{row['speedup']:>7.1f}x"
+        )
+    return "\n".join(lines)
+
+
 def test_e9_index_speedup(tmp_path):
     """Acceptance bar: ≥ 2x on at least one query class at the largest
     corpus size (asserted loosely; the printed table records the rest)."""
@@ -120,9 +194,19 @@ def test_e9_index_speedup(tmp_path):
     assert best >= 2.0, largest
 
 
+def test_e9_editing_session():
+    """Acceptance bar: incremental index maintenance ≥ 5x faster than
+    rebuild-per-edit for a k-edit session at the 8k-word corpus."""
+    row = measure_editing(SIZES[-1])
+    print("\n" + report_editing([row]))
+    assert row["speedup"] >= 5.0, row
+
+
 if __name__ == "__main__":
     import tempfile
     from pathlib import Path
 
     with tempfile.TemporaryDirectory() as tmp:
         print(report(run(Path(tmp))))
+    print()
+    print(report_editing(run_editing()))

@@ -6,6 +6,7 @@ the :class:`GoddagDocument` (data model + DOM-like API), the
 concurrent-markup hierarchy schema machinery.
 """
 
+from .changes import ChangeRecord, InsertMarkup, RemoveMarkup, SetAttribute
 from .goddag import GoddagBuilder, GoddagDocument
 from .hierarchy import (
     ConcurrentSchema,
@@ -42,8 +43,12 @@ from .relations import (
 from .spans import Span, SpanTable
 
 __all__ = [
+    "ChangeRecord",
     "ConcurrentSchema",
     "Element",
+    "InsertMarkup",
+    "RemoveMarkup",
+    "SetAttribute",
     "GoddagBuilder",
     "GoddagDocument",
     "Hierarchy",

@@ -1,0 +1,136 @@
+"""Typed change records — the delta protocol of the editing hot path.
+
+Every tracked mutation of a :class:`~repro.core.goddag.GoddagDocument`
+emits exactly one record describing what changed, into the document's
+bounded delta journal (:meth:`GoddagDocument.changes_since`).  Consumers
+— most importantly :class:`~repro.index.manager.IndexManager` — replay
+the records to update derived structures *in place* instead of
+rebuilding them from scratch after every edit.
+
+Three record types cover the whole mutation surface:
+
+* :class:`InsertMarkup` — an element entered a hierarchy (milestone
+  insertion is the zero-width case, :attr:`InsertMarkup.is_milestone`);
+* :class:`RemoveMarkup` — an element left a hierarchy (children spliced
+  up to its parent);
+* :class:`SetAttribute` — one attribute set or deleted (``value is
+  None`` encodes deletion, ``old is None`` encodes prior absence).
+
+Records are closed under inversion: ``record.inverse()`` describes the
+mutation that undoes ``record``, which is exactly what the editing
+layer's undo/redo emits when it reverts or replays a command.  Structural
+records additionally carry the *re-pathing context* an incremental
+structural summary needs: the label path of the parent the element was
+attached under, and the elements whose root-to-self label path changed
+because the insertion adopted them (or the removal spliced them up).
+
+The records hold live :class:`~repro.core.node.Element` references on
+purpose — the journal is an in-memory, same-process protocol; persisted
+deltas travel as the plain-value forms produced by the index manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .node import Element
+
+
+@dataclass(frozen=True)
+class InsertMarkup:
+    """An element was inserted into ``hierarchy`` over ``[start, end)``."""
+
+    hierarchy: str
+    tag: str
+    start: int
+    end: int
+    attributes: tuple[tuple[str, str], ...]
+    ordinal: int
+    #: The inserted element itself (live reference, identity-stable).
+    element: "Element" = field(repr=False)
+    #: Label path of the parent it was attached under (root = ``()``).
+    parent_path: tuple[str, ...] = ()
+    #: Elements whose label path gained ``tag`` at ``len(parent_path)``
+    #: because the insertion adopted their subtree.
+    repathed: tuple["Element", ...] = field(default=(), repr=False)
+
+    @property
+    def is_milestone(self) -> bool:
+        """True for zero-width (milestone) insertions."""
+        return self.start == self.end
+
+    def signature(self) -> tuple:
+        """The value identity of the mutation (element refs excluded)."""
+        return ("insert", self.hierarchy, self.tag, self.start, self.end)
+
+    def inverse(self) -> "RemoveMarkup":
+        return RemoveMarkup(
+            hierarchy=self.hierarchy, tag=self.tag,
+            start=self.start, end=self.end,
+            attributes=self.attributes, ordinal=self.ordinal,
+            element=self.element, parent_path=self.parent_path,
+            repathed=self.repathed,
+        )
+
+
+@dataclass(frozen=True)
+class RemoveMarkup:
+    """An element was removed; its children were spliced up."""
+
+    hierarchy: str
+    tag: str
+    start: int
+    end: int
+    attributes: tuple[tuple[str, str], ...]
+    ordinal: int
+    #: The removed element (now detached from the document).
+    element: "Element" = field(repr=False)
+    #: Label path of the parent it was removed from (root = ``()``).
+    parent_path: tuple[str, ...] = ()
+    #: Elements whose label path lost ``tag`` at ``len(parent_path)``
+    #: because the removal spliced their subtree up.
+    repathed: tuple["Element", ...] = field(default=(), repr=False)
+
+    @property
+    def is_milestone(self) -> bool:
+        return self.start == self.end
+
+    def signature(self) -> tuple:
+        return ("remove", self.hierarchy, self.tag, self.start, self.end)
+
+    def inverse(self) -> "InsertMarkup":
+        return InsertMarkup(
+            hierarchy=self.hierarchy, tag=self.tag,
+            start=self.start, end=self.end,
+            attributes=self.attributes, ordinal=self.ordinal,
+            element=self.element, parent_path=self.parent_path,
+            repathed=self.repathed,
+        )
+
+
+@dataclass(frozen=True)
+class SetAttribute:
+    """One attribute changed: set (``value``), or deleted (``value is
+    None``); ``old is None`` means the attribute did not exist before."""
+
+    element: "Element" = field(repr=False)
+    name: str = ""
+    value: str | None = None
+    old: str | None = None
+
+    def signature(self) -> tuple:
+        return ("attribute", self.name, self.old, self.value)
+
+    def inverse(self) -> "SetAttribute":
+        return SetAttribute(
+            element=self.element, name=self.name,
+            value=self.old, old=self.value,
+        )
+
+
+#: Everything a delta journal may hold.
+ChangeRecord = Union[InsertMarkup, RemoveMarkup, SetAttribute]
+
+__all__ = ["ChangeRecord", "InsertMarkup", "RemoveMarkup", "SetAttribute"]

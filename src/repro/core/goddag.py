@@ -27,14 +27,21 @@ Placement conventions (documented here once, relied upon everywhere):
 from __future__ import annotations
 
 from bisect import bisect_right, insort
+from contextlib import contextmanager
 from heapq import merge as heap_merge
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from ..errors import HierarchyError, MarkupConflictError, SpanError
+from .changes import ChangeRecord, InsertMarkup, RemoveMarkup, SetAttribute
 from .hierarchy import Hierarchy
 from .intervals import StaticIntervalIndex
 from .node import Element, Leaf, Node, Root
 from .spans import Span, SpanTable
+
+#: Upper bound of the per-document delta journal.  Older entries fall
+#: off; a consumer whose snapshot predates the journal window gets
+#: ``None`` from :meth:`GoddagDocument.changes_since` and must rebuild.
+JOURNAL_LIMIT = 512
 
 
 def _sibling_key(element: Element) -> tuple[int, int, int, int]:
@@ -62,6 +69,21 @@ class GoddagDocument:
         self._ordered_cache: list[Element] = []
         self._ordered_cache_version = -1
         self._index_manager = None
+        # Delta journal: (version, record) pairs for tracked mutations.
+        # _journal_floor is the newest version with no record — deltas
+        # can reconstruct any state from the floor forward, nothing older.
+        # journal_tracking=False skips record construction entirely
+        # (mutations become untracked: consumers always rebuild) — for
+        # never-indexed bulk editing where the re-pathing snapshots in
+        # insert/remove records would be pure overhead.
+        self.journal_tracking = True
+        self._journal: list[tuple[int, ChangeRecord]] = []
+        self._journal_floor = 0
+        self._speculating = False
+        # Version ranges annihilated by insert/remove pair cancellation:
+        # a consumer that synced strictly inside such a range cannot be
+        # bridged by the remaining records (see touch).
+        self._journal_gaps: list[tuple[int, int]] = []
         self._root = Root(self, root_tag)
 
     # -- identity & bookkeeping ------------------------------------------------
@@ -90,15 +112,103 @@ class GoddagDocument:
         """Monotone counter bumped by every structural or attribute change."""
         return self._version
 
-    def touch(self) -> None:
+    def touch(self, change: ChangeRecord | None = None) -> None:
         """Bump the document version (called by mutators).
 
         Version bumps invalidate the version-stamped caches: the
         ordered-element cache, cached order keys, and an attached index
         manager.  The per-hierarchy interval indexes are reset
         explicitly by the structural mutators (see :meth:`_dirty`).
+
+        Tracked mutations pass their :class:`~repro.core.changes.ChangeRecord`;
+        it enters the bounded delta journal so index consumers can catch
+        up incrementally.  A bare ``touch()`` is an *untracked* mutation:
+        it resets the journal floor, forcing consumers behind it into a
+        full rebuild (deltas could no longer reconstruct the state).
         """
         self._version += 1
+        if change is None:
+            if self._journal:
+                self._journal.clear()
+            self._journal_floor = self._version
+            self._journal_gaps.clear()
+        else:
+            # Inside a declared speculation region (prevalidation and
+            # tag-menu trials), a removal that exactly cancels the
+            # immediately preceding insertion annihilates the pair: with
+            # no record in between, the net transformation is the
+            # identity, so consumers that span the whole pair skip both
+            # — the trials no longer flood the journal or push a session
+            # over the delta-rebuild threshold.  A consumer that synced
+            # *inside* the pair saw the insertion and still needs the
+            # removal, so the range becomes a gap that forces it to
+            # rebuild instead.
+            if (
+                self._speculating
+                and self._journal
+                and isinstance(change, RemoveMarkup)
+                and isinstance(self._journal[-1][1], InsertMarkup)
+                and self._journal[-1][1].element is change.element
+            ):
+                inserted_at, _ = self._journal.pop()
+                floor = self._journal_floor
+                gaps = [(lo, hi) for lo, hi in self._journal_gaps
+                        if hi > floor]
+                gaps.append((inserted_at, self._version))
+                if len(gaps) > 64:
+                    # Degenerate churn: cheaper to declare the journal
+                    # broken than to track an unbounded gap list.
+                    self._journal.clear()
+                    self._journal_floor = self._version
+                    gaps = []
+                self._journal_gaps = gaps
+                return
+            self._journal.append((self._version, change))
+            if len(self._journal) > JOURNAL_LIMIT:
+                del self._journal[0]
+                self._journal_floor = self._journal[0][0] - 1
+
+    @contextmanager
+    def speculation(self) -> Iterator[None]:
+        """Declare a speculative trial region (see :meth:`touch`).
+
+        Within the region, an insert immediately undone by its matching
+        remove annihilates in the delta journal instead of accumulating
+        two records — the prevalidation checker and the tag menu wrap
+        their try-insert-then-roll-back probes in this.
+        """
+        previous = self._speculating
+        self._speculating = True
+        try:
+            yield
+        finally:
+            self._speculating = previous
+
+    def changes_since(self, version: int) -> list[ChangeRecord] | None:
+        """Change records for every version bump after ``version``.
+
+        Returns ``None`` when the journal cannot bridge the gap — the
+        snapshot predates the journal window, or an untracked mutation
+        happened since — in which case derived structures must rebuild.
+        """
+        if version < self._journal_floor:
+            return None
+        if any(lo <= version < hi for lo, hi in self._journal_gaps):
+            return None  # synced inside a cancelled insert/remove pair
+        lo = bisect_right(self._journal, version, key=lambda entry: entry[0])
+        return [record for _, record in self._journal[lo:]]
+
+    def _label_path(self, element: Element) -> tuple[str, ...]:
+        """Root-to-element tag sequence within the element's hierarchy."""
+        if element.is_root:
+            return ()
+        tags: list[str] = []
+        node: Element | None = element
+        while node is not None:
+            tags.append(node.tag)
+            node = node._parent
+        tags.reverse()
+        return tuple(tags)
 
     @property
     def index_manager(self):
@@ -259,13 +369,23 @@ class GoddagDocument:
         return (element for element in stream if element.tag == tag)
 
     def ordered_elements(self) -> list[Element]:
-        """All elements in document order, cached per document version.
+        """All elements in canonical document order, cached per version.
+
+        Canonical means sorted by :func:`repro.core.navigation.order_key`
+        — the total order the query engine sorts node-sets by.  (The raw
+        :meth:`elements` merge can locally disagree with that key when a
+        zero-width element is anchored at the start of its own ancestor;
+        sorting here pins one order so the descendant axis, the
+        structural summary's candidate lists, and incremental index
+        maintenance all agree positionally.)
 
         The query engine's descendant axis runs off this list; the cache
         invalidates automatically on any mutation (version bump).
         """
         if self._ordered_cache_version != self._version:
-            self._ordered_cache = list(self.elements())
+            from .navigation import order_key
+
+            self._ordered_cache = sorted(self.elements(), key=order_key)
             self._ordered_cache_version = self._version
         return self._ordered_cache
 
@@ -304,9 +424,9 @@ class GoddagDocument:
             self._h_index[hierarchy] = index
         return index
 
-    def _dirty(self, hierarchy: str) -> None:
+    def _dirty(self, hierarchy: str, change: ChangeRecord | None = None) -> None:
         self._h_index[hierarchy] = None
-        self.touch()
+        self.touch(change)
 
     def _stab_chain(self, hierarchy: str, offset: int) -> list[Element]:
         """Solid elements of ``hierarchy`` containing position ``offset``,
@@ -517,7 +637,20 @@ class GoddagDocument:
         insort(siblings, element, key=_sibling_key)
         self._h_all[hierarchy].append(element)
         self._hierarchies[hierarchy].observe_tag(tag)
-        self._dirty(hierarchy)
+        change = None
+        if self.journal_tracking:
+            change = InsertMarkup(
+                hierarchy=hierarchy, tag=tag, start=start, end=end,
+                attributes=tuple(sorted(element.attributes.items())),
+                ordinal=element.ordinal, element=element,
+                parent_path=self._label_path(parent),
+                repathed=tuple(
+                    node
+                    for child in adopted
+                    for node in (child, *child.descendants())
+                ),
+            )
+        self._dirty(hierarchy, change)
         return element
 
     def insert_empty_element(
@@ -552,6 +685,20 @@ class GoddagDocument:
             raise MarkupConflictError(
                 f"element {element!r} is not attached to this document"
             ) from None
+        change = None
+        if self.journal_tracking:
+            change = RemoveMarkup(
+                hierarchy=hierarchy, tag=element.tag,
+                start=element.start, end=element.end,
+                attributes=tuple(sorted(element.attributes.items())),
+                ordinal=element.ordinal, element=element,
+                parent_path=self._label_path(parent),
+                repathed=tuple(
+                    node
+                    for child in element._children
+                    for node in (child, *child.descendants())
+                ),
+            )
         replacement = element._children
         for child in replacement:
             child._parent = None if parent.is_root else parent
@@ -559,7 +706,27 @@ class GoddagDocument:
         element._children = []
         element._parent = None
         self._h_all[hierarchy].remove(element)
-        self._dirty(hierarchy)
+        self._dirty(hierarchy, change)
+
+    def set_attribute(self, element: Element, name: str, value: str) -> None:
+        """Set one attribute on ``element`` (tracked: emits a record).
+
+        Attribute values are always strings, so ``old is None`` in the
+        record encodes prior absence unambiguously.
+        """
+        old = element.attributes.get(name)
+        element.attributes[name] = value
+        self.touch(SetAttribute(element=element, name=name, value=value,
+                                old=old)
+                   if self.journal_tracking else None)
+
+    def remove_attribute(self, element: Element, name: str) -> None:
+        """Delete one attribute from ``element`` (tracked; missing names
+        are a no-op mutation that still emits its record)."""
+        old = element.attributes.pop(name, None)
+        self.touch(SetAttribute(element=element, name=name, value=None,
+                                old=old)
+                   if self.journal_tracking else None)
 
     # -- integrity & analytics --------------------------------------------------------------
 

@@ -307,9 +307,9 @@ class Element(Node):
         return self.attributes.get(name, default)
 
     def set(self, name: str, value: str) -> None:
-        """Set an attribute value (bumps the document version)."""
-        self.attributes[name] = value
-        self.document.touch()
+        """Set an attribute value (bumps the document version and emits
+        a tracked :class:`~repro.core.changes.SetAttribute` record)."""
+        self.document.set_attribute(self, name, value)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

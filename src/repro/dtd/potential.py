@@ -236,14 +236,15 @@ class PotentialValidity:
         child sequences change), then rolls back.  Returns ``(ok,
         reason)``; ``reason`` is empty when ok.
         """
-        try:
-            element = document.insert_element(hierarchy, tag, start, end)
-        except (MarkupConflictError, SpanError) as exc:
-            return False, str(exc)
-        try:
-            violations = self.check_affected(document, element)
-        finally:
-            document.remove_element(element)
+        with document.speculation():
+            try:
+                element = document.insert_element(hierarchy, tag, start, end)
+            except (MarkupConflictError, SpanError) as exc:
+                return False, str(exc)
+            try:
+                violations = self.check_affected(document, element)
+            finally:
+                document.remove_element(element)
         if violations:
             return False, str(violations[0])
         return True, ""

@@ -10,6 +10,13 @@ reporting.
 
 All operations go through the command log, so an editing session is
 fully replayable and reversible.
+
+Every operation — including each undo and redo — maps to exactly one
+tracked document mutation, so it emits exactly one typed change record
+(:mod:`repro.core.changes`) into the document's delta journal.  An
+attached :class:`~repro.index.manager.IndexManager` replays those
+records to keep its indexes warm across an editing session instead of
+rebuilding them after every edit.
 """
 
 from __future__ import annotations
@@ -20,7 +27,7 @@ from ..core.goddag import GoddagDocument
 from ..core.node import Element
 from ..dtd.potential import PotentialValidity
 from ..dtd.validate import Violation, validate_hierarchy
-from ..errors import EditError, PotentialValidityError
+from ..errors import EditError, MarkupConflictError, PotentialValidityError
 from .history import Command, History
 
 
@@ -90,9 +97,19 @@ class Editor:
 
         def undo() -> None:
             element = cell["element"]
-            if element is not None:
+            if element is None:
+                return
+            try:
                 document.remove_element(element)
-                cell["element"] = None
+            except MarkupConflictError:
+                # The captured object went stale: a later removal was
+                # undone, re-creating the element as a *new* object with
+                # the same signature.  Resolve it like redo-of-removal
+                # does.
+                document.remove_element(
+                    _resolve(document, hierarchy, tag, start, end)
+                )
+            cell["element"] = None
 
         label = f"insert <{tag}> [{start},{end}) in {hierarchy}"
         return self.history.record(Command(label, do, undo))
@@ -140,16 +157,16 @@ class Editor:
         """Set one attribute (undoable)."""
         had = name in element.attributes
         old = element.attributes.get(name)
+        document = element.document
 
         def do() -> None:
-            element.set(name, value)
+            document.set_attribute(element, name, value)
 
         def undo() -> None:
             if had:
-                element.attributes[name] = old
+                document.set_attribute(element, name, old)
             else:
-                element.attributes.pop(name, None)
-            element.document.touch()
+                document.remove_attribute(element, name)
 
         self.history.record(
             Command(f"set @{name}={value!r} on <{element.tag}>", do, undo)
@@ -160,14 +177,13 @@ class Editor:
         if name not in element.attributes:
             raise EditError(f"<{element.tag}> has no attribute {name!r}")
         old = element.attributes[name]
+        document = element.document
 
         def do() -> None:
-            element.attributes.pop(name, None)
-            element.document.touch()
+            document.remove_attribute(element, name)
 
         def undo() -> None:
-            element.attributes[name] = old
-            element.document.touch()
+            document.set_attribute(element, name, old)
 
         self.history.record(
             Command(f"remove @{name} from <{element.tag}>", do, undo)
@@ -186,13 +202,16 @@ class Editor:
         if checker is not None:
             return checker.insertable_tags(self.document, hierarchy, start, end)
         allowed = set()
-        for tag in self.document.hierarchy(hierarchy).tags:
-            try:
-                element = self.document.insert_element(hierarchy, tag, start, end)
-            except Exception:
-                continue
-            self.document.remove_element(element)
-            allowed.add(tag)
+        with self.document.speculation():
+            for tag in self.document.hierarchy(hierarchy).tags:
+                try:
+                    element = self.document.insert_element(
+                        hierarchy, tag, start, end
+                    )
+                except Exception:
+                    continue
+                self.document.remove_element(element)
+                allowed.add(tag)
         return frozenset(allowed)
 
     # -- session control -----------------------------------------------------------------------

@@ -114,3 +114,8 @@ class FilterError(ReproError):
 class EditError(ReproError):
     """An editing operation was rejected (bad range, unknown node,
     empty undo stack...)."""
+
+
+class IndexDeltaError(ReproError):
+    """An incremental index update could not be applied (the delta and
+    the index state disagree); the consumer falls back to a rebuild."""

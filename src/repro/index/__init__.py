@@ -9,9 +9,9 @@ Three cooperating indexes plus a manager:
 * :class:`OverlapIndex` — serializable per-hierarchy interval tables,
   answering stabbing/overlap queries on *stored* documents without
   materializing the GODDAG;
-* :class:`IndexManager` — builds all three, tracks document versions
-  (lazy rebuild after edits), and is what the Extended XPath engine and
-  the storage backends consult.
+* :class:`IndexManager` — builds all three, tracks document versions,
+  keeps them warm across edits via the delta protocol, and is what the
+  Extended XPath engine and the storage backends consult.
 
 Attach to a document and every compiled query accelerates transparently::
 
@@ -22,6 +22,37 @@ Attach to a document and every compiled query accelerates transparently::
 
 Results are always byte-identical to the unindexed engine: any step the
 indexes cannot serve falls back to the classic evaluation path.
+
+The delta protocol (incremental maintenance)
+--------------------------------------------
+
+Every tracked mutation — markup insertion (milestones included), markup
+removal, attribute set/delete, and each undo/redo of those — emits one
+typed change record (:mod:`repro.core.changes`) into the document's
+bounded delta journal (``GoddagDocument.changes_since``).  A stale
+manager catches up by replaying the journal: the structural summary
+re-paths exactly the partitions the edit touched and the overlap index
+patches the affected interval rows, so an editing session keeps its
+indexes warm instead of rebuilding them per edit (the ``bench_e9``
+editing scenario measures the difference).  Replay falls back to one
+full rebuild when
+
+* the backlog exceeds ``IndexManager.delta_threshold`` (default 128
+  records — beyond that a rebuild is assumed cheaper),
+* the journal cannot bridge the gap (an untracked mutation reset it, or
+  more than ``repro.core.goddag.JOURNAL_LIMIT`` records fell off), or
+* a record disagrees with the index state
+  (:class:`~repro.errors.IndexDeltaError`).
+
+Applied deltas also queue for persistence: ``GoddagStore.save_indexed``
+drains them (``IndexManager.pending_persist``) into row-level sqlite
+upserts — interval rows inserted/deleted individually, only dirty
+label-path partition rows rewritten — or a ``.gidx`` sidecar re-stamp
+from the in-memory payload, so saving an edited document no longer
+invalidates its stored index wholesale.  The differential harness in
+``tests/test_index_incremental.py`` holds all of this to the
+byte-identical bar against both a fresh rebuild and the unindexed
+engine after every step of randomized edit sessions.
 """
 
 from .manager import IndexManager

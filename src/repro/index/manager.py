@@ -4,21 +4,35 @@ One :class:`IndexManager` owns, for one document, a structural summary
 (:mod:`.structural`), a term index (:mod:`.term`) and an overlap index
 (:mod:`.overlap`).  It is version-stamped against the document exactly
 like the lazy interval indexes of :mod:`repro.core.intervals`: any
-mutation bumps ``document.version``, which marks the manager stale, and
-the next index access rebuilds transparently.  The term index is keyed
-to the immutable document text and therefore survives every rebuild.
+mutation bumps ``document.version``, which marks the manager stale.  On
+the next index access the manager catches up — preferably by replaying
+the document's delta journal (:meth:`GoddagDocument.changes_since`) and
+patching the structural summary and overlap tables *in place*, falling
+back to a full rebuild when the journal cannot bridge the gap, the
+backlog exceeds :attr:`IndexManager.delta_threshold`, or a record turns
+out inconsistent with the index state.  The term index is keyed to the
+immutable document text and therefore survives everything.
 
 Attach a manager with :meth:`IndexManager.attach` (or the
 ``for_document`` convenience) and the Extended XPath engine picks it up
 automatically; queries fall back to the unindexed paths whenever the
 manager cannot serve a step, so results are always identical with and
 without an index.
+
+Applied deltas are additionally queued for persistence: a storage layer
+calls :meth:`IndexManager.pending_persist` to fetch the row-level
+operations (overlap row inserts/deletes plus dirty label-path
+partitions) accumulated since the last :meth:`IndexManager.mark_persisted`,
+and ``GoddagStore.save_indexed`` turns them into sqlite upserts or a
+``.gidx`` sidecar re-stamp instead of dropping the stored index
+wholesale.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..errors import IndexDeltaError
 from .overlap import OverlapIndex
 from .structural import StructuralSummary, encode_path
 from .term import TermIndex
@@ -30,17 +44,92 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 #: Current persisted payload format.
 PAYLOAD_FORMAT = 1
 
+#: Default delta backlog beyond which catching up incrementally is
+#: assumed slower than one rebuild.
+DELTA_REBUILD_THRESHOLD = 128
+
+
+class PersistDeltas:
+    """Row-level index changes accumulated since the last persistence.
+
+    ``overlap_add``/``overlap_remove`` hold ``(hierarchy, tag, start,
+    end)`` interval rows; ``paths`` holds the ``(hierarchy, label-path)``
+    partition keys whose membership changed (the persistence layer
+    re-writes exactly those rows, deleting the ones that emptied).
+
+    Rows are content-identified, so a removal cancels a queued insertion
+    of the same row (and vice versa) — undo churn nets out instead of
+    accumulating.  Past :attr:`LIMIT` queued operations the backlog is
+    declared :attr:`overflowed` and the owner drops it: one full payload
+    write is cheaper than replaying that many single-row statements.
+    """
+
+    __slots__ = ("overlap_add", "overlap_remove", "paths")
+
+    #: Queued-operation bound beyond which a full rewrite wins.
+    LIMIT = 1024
+
+    def __init__(self) -> None:
+        self.overlap_add: list[tuple[str, str, int, int]] = []
+        self.overlap_remove: list[tuple[str, str, int, int]] = []
+        self.paths: set[tuple[str, tuple[str, ...]]] = set()
+
+    def __bool__(self) -> bool:
+        return bool(self.overlap_add or self.overlap_remove or self.paths)
+
+    @property
+    def overflowed(self) -> bool:
+        return (
+            len(self.overlap_add) + len(self.overlap_remove)
+            + len(self.paths) > self.LIMIT
+        )
+
+    def record(self, change, touched_paths) -> None:
+        from ..core.changes import InsertMarkup, RemoveMarkup
+
+        self.paths.update(touched_paths)
+        if not isinstance(change, (InsertMarkup, RemoveMarkup)):
+            return  # attribute edits touch no persisted index row
+        if change.start != change.end:
+            row = (change.hierarchy, change.tag, change.start, change.end)
+            if isinstance(change, InsertMarkup):
+                try:
+                    self.overlap_remove.remove(row)
+                except ValueError:
+                    self.overlap_add.append(row)
+            else:
+                try:
+                    self.overlap_add.remove(row)
+                except ValueError:
+                    self.overlap_remove.append(row)
+
 
 class IndexManager:
     """Query-acceleration indexes over one GODDAG document."""
 
-    def __init__(self, document: "GoddagDocument", build: bool = True) -> None:
+    def __init__(
+        self,
+        document: "GoddagDocument",
+        build: bool = True,
+        incremental: bool = True,
+        delta_threshold: int = DELTA_REBUILD_THRESHOLD,
+    ) -> None:
         self.document = document
         self.build_count = 0
+        self.delta_count = 0
+        self.incremental = incremental
+        self.delta_threshold = delta_threshold
         self._built_version = -1
         self._structural: StructuralSummary | None = None
         self._overlap: OverlapIndex | None = None
         self._terms: TermIndex | None = None
+        # None: the persisted form (if any) needs a full re-write;
+        # a PersistDeltas: row-level changes since mark_persisted().
+        # The token identifies *which* persisted artifact the backlog is
+        # relative to (backend/location/name); deltas never apply to a
+        # different target.
+        self._pending: PersistDeltas | None = None
+        self._persist_token: object = None
         if build:
             self.refresh()
 
@@ -59,7 +148,7 @@ class IndexManager:
             self.document.detach_index()
         return self
 
-    # -- freshness (the lazy-rebuild contract) --------------------------------
+    # -- freshness (the lazy-catch-up contract) -------------------------------
 
     @property
     def is_stale(self) -> bool:
@@ -71,18 +160,81 @@ class IndexManager:
         return self._built_version
 
     def refresh(self, force: bool = False) -> "IndexManager":
-        """Rebuild the structural and overlap indexes if stale (or forced).
+        """Bring the indexes up to the document version.
 
-        The term index is built once: the text is immutable.
+        Stale managers first try to replay the document's delta journal
+        in place; a full rebuild of the structural and overlap indexes
+        happens only when forced, on first build, or when deltas cannot
+        bridge the gap.  The term index is built once: the text is
+        immutable.
         """
-        if force or self.is_stale or self._structural is None:
-            self._structural = StructuralSummary(self.document)
-            self._overlap = OverlapIndex.from_document(self.document)
-            if self._terms is None:
-                self._terms = TermIndex.from_text(self.document.text)
-            self._built_version = self.document.version
-            self.build_count += 1
+        if not (force or self.is_stale or self._structural is None):
+            return self
+        if (
+            not force
+            and self.incremental
+            and self._structural is not None
+            and self._catch_up()
+        ):
+            return self
+        self._structural = StructuralSummary(self.document)
+        self._overlap = OverlapIndex.from_document(self.document)
+        if self._terms is None:
+            self._terms = TermIndex.from_text(self.document.text)
+        self._built_version = self.document.version
+        self.build_count += 1
+        self._pending = None  # a rebuild invalidates any delta backlog
         return self
+
+    def _catch_up(self) -> bool:
+        """Replay journal deltas onto the live indexes; False → rebuild."""
+        changes = self.document.changes_since(self._built_version)
+        if changes is None or len(changes) > self.delta_threshold:
+            return False
+        try:
+            for change in changes:
+                touched = self._structural.apply(change)
+                self._overlap.apply(change)
+                if self._pending is not None:
+                    self._pending.record(change, touched)
+        except IndexDeltaError:
+            # The summary/tables are now half-patched; the caller's
+            # rebuild replaces them outright, so no unwind is needed.
+            return False
+        if self._pending is not None and self._pending.overflowed:
+            # Replaying this many single-row statements would cost more
+            # than one full payload write: let the next persistence do
+            # the full write instead.
+            self._pending = None
+        self._built_version = self.document.version
+        self.delta_count += len(changes)
+        return True
+
+    # -- persistence hand-off ---------------------------------------------------
+
+    def pending_persist(self, token: object = None) -> PersistDeltas | None:
+        """Row-level changes since :meth:`mark_persisted`, or ``None``
+        when only a full payload write can be correct — never persisted
+        through this manager, a rebuild intervened, or ``token`` names a
+        different persistence target than the backlog was accumulated
+        for.  Refreshes first so the answer covers every mutation up to
+        now."""
+        self.refresh()
+        if token is not None and self._persist_token != token:
+            return None
+        return self._pending
+
+    def mark_persisted(self, token: object = None) -> None:
+        """Start delta accounting: the persisted form identified by
+        ``token`` now matches this manager, and future applied deltas
+        accumulate for row-level propagation to that target."""
+        self._persist_token = token
+        self._pending = PersistDeltas()
+
+    def persisted_to(self, token: object) -> bool:
+        """True when this manager last persisted to ``token``'s target
+        (regardless of whether the current backlog is delta-applicable)."""
+        return token is not None and self._persist_token == token
 
     @property
     def structural(self) -> StructuralSummary:
@@ -138,20 +290,28 @@ class IndexManager:
         }
 
     def stats(self) -> dict[str, int]:
-        """Size census of the three indexes (benchmarks print this)."""
-        self.refresh()
+        """Size census of the three indexes (benchmarks print this).
+
+        Reads whatever is currently built — it never triggers a build or
+        a catch-up as a side effect, so counting a fresh or stale
+        manager is free (callers wanting up-to-date numbers call
+        :meth:`refresh` first; the ``stale`` flag says which you got).
+        """
+        built = self._structural is not None and self._overlap is not None
         return {
-            "elements": self.structural.element_count(),
-            "solid_elements": self.overlap.element_count(),
-            "label_paths": self.structural.partition_count(),
-            "terms": self.terms.term_count,
-            "postings": self.terms.posting_count,
+            "elements": self._structural.element_count() if built else 0,
+            "solid_elements": self._overlap.element_count() if built else 0,
+            "label_paths": self._structural.partition_count() if built else 0,
+            "terms": self._terms.term_count if self._terms else 0,
+            "postings": self._terms.posting_count if self._terms else 0,
             "builds": self.build_count,
+            "deltas": self.delta_count,
+            "stale": int(self.is_stale),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "stale" if self.is_stale else "fresh"
         return (
             f"IndexManager({state}, version={self._built_version}, "
-            f"builds={self.build_count})"
+            f"builds={self.build_count}, deltas={self.delta_count})"
         )

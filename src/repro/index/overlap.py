@@ -17,11 +17,14 @@ k)`` bound of the in-memory one.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import TYPE_CHECKING, Iterator
 
 from ..core.intervals import StaticIntervalIndex
+from ..errors import IndexDeltaError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..core.changes import ChangeRecord
     from ..core.goddag import GoddagDocument
 
 #: A storage-level query answer: no node is materialized.
@@ -65,6 +68,42 @@ class HierarchyIntervals:
     def hit(self, row: int) -> SpanHit:
         return (self.hierarchy, self.tags[row], self.starts[row], self.ends[row])
 
+    # -- incremental maintenance ----------------------------------------------
+
+    def _row_position(self, start: int, end: int, tag: str) -> int:
+        """Leftmost position for ``(start, -end, tag)`` in the sorted
+        parallel arrays (the order ``from_document`` sorts rows into)."""
+        return bisect_left(
+            range(len(self.starts)),
+            (start, -end, tag),
+            key=lambda row: (self.starts[row], -self.ends[row],
+                             self.tags[row]),
+        )
+
+    def insert_row(self, start: int, end: int, tag: str) -> None:
+        position = self._row_position(start, end, tag)
+        self.starts.insert(position, start)
+        self.ends.insert(position, end)
+        self.tags.insert(position, tag)
+        self._index = None
+
+    def remove_row(self, start: int, end: int, tag: str) -> None:
+        position = self._row_position(start, end, tag)
+        if (
+            position >= len(self.starts)
+            or self.starts[position] != start
+            or self.ends[position] != end
+            or self.tags[position] != tag
+        ):
+            raise IndexDeltaError(
+                f"no interval row ({start}, {end}, {tag!r}) in "
+                f"hierarchy {self.hierarchy!r}"
+            )
+        del self.starts[position]
+        del self.ends[position]
+        del self.tags[position]
+        self._index = None
+
     def intersecting(self, start: int, end: int) -> list[int]:
         """Row indices of intervals sharing a position with ``[start, end)``."""
         return self._interval_index().intersecting(start, end)
@@ -99,6 +138,34 @@ class OverlapIndex:
                 [tag for (_, _, tag) in rows],
             )
         return cls(tables)
+
+    # -- incremental maintenance (the delta protocol) --------------------------
+
+    def apply(self, change: "ChangeRecord") -> None:
+        """Patch the interval tables in place for one change record.
+
+        Zero-width insertions/removals and attribute changes are no-ops
+        (the tables hold solid elements only).  Raises
+        :class:`~repro.errors.IndexDeltaError` on inconsistency; callers
+        fall back to a rebuild.
+        """
+        from ..core.changes import InsertMarkup, RemoveMarkup, SetAttribute
+
+        if isinstance(change, SetAttribute):
+            return
+        if not isinstance(change, (InsertMarkup, RemoveMarkup)):
+            raise IndexDeltaError(f"unsupported change record {change!r}")
+        if change.start == change.end:
+            return
+        table = self.tables.get(change.hierarchy)
+        if table is None:
+            raise IndexDeltaError(
+                f"no interval table for hierarchy {change.hierarchy!r}"
+            )
+        if isinstance(change, InsertMarkup):
+            table.insert_row(change.start, change.end, change.tag)
+        else:
+            table.remove_row(change.start, change.end, change.tag)
 
     # -- queries (storage-level answers, no nodes) ----------------------------
 

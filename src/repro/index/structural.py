@@ -9,16 +9,31 @@ traversal, and a storage backend can answer "how many ``line`` elements,
 and where" from the persisted partition rows without touching the
 element table.
 
-The summary is a snapshot: the owning :class:`~repro.index.manager.IndexManager`
-rebuilds it lazily when the document version moves (the same contract as
-the lazy interval indexes in :mod:`repro.core.intervals`).
+The summary is a snapshot the owning :class:`~repro.index.manager.IndexManager`
+keeps current in one of two ways: lazily rebuilt when the document
+version moves (the contract of the lazy interval indexes in
+:mod:`repro.core.intervals`), or — on the editing hot path — patched in
+place by :meth:`StructuralSummary.apply` from the typed change records
+of :mod:`repro.core.changes`, which is DescribeX-style maintenance
+under updates: each insert/remove refines or coarsens exactly the
+label-path partitions the mutation touched.
+
+Both maintenance modes produce the same lists in the same order: every
+flat list and partition is kept sorted by the canonical document order
+(:func:`repro.core.navigation.order_key`), which is also the order
+``GoddagDocument.ordered_elements`` — the rebuild source — emits.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator
+from bisect import insort
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from ..core.navigation import order_key
+from ..errors import IndexDeltaError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..core.changes import ChangeRecord, InsertMarkup, RemoveMarkup
     from ..core.goddag import GoddagDocument
     from ..core.node import Element
 
@@ -64,7 +79,8 @@ def decode_path(encoded: str) -> tuple[str, ...]:
 class StructuralSummary:
     """Label-path partitioning plus flat per-tag element lists."""
 
-    __slots__ = ("_by_tag", "_by_hierarchy", "_by_pair", "_partitions")
+    __slots__ = ("_by_tag", "_by_hierarchy", "_by_pair", "_partitions",
+                 "_paths")
 
     def __init__(self, document: "GoddagDocument") -> None:
         by_tag: dict[str, list["Element"]] = {}
@@ -80,8 +96,13 @@ class StructuralSummary:
         self._by_hierarchy = by_hierarchy
         self._by_pair = by_pair
 
-        # Label-path partitions, per hierarchy, in per-hierarchy preorder.
+        # Label-path partitions, per hierarchy, in per-hierarchy preorder
+        # (which, within one partition, coincides with canonical document
+        # order — same-path elements never nest).  The per-element path
+        # map is what lets `apply` re-path adopted/spliced subtrees
+        # without re-walking the tree.
         partitions: dict[tuple[str, tuple[str, ...]], list["Element"]] = {}
+        paths: dict["Element", tuple[str, ...]] = {}
         for name in document.hierarchy_names():
             stack: list[tuple["Element", tuple[str, ...]]] = [
                 (top, (top.tag,))
@@ -90,11 +111,114 @@ class StructuralSummary:
             while stack:
                 element, path = stack.pop()
                 partitions.setdefault((name, path), []).append(element)
+                paths[element] = path
                 stack.extend(
                     (child, path + (child.tag,))
                     for child in reversed(element.element_children)
                 )
         self._partitions = partitions
+        self._paths = paths
+
+    # -- incremental maintenance (the delta protocol) --------------------------
+
+    def apply(self, change: "ChangeRecord") -> set[tuple[str, tuple[str, ...]]]:
+        """Patch the summary in place for one change record.
+
+        Returns the partition keys ``(hierarchy, path)`` whose membership
+        changed (what a persistence layer must re-write).  Attribute
+        changes touch nothing — the summary stores no attribute data.
+        Raises :class:`~repro.errors.IndexDeltaError` when the record and
+        the summary state disagree; callers fall back to a rebuild.
+        """
+        from ..core.changes import InsertMarkup, RemoveMarkup, SetAttribute
+
+        if isinstance(change, InsertMarkup):
+            return self._apply_insert(change)
+        if isinstance(change, RemoveMarkup):
+            return self._apply_remove(change)
+        if isinstance(change, SetAttribute):
+            return set()
+        raise IndexDeltaError(f"unsupported change record {change!r}")
+
+    def _apply_insert(
+        self, change: "InsertMarkup"
+    ) -> set[tuple[str, tuple[str, ...]]]:
+        element = change.element
+        if element in self._paths:
+            raise IndexDeltaError(f"{element!r} already indexed")
+        insort(self._by_tag.setdefault(element.tag, []),
+               element, key=order_key)
+        insort(self._by_hierarchy.setdefault(element.hierarchy, []),
+               element, key=order_key)
+        insort(self._by_pair.setdefault((element.hierarchy, element.tag), []),
+               element, key=order_key)
+        path = change.parent_path + (element.tag,)
+        self._enter_partition(element, path)
+        touched = {(element.hierarchy, path)}
+        touched.update(
+            self._repath(change.hierarchy, change.repathed,
+                         len(change.parent_path), insert_tag=element.tag)
+        )
+        return touched
+
+    def _apply_remove(
+        self, change: "RemoveMarkup"
+    ) -> set[tuple[str, tuple[str, ...]]]:
+        element = change.element
+        path = self._paths.get(element)
+        if path is None:
+            raise IndexDeltaError(f"{element!r} not in the summary")
+        _discard(self._by_tag, element.tag, element)
+        _discard(self._by_hierarchy, element.hierarchy, element)
+        _discard(self._by_pair, (element.hierarchy, element.tag), element)
+        self._leave_partition(element, path)
+        touched = {(element.hierarchy, path)}
+        touched.update(
+            self._repath(change.hierarchy, change.repathed,
+                         len(change.parent_path), remove_tag=element.tag)
+        )
+        return touched
+
+    def _repath(
+        self,
+        hierarchy: str,
+        moved: Iterable["Element"],
+        position: int,
+        insert_tag: str | None = None,
+        remove_tag: str | None = None,
+    ) -> Iterator[tuple[str, tuple[str, ...]]]:
+        """Shift the label paths of an adopted/spliced subtree by one tag
+        at ``position``; yields every partition key touched."""
+        for node in moved:
+            old = self._paths.get(node)
+            if old is None or len(old) <= position:
+                raise IndexDeltaError(f"no consistent path for {node!r}")
+            if insert_tag is not None:
+                new = old[:position] + (insert_tag,) + old[position:]
+            else:
+                if old[position] != remove_tag:
+                    raise IndexDeltaError(
+                        f"path {old!r} of {node!r} does not pass through "
+                        f"the removed <{remove_tag}>"
+                    )
+                new = old[:position] + old[position + 1:]
+            self._leave_partition(node, old)
+            self._enter_partition(node, new)
+            yield (hierarchy, old)
+            yield (hierarchy, new)
+
+    def _enter_partition(
+        self, element: "Element", path: tuple[str, ...]
+    ) -> None:
+        insort(self._partitions.setdefault((element.hierarchy, path), []),
+               element, key=order_key)
+        self._paths[element] = path
+
+    def _leave_partition(
+        self, element: "Element", path: tuple[str, ...]
+    ) -> None:
+        _discard(self._partitions, (element.hierarchy, path), element)
+        del self._paths[element]
 
     # -- candidate resolution (the query-engine entry point) -----------------
 
@@ -154,3 +278,18 @@ class StructuralSummary:
 
     def element_count(self) -> int:
         return sum(len(elements) for elements in self._by_tag.values())
+
+
+def _discard(table: dict, key, element: "Element") -> None:
+    """Remove ``element`` from one keyed member list (flat list or
+    partition), dropping emptied keys so the vocabulary and label-path
+    views stay identical to a fresh rebuild's."""
+    members = table.get(key)
+    if members is None:
+        raise IndexDeltaError(f"no member list under {key!r}")
+    try:
+        members.remove(element)
+    except ValueError:
+        raise IndexDeltaError(f"{element!r} missing from {key!r}") from None
+    if not members:
+        del table[key]

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from .._util import pack_u32, unpack_u32
 from ..core.goddag import GoddagDocument
 from ..errors import StorageError
+from ..index.structural import encode_path
 from ..index.term import occurrences_from_terms
 from .schema import (
     DocumentRow,
@@ -58,7 +59,8 @@ CREATE INDEX IF NOT EXISTS idx_elements_hierarchy
 CREATE TABLE IF NOT EXISTS index_meta (
     doc_id INTEGER PRIMARY KEY REFERENCES documents(doc_id) ON DELETE CASCADE,
     format INTEGER NOT NULL,
-    doc_length INTEGER NOT NULL
+    doc_length INTEGER NOT NULL,
+    stamp TEXT NOT NULL DEFAULT ''
 );
 CREATE TABLE IF NOT EXISTS index_paths (
     doc_id INTEGER NOT NULL REFERENCES documents(doc_id) ON DELETE CASCADE,
@@ -109,6 +111,22 @@ class SqliteStore:
         self._conn = sqlite3.connect(path)
         self._conn.execute("PRAGMA foreign_keys = ON")
         self._conn.executescript(_DDL)
+        self._migrate()
+
+    def _migrate(self) -> None:
+        """Bring a store created by an older release up to the current
+        schema (CREATE TABLE IF NOT EXISTS never alters existing
+        tables).  Additive only: older columns are never dropped."""
+        columns = [
+            row[1]
+            for row in self._conn.execute("PRAGMA table_info(index_meta)")
+        ]
+        if "stamp" not in columns:
+            with self._conn:
+                self._conn.execute(
+                    "ALTER TABLE index_meta"
+                    " ADD COLUMN stamp TEXT NOT NULL DEFAULT ''"
+                )
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -171,6 +189,36 @@ class SqliteStore:
             )
         ]
         return decode_document(doc_row, hierarchy_rows, element_rows)
+
+    def _update_document_rows(
+        self, doc_id: int, document: GoddagDocument, name: str
+    ) -> None:
+        """Rewrite the document/hierarchy/element rows of ``doc_id``
+        (statements only — the caller owns the transaction)."""
+        doc_row, hierarchy_rows, element_rows = encode_document(document, name)
+        self._conn.execute(
+            "UPDATE documents SET root_tag = ?, text = ?,"
+            " root_attributes = ? WHERE doc_id = ?",
+            (doc_row.root_tag, doc_row.text, doc_row.root_attributes,
+             doc_id),
+        )
+        self._conn.execute(
+            "DELETE FROM hierarchies WHERE doc_id = ?", (doc_id,)
+        )
+        self._conn.execute(
+            "DELETE FROM elements WHERE doc_id = ?", (doc_id,)
+        )
+        self._conn.executemany(
+            "INSERT INTO hierarchies VALUES (?, ?, ?, ?)",
+            [(doc_id, row.rank, row.name, row.dtd_source)
+             for row in hierarchy_rows],
+        )
+        self._conn.executemany(
+            "INSERT INTO elements VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            [(doc_id, row.elem_id, row.hierarchy, row.tag, row.start,
+              row.end, row.parent_id, row.child_rank, row.attributes)
+             for row in element_rows],
+        )
 
     def delete(self, name: str) -> None:
         doc_id, _ = self._document_row(name)
@@ -279,42 +327,138 @@ class SqliteStore:
     # overlap row per solid element.  Queries below answer from these
     # tables alone — no document reconstruction.
 
-    def save_index(self, name: str, payload: dict) -> None:
+    def save_index(self, name: str, payload: dict, stamp: str = "") -> None:
         """Persist an ``IndexManager.payload()`` for a stored document."""
         doc_id, _ = self._document_row(name)
         with self._conn:
             self._delete_index_rows(doc_id)
-            self._conn.execute(
-                "INSERT INTO index_meta VALUES (?, ?, ?)",
-                (doc_id, payload.get("format", 1),
-                 payload.get("doc_length", 0)),
-            )
-            self._conn.executemany(
-                "INSERT INTO index_paths VALUES (?, ?, ?, ?, ?, ?)",
-                [
-                    (doc_id, hierarchy, path, tag, count,
-                     pack_u32([v for span in spans for v in span]))
-                    for hierarchy, path, tag, count, spans
-                    in payload.get("paths", [])
-                ],
-            )
-            self._conn.executemany(
-                "INSERT INTO index_terms VALUES (?, ?, ?)",
-                [
-                    (doc_id, term, pack_u32(starts))
-                    for term, starts in payload.get("terms", {}).items()
-                ],
-            )
+            self._insert_index_rows(doc_id, payload, stamp)
+
+    def _insert_index_rows(self, doc_id: int, payload: dict,
+                           stamp: str = "") -> None:
+        """Insert the full index payload rows (caller owns the
+        transaction; index rows for ``doc_id`` must be gone already).
+        ``stamp`` is the session generation mark an editing-session
+        writer leaves so it can later recognize its own artifact."""
+        self._conn.execute(
+            "INSERT INTO index_meta VALUES (?, ?, ?, ?)",
+            (doc_id, payload.get("format", 1),
+             payload.get("doc_length", 0), stamp),
+        )
+        self._conn.executemany(
+            "INSERT INTO index_paths VALUES (?, ?, ?, ?, ?, ?)",
+            [
+                (doc_id, hierarchy, path, tag, count,
+                 pack_u32([v for span in spans for v in span]))
+                for hierarchy, path, tag, count, spans
+                in payload.get("paths", [])
+            ],
+        )
+        self._conn.executemany(
+            "INSERT INTO index_terms VALUES (?, ?, ?)",
+            [
+                (doc_id, term, pack_u32(starts))
+                for term, starts in payload.get("terms", {}).items()
+            ],
+        )
+        self._conn.executemany(
+            "INSERT INTO index_overlap VALUES (?, ?, ?, ?, ?)",
+            [
+                (doc_id, hierarchy, tag, start, end)
+                for hierarchy, entry in payload.get("overlap", {}).items()
+                for start, end, tag in zip(
+                    entry["starts"], entry["ends"], entry["tags"]
+                )
+            ],
+        )
+
+    def _apply_index_delta_rows(self, doc_id: int, deltas,
+                                partition_spans) -> None:
+        """Row-level index maintenance from a
+        :class:`~repro.index.manager.PersistDeltas` (statements only —
+        :meth:`resave_with_index` owns the transaction).
+
+        Inserts/deletes the individual ``index_overlap`` rows the edits
+        touched and upserts exactly the dirty ``index_paths`` partition
+        rows (``partition_spans(hierarchy, path)`` supplies the current
+        ``(start, end)`` members; an empty answer deletes the row).
+        Term rows never change — the text is immutable.
+        """
+        if deltas.overlap_add:
             self._conn.executemany(
                 "INSERT INTO index_overlap VALUES (?, ?, ?, ?, ?)",
-                [
-                    (doc_id, hierarchy, tag, start, end)
-                    for hierarchy, entry in payload.get("overlap", {}).items()
-                    for start, end, tag in zip(
-                        entry["starts"], entry["ends"], entry["tags"]
-                    )
-                ],
+                [(doc_id, hierarchy, tag, start, end)
+                 for hierarchy, tag, start, end in deltas.overlap_add],
             )
+        for hierarchy, tag, start, end in deltas.overlap_remove:
+            self._conn.execute(
+                "DELETE FROM index_overlap WHERE rowid IN ("
+                " SELECT rowid FROM index_overlap"
+                " WHERE doc_id = ? AND hierarchy = ? AND tag = ?"
+                " AND start = ? AND end = ? LIMIT 1)",
+                (doc_id, hierarchy, tag, start, end),
+            )
+        for hierarchy, path in deltas.paths:
+            spans = partition_spans(hierarchy, path)
+            encoded = encode_path(path)
+            if spans:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO index_paths"
+                    " VALUES (?, ?, ?, ?, ?, ?)",
+                    (doc_id, hierarchy, encoded, path[-1], len(spans),
+                     pack_u32([v for span in spans for v in span])),
+                )
+            else:
+                self._conn.execute(
+                    "DELETE FROM index_paths WHERE doc_id = ?"
+                    " AND hierarchy = ? AND path = ?",
+                    (doc_id, hierarchy, encoded),
+                )
+
+    def index_stamp(self, name: str) -> str | None:
+        """The generation stamp of the persisted index (empty for one
+        written outside an editing session), or ``None`` when no index
+        is stored."""
+        doc_id, _ = self._document_row(name)
+        row = self._conn.execute(
+            "SELECT stamp FROM index_meta WHERE doc_id = ?", (doc_id,)
+        ).fetchone()
+        return row[0] if row else None
+
+    def resave_with_index(self, document: GoddagDocument, name: str,
+                          deltas, partition_spans, payload_factory,
+                          stamp: str = "",
+                          expected_stamp: str | None = None) -> None:
+        """Atomically rewrite a stored document's rows *and* bring its
+        index in step, in one transaction — a crash can never pair a
+        newer document with a stale index.  ``deltas`` (when applicable
+        and an index is stored) patches row-level; otherwise the index
+        rows are rewritten from ``payload_factory()``.  Either way the
+        index generation mark becomes ``stamp``.
+
+        The delta path re-verifies ``expected_stamp`` *inside* the
+        transaction (a conditional stamp update): if another writer
+        replaced the artifact after the caller's own-artifact check, the
+        deltas no longer describe what is stored, and the method falls
+        back to the full payload write — never a row-patch of a
+        stranger's index.
+        """
+        doc_id, indexed = self._doc_index_row(name)
+        with self._conn:
+            self._update_document_rows(doc_id, document, name)
+            row_level = False
+            if deltas is not None and indexed:
+                cursor = self._conn.execute(
+                    "UPDATE index_meta SET stamp = ?"
+                    " WHERE doc_id = ? AND stamp = ?",
+                    (stamp, doc_id, expected_stamp or ""),
+                )
+                row_level = cursor.rowcount == 1
+            if row_level:
+                self._apply_index_delta_rows(doc_id, deltas, partition_spans)
+            else:
+                self._delete_index_rows(doc_id)
+                self._insert_index_rows(doc_id, payload_factory(), stamp)
 
     def _delete_index_rows(self, doc_id: int) -> None:
         for table in ("index_meta", "index_paths", "index_terms",

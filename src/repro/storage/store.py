@@ -11,13 +11,18 @@ the sqlite backend keeps them in dedicated tables, the binary backend in
 :meth:`query_spans`, :meth:`term_occurrences`, :meth:`count_tag` — answer
 from the persisted index when one exists (without materializing the
 document) and fall back to the unindexed storage paths when it does not,
-returning the same answers either way.  Saving over or deleting a
-document drops its index; rebuild after re-saving.
+returning the same answers either way.  A plain :meth:`GoddagStore.save`
+over (or delete of) a document drops its index; editing sessions use
+:meth:`GoddagStore.save_indexed` instead, which re-saves the document
+*and* propagates the index manager's applied deltas — sqlite row-level
+upserts under a stable ``doc_id``, or a ``.gidx`` sidecar re-stamp — so
+the stored index never invalidates wholesale.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
+from uuid import uuid4
 
 from ..core.goddag import GoddagDocument
 from ..errors import StorageError
@@ -38,6 +43,18 @@ from .binary_backend import (
     scan_spans,
 )
 from .sqlite_backend import SqliteStore, StoredElement
+
+
+def _file_identity(path: Path) -> tuple[int, int] | None:
+    """A cheap generation mark for a stored document file —
+    ``(mtime_ns, size)``, or ``None`` when the file does not exist.
+    Two writes of the same logical document produce different marks, so
+    an editing session can tell its own artifact from a replacement."""
+    try:
+        stat = path.stat()
+    except OSError:
+        return None
+    return (stat.st_mtime_ns, stat.st_size)
 
 
 class GoddagStore:
@@ -145,6 +162,106 @@ class GoddagStore:
         else:
             write_sidecar(self._sidecar_file(name), payload)
             self._sidecars.pop(name, None)
+        return manager.stats()
+
+    def save_indexed(self, document: GoddagDocument, name: str,
+                     manager: IndexManager | None = None,
+                     overwrite: bool = False) -> dict[str, int]:
+        """Save (or re-save) a document *and* keep its persisted index in
+        step — the editing-session alternative to save + :meth:`build_index`.
+
+        ``manager`` defaults to the document's attached index manager;
+        it is refreshed (incrementally, when the delta journal allows)
+        and its applied deltas propagate to the backend instead of
+        invalidating the stored index wholesale:
+
+        * **sqlite** — one transaction rewrites the document rows under
+          their existing ``doc_id`` and patches the index rows
+          (row-level when the manager can supply deltas *for this
+          store and name*, a full rewrite otherwise), so a crash can
+          never pair a newer document with a stale index;
+        * **binary** — the ``.gidx`` sidecar is re-stamped from the
+          manager's in-memory payload, skipping the document load and
+          index rebuild that :meth:`build_index` would pay.  (The
+          sidecar is dropped before the document write, preserving the
+          crash invariant of :meth:`save`: a stale index never pairs
+          with a newer document.)
+
+        Re-saving the session's own artifact — the exact generation this
+        manager wrote last, verified via a stamp stored with the index
+        (sqlite) or the document file's identity (binary) — needs no
+        consent; anything else already stored under ``name`` (including
+        a replacement some other writer slipped in mid-session) requires
+        ``overwrite=True``, like :meth:`save`, and always gets a full
+        index write rather than a row-level patch.
+
+        Returns the manager's size census, like :meth:`build_index`.
+        """
+        if manager is None:
+            manager = document.index_manager
+        if manager is None or manager.document is not document:
+            raise StorageError(
+                "save_indexed needs an IndexManager for this document "
+                "(attach one, or pass manager=)"
+            )
+        # The token pins delta accounting to one exact artifact
+        # *generation*: deltas accumulated against another store,
+        # another name, or an artifact someone replaced since our last
+        # write never row-apply here.
+        if self._sqlite is not None:
+            exists = self._sqlite.has(name)
+            generation = self._sqlite.index_stamp(name) if exists else None
+            token = (self.backend, str(self.location), name, generation)
+            deltas = manager.pending_persist(token)  # refreshes the manager
+            if exists and not overwrite and not manager.persisted_to(token):
+                raise StorageError(
+                    f"document {name!r} already stored and is not this "
+                    "session's artifact; pass overwrite=True to replace it"
+                )
+            stamp = uuid4().hex
+            if exists:
+                self._sqlite.resave_with_index(
+                    document, name, deltas,
+                    lambda hierarchy, path: [
+                        (e.start, e.end)
+                        for e in manager.structural.partition(hierarchy, path)
+                    ],
+                    lambda: manager.payload(name),
+                    stamp=stamp,
+                    expected_stamp=generation,
+                )
+            else:
+                self._sqlite.save(document, name)
+                self._sqlite.save_index(name, manager.payload(name), stamp)
+            manager.mark_persisted(
+                (self.backend, str(self.location), name, stamp)
+            )
+        else:
+            target = self._file(name)
+            generation = _file_identity(target)
+            token = (self.backend, str(self.location), name, generation)
+            manager.refresh()
+            if (
+                generation is not None
+                and not overwrite
+                and not manager.persisted_to(token)
+            ):
+                raise StorageError(
+                    f"document {name!r} already stored and is not this "
+                    "session's artifact; pass overwrite=True to replace it"
+                )
+            # The consent check above is check-then-write (no file
+            # locking), but the write is a whole-artifact rewrite:
+            # losing the race can only clobber a concurrent writer's
+            # document wholesale (as plain save(overwrite=True) can) —
+            # never pair our deltas with a stranger's index.
+            self._invalidate_sidecar(name)
+            save_file(document, target, name)
+            write_sidecar(self._sidecar_file(name), manager.payload(name))
+            manager.mark_persisted(
+                (self.backend, str(self.location), name,
+                 _file_identity(target))
+            )
         return manager.stats()
 
     def has_index(self, name: str) -> bool:

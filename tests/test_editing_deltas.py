@@ -1,0 +1,344 @@
+"""Every Editor operation emits exactly one well-formed change record.
+
+The delta protocol (:mod:`repro.core.changes`) promises: one tracked
+document mutation — and therefore exactly one journal record — per
+editing operation, including each undo and redo, with a correct inverse.
+These tests pin that contract operation by operation; the differential
+harness in ``test_index_incremental.py`` then relies on it wholesale.
+"""
+
+import pytest
+
+from repro.core.changes import InsertMarkup, RemoveMarkup, SetAttribute
+from repro.core.goddag import GoddagBuilder
+from repro.editing import Editor
+from repro.errors import PotentialValidityError
+
+
+def build_document():
+    builder = GoddagBuilder("the quick brown fox jumps over the lazy dog")
+    builder.add_hierarchy("physical")
+    builder.add_hierarchy("linguistic")
+    builder.add_annotation("physical", "line", 0, 19)
+    builder.add_annotation("physical", "line", 20, 43)
+    builder.add_annotation("linguistic", "s", 0, 43)
+    return builder.build()
+
+
+def records_of(document, action):
+    """Run ``action`` and return the change records it emitted."""
+    version = document.version
+    action()
+    changes = document.changes_since(version)
+    assert changes is not None, "journal broken by an untracked mutation"
+    return changes
+
+
+def the_record(document, action):
+    """Like :func:`records_of` but asserts exactly one record."""
+    changes = records_of(document, action)
+    assert len(changes) == 1, changes
+    return changes[0]
+
+
+class TestOneRecordPerOperation:
+    def test_insert_markup(self):
+        document = build_document()
+        editor = Editor(document)
+        record = the_record(
+            document,
+            lambda: editor.insert_markup("linguistic", "w", 4, 9,
+                                         {"n": "1"}),
+        )
+        assert isinstance(record, InsertMarkup)
+        assert record.signature() == ("insert", "linguistic", "w", 4, 9)
+        assert record.attributes == (("n", "1"),)
+        assert not record.is_milestone
+        assert record.element.tag == "w"
+        # The new <w> nests inside <s>: the parent path says so.
+        assert record.parent_path == ("s",)
+        assert record.repathed == ()
+
+    def test_insert_markup_adoption_is_recorded(self):
+        document = build_document()
+        editor = Editor(document)
+        word = editor.insert_markup("linguistic", "w", 4, 9)
+        record = the_record(
+            document,
+            lambda: editor.insert_markup("linguistic", "phrase", 4, 15),
+        )
+        assert isinstance(record, InsertMarkup)
+        # <w> was adopted into <phrase>; its label path gained a tag.
+        assert word in record.repathed
+
+    def test_insert_milestone(self):
+        document = build_document()
+        editor = Editor(document)
+        record = the_record(
+            document,
+            lambda: editor.insert_milestone("physical", "pb", 20),
+        )
+        assert isinstance(record, InsertMarkup)
+        assert record.is_milestone
+        assert record.start == record.end == 20
+
+    def test_remove_markup(self):
+        document = build_document()
+        editor = Editor(document)
+        word = editor.insert_markup("linguistic", "w", 4, 9)
+        record = the_record(document, lambda: editor.remove_markup(word))
+        assert isinstance(record, RemoveMarkup)
+        assert record.signature() == ("remove", "linguistic", "w", 4, 9)
+        assert record.parent_path == ("s",)
+
+    def test_remove_markup_splice_is_recorded(self):
+        document = build_document()
+        editor = Editor(document)
+        word = editor.insert_markup("linguistic", "w", 4, 9)
+        phrase = editor.insert_markup("linguistic", "phrase", 4, 15)
+        record = the_record(document, lambda: editor.remove_markup(phrase))
+        assert isinstance(record, RemoveMarkup)
+        assert word in record.repathed  # spliced up, path lost 'phrase'
+
+    def test_set_attribute(self):
+        document = build_document()
+        editor = Editor(document)
+        line = next(document.elements(tag="line"))
+        record = the_record(
+            document, lambda: editor.set_attribute(line, "n", "1")
+        )
+        assert isinstance(record, SetAttribute)
+        assert record.name == "n"
+        assert record.value == "1"
+        assert record.old is None  # the attribute did not exist before
+
+    def test_set_attribute_overwrite_keeps_old_value(self):
+        document = build_document()
+        editor = Editor(document)
+        line = next(document.elements(tag="line"))
+        editor.set_attribute(line, "n", "1")
+        record = the_record(
+            document, lambda: editor.set_attribute(line, "n", "2")
+        )
+        assert record.old == "1" and record.value == "2"
+
+    def test_remove_attribute(self):
+        document = build_document()
+        editor = Editor(document)
+        line = next(document.elements(tag="line"))
+        editor.set_attribute(line, "n", "1")
+        record = the_record(
+            document, lambda: editor.remove_attribute(line, "n")
+        )
+        assert isinstance(record, SetAttribute)
+        assert record.value is None and record.old == "1"
+
+
+class TestUndoRedoInverses:
+    def test_undo_of_insert_emits_the_inverse(self):
+        document = build_document()
+        editor = Editor(document)
+        forward = the_record(
+            document,
+            lambda: editor.insert_markup("linguistic", "w", 4, 9),
+        )
+        backward = the_record(document, editor.undo)
+        assert isinstance(backward, RemoveMarkup)
+        assert backward.signature() == forward.inverse().signature()
+
+    def test_redo_of_insert_emits_the_original_signature(self):
+        document = build_document()
+        editor = Editor(document)
+        forward = the_record(
+            document,
+            lambda: editor.insert_markup("linguistic", "w", 4, 9),
+        )
+        editor.undo()
+        replay = the_record(document, editor.redo)
+        assert isinstance(replay, InsertMarkup)
+        assert replay.signature() == forward.signature()
+
+    def test_undo_of_remove_emits_the_inverse(self):
+        document = build_document()
+        editor = Editor(document)
+        word = editor.insert_markup("linguistic", "w", 4, 9)
+        forward = the_record(document, lambda: editor.remove_markup(word))
+        backward = the_record(document, editor.undo)
+        assert isinstance(backward, InsertMarkup)
+        assert backward.signature() == forward.inverse().signature()
+
+    def test_undo_of_attribute_ops_emits_the_inverse(self):
+        document = build_document()
+        editor = Editor(document)
+        line = next(document.elements(tag="line"))
+        editor.set_attribute(line, "n", "1")
+        forward = the_record(
+            document, lambda: editor.set_attribute(line, "n", "2")
+        )
+        backward = the_record(document, editor.undo)
+        assert backward.signature() == forward.inverse().signature()
+        assert line.attributes["n"] == "1"
+        forward = the_record(
+            document, lambda: editor.remove_attribute(line, "n")
+        )
+        backward = the_record(document, editor.undo)
+        assert backward.signature() == forward.inverse().signature()
+        assert line.attributes["n"] == "1"
+
+    def test_undo_chain_through_a_recreated_element(self):
+        """insert -> remove -> undo (re-creates the element as a new
+        object) -> undo (must resolve the stale captured object and
+        remove the re-creation, not crash)."""
+        document = build_document()
+        editor = Editor(document)
+        editor.insert_markup("linguistic", "w", 4, 9)
+        word = next(document.elements(tag="w"))
+        editor.remove_markup(word)
+        editor.undo()  # re-insert: a NEW element object, same signature
+        editor.undo()  # undo the original insert through the stale cell
+        assert list(document.elements(tag="w")) == []
+        editor.redo()  # and the chain keeps working forward
+        assert [w.text for w in document.elements(tag="w")] == ["quick"]
+        assert not document.check_invariants()
+
+    def test_undo_of_fresh_attribute_removes_it(self):
+        document = build_document()
+        editor = Editor(document)
+        line = next(document.elements(tag="line"))
+        editor.set_attribute(line, "resp", "ed")
+        record = the_record(document, editor.undo)
+        assert isinstance(record, SetAttribute)
+        assert record.value is None and record.old == "ed"
+        assert "resp" not in line.attributes
+
+
+class TestInverseAlgebra:
+    def test_double_inverse_is_identity(self):
+        document = build_document()
+        editor = Editor(document)
+        record = the_record(
+            document,
+            lambda: editor.insert_markup("linguistic", "w", 4, 9),
+        )
+        assert record.inverse().inverse() == record
+
+    def test_set_attribute_inverse_swaps_values(self):
+        document = build_document()
+        line = next(document.elements(tag="line"))
+        record = SetAttribute(element=line, name="n", value="2", old="1")
+        inverse = record.inverse()
+        assert inverse.value == "1" and inverse.old == "2"
+        assert inverse.inverse() == record
+
+
+class TestJournalTrackingOptOut:
+    def test_untracked_documents_skip_record_construction(self):
+        """journal_tracking=False makes every mutation untracked: no
+        records (and no re-pathing snapshots) are built, consumers see
+        a broken journal and rebuild."""
+        from repro.index import IndexManager
+
+        document = build_document()
+        document.journal_tracking = False
+        manager = IndexManager(document)
+        version = document.version
+        editor = Editor(document)
+        editor.insert_markup("linguistic", "w", 4, 9)
+        editor.set_attribute(next(document.elements(tag="line")), "n", "1")
+        assert document.changes_since(version) is None
+        manager.structural  # still correct — via a rebuild
+        assert manager.build_count == 2 and manager.delta_count == 0
+        assert [e.text for e in manager.structural.candidates("w")] == [
+            "quick"
+        ]
+
+
+class TestSpeculationAnnihilation:
+    def test_tag_menu_trials_leave_no_records(self):
+        """suggest_tags probes by inserting and rolling back; inside the
+        speculation region those pairs annihilate in the journal."""
+        document = build_document()
+        editor = Editor(document)
+        editor.insert_markup("linguistic", "w", 4, 9)
+        version = document.version
+        editor.suggest_tags("linguistic", 10, 15)
+        assert document.changes_since(version) == []
+
+    def test_prevalidation_trials_leave_no_records(self):
+        from repro.dtd import parse_dtd
+
+        dtd = parse_dtd(
+            "<!ELEMENT r (line+)> <!ELEMENT line (#PCDATA)>", name="d"
+        )
+        builder = GoddagBuilder("some text here")
+        builder.add_hierarchy("physical", dtd=dtd)
+        document = builder.build()
+        editor = Editor(document)
+        editor.insert_markup("physical", "line", 0, 9)
+        version = document.version
+        editor.suggest_tags("physical", 10, 14)  # DTD-backed trials
+        assert document.changes_since(version) == []
+
+    def test_trials_do_not_break_an_attached_manager(self):
+        from repro.index import IndexManager
+
+        document = build_document()
+        editor = Editor(document)
+        manager = IndexManager(document)
+        editor.suggest_tags("linguistic", 4, 9)
+        editor.insert_markup("linguistic", "w", 4, 9)
+        manager.structural  # catch-up: one real delta, no rebuild
+        assert manager.build_count == 1 and manager.delta_count == 1
+        fresh = IndexManager(document)
+        assert manager.payload("d") == fresh.payload("d")
+
+    def test_consumer_synced_inside_a_cancelled_pair_rebuilds(self):
+        """Syncing between a speculative insert and its rollback must
+        not strand the consumer with the phantom element: the cancelled
+        range is a journal gap that forces a rebuild."""
+        document = build_document()
+        with document.speculation():
+            element = document.insert_element("linguistic", "w", 4, 9)
+            mid_pair = document.version
+            document.remove_element(element)
+        assert document.changes_since(mid_pair) is None
+        assert document.changes_since(document.version) == []
+
+    def test_real_undo_still_emits_its_record(self):
+        """Outside speculation, insert + undo stays two records — the
+        protocol contract for real edits is untouched."""
+        document = build_document()
+        editor = Editor(document)
+        version = document.version
+        editor.insert_markup("linguistic", "w", 4, 9)
+        editor.undo()
+        changes = document.changes_since(version)
+        assert [type(c) for c in changes] == [InsertMarkup, RemoveMarkup]
+
+
+class TestRejectedEditsStayConsistent:
+    def test_prevalidation_rollback_emits_a_cancelling_pair(self):
+        """A rejected insert performs insert + remove; the journal shows
+        both, and their net effect on any consumer is nil."""
+        from repro.dtd import parse_dtd
+        from repro.index import IndexManager
+
+        dtd = parse_dtd(
+            "<!ELEMENT r (line+)> <!ELEMENT line (#PCDATA)>", name="d"
+        )
+        builder = GoddagBuilder("some text here")
+        builder.add_hierarchy("physical", dtd=dtd)
+        document = builder.build()
+        editor = Editor(document)
+        editor.insert_markup("physical", "line", 0, 9)
+        manager = IndexManager(document)
+        version = document.version
+        with pytest.raises(PotentialValidityError):
+            editor.insert_markup("physical", "bogus", 10, 14)
+        changes = document.changes_since(version)
+        assert [type(c) for c in changes] == [InsertMarkup, RemoveMarkup]
+        assert changes[1].signature() == changes[0].inverse().signature()
+        # The manager absorbs the cancelling pair without a rebuild.
+        fresh = IndexManager(document)
+        assert manager.payload("d") == fresh.payload("d")
+        assert manager.build_count == 1 and manager.delta_count == 2

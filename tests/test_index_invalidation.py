@@ -69,18 +69,49 @@ class TestStalenessDetection:
 
 
 class TestLazyRebuild:
-    def test_rebuild_happens_on_access_not_on_edit(self):
+    def test_catch_up_happens_on_access_not_on_edit(self):
         document = build_document()
         manager = IndexManager(document)
         editor = Editor(document)
         editor.insert_markup("linguistic", "w", *editor.find_text("quick"))
         editor.insert_markup("linguistic", "w", *editor.find_text("brown"))
-        assert manager.build_count == 1  # edits alone rebuild nothing
+        assert manager.build_count == 1  # edits alone touch nothing
+        assert manager.delta_count == 0
         manager.structural  # first access after the edits
-        assert manager.build_count == 2
+        # The journal bridges the gap: deltas applied, no rebuild.
+        assert manager.build_count == 1
+        assert manager.delta_count == 2
         assert not manager.is_stale
-        manager.structural  # further access: no extra rebuild
+        manager.structural  # further access: nothing more to do
+        assert manager.build_count == 1
+        assert manager.delta_count == 2
+
+    def test_rebuild_when_incremental_disabled(self):
+        document = build_document()
+        manager = IndexManager(document, incremental=False)
+        editor = Editor(document)
+        editor.insert_markup("linguistic", "w", *editor.find_text("quick"))
+        manager.structural
         assert manager.build_count == 2
+        assert manager.delta_count == 0
+
+    def test_rebuild_when_backlog_exceeds_threshold(self):
+        document = build_document()
+        manager = IndexManager(document, delta_threshold=3)
+        editor = Editor(document)
+        for needle in ("the", "quick", "brown", "fox"):
+            editor.insert_markup("linguistic", "w", *editor.find_text(needle))
+        manager.structural  # 4 pending deltas > threshold 3
+        assert manager.build_count == 2
+        assert manager.delta_count == 0
+
+    def test_untracked_mutation_forces_rebuild(self):
+        document = build_document()
+        manager = IndexManager(document)
+        document.touch()  # no change record: the journal cannot bridge
+        manager.structural
+        assert manager.build_count == 2
+        assert manager.delta_count == 0
 
     def test_term_index_survives_rebuilds(self):
         document = build_document()
@@ -88,7 +119,7 @@ class TestLazyRebuild:
         terms_before = manager.terms
         editor = Editor(document)
         editor.insert_markup("linguistic", "w", *editor.find_text("dog"))
-        manager.refresh()
+        manager.refresh(force=True)
         # The text is immutable, so the term index is never rebuilt.
         assert manager.terms is terms_before
         assert manager.build_count == 2
@@ -115,6 +146,28 @@ class TestLazyRebuild:
         editor = Editor(document)
         editor.insert_markup("linguistic", "w", *editor.find_text("quick"))
         assert [w.text for w in query.nodes(document)] == ["quick"]
+
+    def test_stats_has_no_build_side_effect(self):
+        """stats() only wants counts: it must never force construction
+        of the three indexes on a fresh (or stale) manager."""
+        document = build_document()
+        manager = IndexManager(document, build=False).attach()
+        census = manager.stats()
+        assert manager.build_count == 0
+        assert manager._structural is None  # nothing was built
+        assert census["elements"] == 0 and census["builds"] == 0
+        assert census["stale"] == 1
+        manager.refresh()
+        fresh = manager.stats()
+        assert fresh["elements"] == 3
+        assert fresh["stale"] == 0 and fresh["builds"] == 1
+        # Stale managers report the stale census, flagged as such.
+        Editor(document).insert_markup(
+            "linguistic", "w", 4, 9
+        )
+        stale = manager.stats()
+        assert manager.build_count == 1 and manager.delta_count == 0
+        assert stale["stale"] == 1 and stale["elements"] == 3
 
     def test_mirrors_interval_index_contract(self):
         """The manager invalidates exactly when the core's lazy interval

@@ -1,0 +1,437 @@
+"""Storage-side index maintenance: delta-applied partial updates.
+
+``GoddagStore.save_indexed`` must keep a stored document and its
+persisted index in step across an editing session — sqlite via row-level
+upserts under a stable ``doc_id``, the binary backend via a ``.gidx``
+sidecar re-stamp — and every index-aware query afterwards must answer
+exactly as a from-scratch ``build_index`` would.  Also covered: the
+corrupt-artifact → ``StorageError`` recovery path when a second store
+rewrites (or mangles) the shared location concurrently.
+"""
+
+import pytest
+
+from repro.core.goddag import GoddagBuilder
+from repro.editing import Editor
+from repro.errors import StorageError
+from repro.index import IndexManager
+from repro.storage import GoddagStore
+from repro.workloads import WorkloadSpec, generate
+from repro.xpath import ExtendedXPath
+
+
+def location(backend, tmp_path, stem="store"):
+    return tmp_path / (f"{stem}.sqlite" if backend == "sqlite"
+                       else f"{stem}-docs")
+
+
+def fresh_answers(document, tmp_path, windows, tags, needles):
+    """Ground truth: a throwaway store indexed from scratch."""
+    with GoddagStore(tmp_path / "truth-docs", backend="binary") as store:
+        store.save(document, "truth")
+        store.build_index("truth")
+        return {
+            "spans": [store.query_spans("truth", s, e) for s, e in windows],
+            "tags": {tag: store.count_tag("truth", tag) for tag in tags},
+            "terms": {needle: store.term_occurrences("truth", needle)
+                      for needle in needles},
+        }
+
+
+WINDOWS = [(0, 60), (100, 101), (0, 10_000)]
+TAGS = ("w", "line", "seg", "anchor", "nope")
+NEEDLES = ("gar", "zz")
+
+
+def edit_session(document):
+    editor = Editor(document, prevalidate=False)
+    editor.insert_markup("physical", "seg", 3, 40)
+    editor.insert_milestone("physical", "anchor", 12)
+    victim = next(document.elements(tag="w"))
+    editor.remove_markup(victim)
+    editor.set_attribute(next(document.elements(tag="line")), "n", "1")
+    editor.undo()  # the attribute again
+    word = next(e for e in document.elements(tag="w"))
+    editor.insert_markup("linguistic", "seg", word.start, word.end)
+    return editor
+
+
+@pytest.mark.parametrize("backend", ["sqlite", "binary"])
+class TestDeltaAppliedRoundTrip:
+    def test_queries_fresh_after_partial_update(self, backend, tmp_path):
+        spec = WorkloadSpec(words=150, hierarchies=2, overlap_density=0.3)
+        document = generate(spec)
+        manager = IndexManager.for_document(document)
+        with GoddagStore(location(backend, tmp_path), backend=backend) as store:
+            store.save_indexed(document, "ms", manager)
+            assert store.has_index("ms")
+            edit_session(document)
+            store.save_indexed(document, "ms", manager)
+            assert store.has_index("ms")  # never invalidated wholesale
+            truth = fresh_answers(document, tmp_path, WINDOWS, TAGS, NEEDLES)
+            for (s, e), expected in zip(WINDOWS, truth["spans"]):
+                assert store.query_spans("ms", s, e) == expected
+            for tag, expected in truth["tags"].items():
+                assert store.count_tag("ms", tag) == expected
+            for needle, expected in truth["terms"].items():
+                assert store.term_occurrences("ms", needle) == expected
+
+    def test_document_round_trips_after_partial_update(self, backend, tmp_path):
+        spec = WorkloadSpec(words=120, hierarchies=2)
+        document = generate(spec)
+        manager = IndexManager.for_document(document)
+        with GoddagStore(location(backend, tmp_path), backend=backend) as store:
+            store.save_indexed(document, "ms", manager)
+            edit_session(document)
+            store.save_indexed(document, "ms", manager)
+            loaded = store.load(name="ms")
+            original = {(e.hierarchy, e.tag, e.start, e.end,
+                         tuple(sorted(e.attributes.items())))
+                        for e in document.elements()}
+            reloaded = {(e.hierarchy, e.tag, e.start, e.end,
+                         tuple(sorted(e.attributes.items())))
+                        for e in loaded.elements()}
+            assert reloaded == original
+            assert loaded.text == document.text
+
+    def test_repeated_sessions_stay_consistent(self, backend, tmp_path):
+        document = generate(WorkloadSpec(words=100, hierarchies=2))
+        manager = IndexManager.for_document(document)
+        editor = Editor(document, prevalidate=False)
+        query = ExtendedXPath("//seg")
+        with GoddagStore(location(backend, tmp_path), backend=backend) as store:
+            store.save_indexed(document, "ms", manager)
+            lines = list(document.elements(tag="line"))
+            for round_number in range(4):
+                # The exact span of an existing line: always legal
+                # (nests inside it), a fresh <seg> each round.
+                line = lines[round_number % len(lines)]
+                editor.insert_markup("physical", "seg",
+                                     line.start, line.end)
+                store.save_indexed(document, "ms", manager)
+                expected = len(query.nodes(document))
+                assert store.count_tag("ms", "seg") == expected
+
+
+class TestSqliteRowLevelPath:
+    def test_second_save_uses_row_level_upserts(self, tmp_path):
+        """After the first save_indexed, a full save_index must not be
+        needed again — the delta path alone keeps the rows fresh."""
+        document = generate(WorkloadSpec(words=120, hierarchies=2))
+        manager = IndexManager.for_document(document)
+        with GoddagStore(location("sqlite", tmp_path),
+                         backend="sqlite") as store:
+            store.save_indexed(document, "ms", manager)
+
+            def forbidden(name, payload):
+                raise AssertionError("full save_index on the delta path")
+
+            store._sqlite.save_index = forbidden
+            edit_session(document)
+            store.save_indexed(document, "ms", manager)
+            assert store.count_tag("ms", "seg") == 2
+
+    def test_doc_id_survives_partial_update(self, tmp_path):
+        document = generate(WorkloadSpec(words=100, hierarchies=2))
+        manager = IndexManager.for_document(document)
+        with GoddagStore(location("sqlite", tmp_path),
+                         backend="sqlite") as store:
+            store.save_indexed(document, "ms", manager)
+            (doc_id_before,) = store._sqlite._conn.execute(
+                "SELECT doc_id FROM documents WHERE name = 'ms'"
+            ).fetchone()
+            edit_session(document)
+            store.save_indexed(document, "ms", manager)
+            (doc_id_after,) = store._sqlite._conn.execute(
+                "SELECT doc_id FROM documents WHERE name = 'ms'"
+            ).fetchone()
+            assert doc_id_before == doc_id_after
+
+    def test_resave_is_atomic_document_and_index_together(
+        self, tmp_path, monkeypatch
+    ):
+        """A failure mid-resave must roll back the document rewrite too
+        — a newer document never pairs with a stale index."""
+        import repro.storage.sqlite_backend as backend_module
+
+        document = generate(WorkloadSpec(words=100, hierarchies=2))
+        manager = IndexManager.for_document(document)
+        with GoddagStore(location("sqlite", tmp_path),
+                         backend="sqlite") as store:
+            store.save_indexed(document, "ms", manager)
+            elements_before = store.count_elements("ms")
+            editor = Editor(document, prevalidate=False)
+            line = next(document.elements(tag="line"))
+            editor.insert_markup("physical", "seg", line.start, line.end)
+
+            def exploding(path):
+                raise RuntimeError("simulated crash mid-resave")
+
+            # encode_path runs inside the delta application, after the
+            # document rows were already rewritten in the transaction.
+            monkeypatch.setattr(backend_module, "encode_path", exploding)
+            with pytest.raises(RuntimeError):
+                store.save_indexed(document, "ms", manager)
+            monkeypatch.undo()
+            # Everything rolled back: old document rows, old index rows,
+            # and they still agree with each other.
+            assert store.count_elements("ms") == elements_before
+            assert store.count_tag("ms", "seg") == 0
+            assert store.has_index("ms")
+            # The backlog survives; the retry lands the edit.
+            store.save_indexed(document, "ms", manager)
+            assert store.count_elements("ms") == elements_before + 1
+            assert store.count_tag("ms", "seg") == 1
+
+    def test_generation_mismatch_in_transaction_forces_full_write(
+        self, tmp_path
+    ):
+        """Even if a racing writer changes the artifact *after* the
+        caller's own-artifact check, the conditional stamp update inside
+        the transaction detects it and the deltas are not row-applied."""
+        document = generate(WorkloadSpec(words=100, hierarchies=2))
+        manager = IndexManager.for_document(document)
+        with GoddagStore(location("sqlite", tmp_path),
+                         backend="sqlite") as store:
+            store.save_indexed(document, "ms", manager)
+            editor = Editor(document, prevalidate=False)
+            line = next(document.elements(tag="line"))
+            editor.insert_markup("physical", "seg", line.start, line.end)
+            deltas = manager.pending_persist()
+            assert deltas  # the edit is queued for row-level application
+            # The race: the stored stamp changes between the caller's
+            # check and the write transaction.
+            store._sqlite._conn.execute(
+                "UPDATE index_meta SET stamp = 'intruder'")
+            store._sqlite._conn.commit()
+            store._sqlite.resave_with_index(
+                document, "ms", deltas,
+                lambda h, p: [(e.start, e.end)
+                              for e in manager.structural.partition(h, p)],
+                lambda: manager.payload("ms"),
+                stamp="retry", expected_stamp="stamp-read-before-the-race",
+            )
+            # Full write happened instead: everything consistent.
+            assert store.count_tag("ms", "seg") == 1
+            assert store._sqlite.index_stamp("ms") == "retry"
+
+    def test_rebuilt_manager_falls_back_to_full_write(self, tmp_path):
+        """An untracked mutation voids the delta backlog; save_indexed
+        must notice and re-persist the full payload, still correctly."""
+        document = generate(WorkloadSpec(words=100, hierarchies=2))
+        manager = IndexManager.for_document(document)
+        with GoddagStore(location("sqlite", tmp_path),
+                         backend="sqlite") as store:
+            store.save_indexed(document, "ms", manager)
+            Editor(document, prevalidate=False).insert_markup(
+                "physical", "seg", 0, 20)
+            document.touch()  # untracked: forces a rebuild in the manager
+            store.save_indexed(document, "ms", manager)
+            assert manager.build_count == 2
+            assert store.count_tag("ms", "seg") == 1
+
+
+class TestBackwardCompatibilityAndBacklog:
+    def test_old_schema_store_is_migrated(self, tmp_path):
+        """A store created before the stamp column existed must keep
+        working: the backend migrates additively on open."""
+        import sqlite3
+
+        where = tmp_path / "old.sqlite"
+        conn = sqlite3.connect(where)
+        conn.execute(
+            "CREATE TABLE index_meta ("
+            " doc_id INTEGER PRIMARY KEY,"
+            " format INTEGER NOT NULL,"
+            " doc_length INTEGER NOT NULL)"
+        )
+        conn.commit()
+        conn.close()
+        document = generate(WorkloadSpec(words=60, hierarchies=2))
+        manager = IndexManager.for_document(document)
+        with GoddagStore(where, backend="sqlite") as store:
+            store.save_indexed(document, "ms", manager)
+            assert store.has_index("ms")
+            assert store._sqlite.index_stamp("ms")
+            assert store.count_tag("ms", "w") > 0
+
+    def test_undo_churn_cancels_in_the_backlog(self, tmp_path):
+        """Insert+undo cycles between saves net out of the persistence
+        backlog instead of accumulating add/remove pairs."""
+        document = generate(WorkloadSpec(words=80, hierarchies=2))
+        manager = IndexManager.for_document(document)
+        with GoddagStore(location("sqlite", tmp_path),
+                         backend="sqlite") as store:
+            store.save_indexed(document, "ms", manager)
+            editor = Editor(document, prevalidate=False)
+            line = next(document.elements(tag="line"))
+            for _ in range(20):
+                editor.insert_markup("physical", "seg", line.start, line.end)
+                editor.undo()
+            pending = manager.pending_persist()
+            assert pending is not None
+            assert not pending.overlap_add and not pending.overlap_remove
+            store.save_indexed(document, "ms", manager)
+            assert store.count_tag("ms", "seg") == 0
+
+    def test_backlog_overflow_falls_back_to_full_write(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.index.manager import PersistDeltas
+
+        monkeypatch.setattr(PersistDeltas, "LIMIT", 5)
+        document = generate(WorkloadSpec(words=120, hierarchies=2))
+        manager = IndexManager.for_document(document)
+        with GoddagStore(location("sqlite", tmp_path),
+                         backend="sqlite") as store:
+            store.save_indexed(document, "ms", manager)
+            editor = Editor(document, prevalidate=False)
+            for line in list(document.elements(tag="line"))[:8]:
+                editor.insert_markup("physical", "seg", line.start, line.end)
+            assert manager.pending_persist() is None  # overflowed: dropped
+            store.save_indexed(document, "ms", manager)  # full write
+            assert store.count_tag("ms", "seg") == 8
+
+
+class TestSaveIndexedGuards:
+    @pytest.mark.parametrize("backend", ["sqlite", "binary"])
+    def test_needs_a_matching_manager(self, backend, tmp_path):
+        document = generate(WorkloadSpec(words=60, hierarchies=1))
+        other = generate(WorkloadSpec(words=60, hierarchies=1, seed=7))
+        with GoddagStore(location(backend, tmp_path), backend=backend) as store:
+            with pytest.raises(StorageError):
+                store.save_indexed(document, "ms")  # nothing attached
+            foreign = IndexManager(other)
+            with pytest.raises(StorageError):
+                store.save_indexed(document, "ms", foreign)
+
+    @pytest.mark.parametrize("backend", ["sqlite", "binary"])
+    def test_clobbering_a_foreign_document_needs_overwrite(
+        self, backend, tmp_path
+    ):
+        precious = generate(WorkloadSpec(words=60, hierarchies=1))
+        session = generate(WorkloadSpec(words=60, hierarchies=1, seed=7))
+        manager = IndexManager.for_document(session)
+        with GoddagStore(location(backend, tmp_path), backend=backend) as store:
+            store.save(precious, "keep")
+            with pytest.raises(StorageError):
+                store.save_indexed(session, "keep", manager)
+            store.save_indexed(session, "keep", manager, overwrite=True)
+            assert store.has_index("keep")
+            # From here on it is the session's own document: no consent
+            # needed for further saves.
+            store.save_indexed(session, "keep", manager)
+
+    @pytest.mark.parametrize("backend", ["sqlite", "binary"])
+    def test_mid_session_replacement_is_not_silently_patched(
+        self, backend, tmp_path
+    ):
+        """Another actor deletes and re-creates the name between our
+        saves: the artifact generation changed, so our next save must
+        refuse (no consent) rather than row-patch a stranger's index."""
+        session = generate(WorkloadSpec(words=100, hierarchies=2))
+        manager = IndexManager.for_document(session)
+        with GoddagStore(location(backend, tmp_path), backend=backend) as store:
+            store.save_indexed(session, "ms", manager)
+            # The interloper replaces the artifact wholesale.
+            intruder = generate(WorkloadSpec(words=40, hierarchies=1, seed=5))
+            store.delete("ms")
+            store.save(intruder, "ms")
+            store.build_index("ms")
+            # Our session edits and tries to save over it.
+            editor = Editor(session, prevalidate=False)
+            line = next(session.elements(tag="line"))
+            editor.insert_markup("physical", "seg", line.start, line.end)
+            with pytest.raises(StorageError):
+                store.save_indexed(session, "ms", manager)
+            # With consent, the write is full — and fully correct.
+            store.save_indexed(session, "ms", manager, overwrite=True)
+            assert store.count_tag("ms", "seg") == 1
+            assert store.count_tag("ms", "w") == store.count_elements(
+                "ms", "w")
+
+    def test_deltas_never_cross_names_or_stores(self, tmp_path):
+        """A backlog accumulated against one (store, name) must not be
+        row-applied to another stored index — the second target gets a
+        full, correct write instead of a silent mis-patch."""
+        document = generate(WorkloadSpec(words=100, hierarchies=2))
+        manager = IndexManager.for_document(document)
+        with GoddagStore(location("sqlite", tmp_path),
+                         backend="sqlite") as store:
+            store.save_indexed(document, "a", manager)
+            editor = Editor(document, prevalidate=False)
+            line = next(document.elements(tag="line"))
+            editor.insert_markup("physical", "seg", line.start, line.end)
+            manager.refresh()  # the delta is applied and queued for 'a'
+            # Persist to a *different* name: the 'a' backlog is not
+            # applicable, so 'b' must be written in full.
+            store.save_indexed(document, "b", manager)
+            assert store.count_tag("b", "seg") == 1
+            assert store.count_tag("b", "w") == store.count_elements(
+                "b", "w")
+            # And 'a' (now behind by one edit) is still internally
+            # consistent with its own stored rows.
+            store.save_indexed(document, "a", manager, overwrite=True)
+            assert store.count_tag("a", "seg") == 1
+
+
+class TestCorruptArtifactRecovery:
+    def _small_doc(self, tag="x", text="abcd efgh"):
+        builder = GoddagBuilder(text)
+        builder.add_hierarchy("p")
+        builder.add_annotation("p", tag, 0, 4)
+        return builder.build()
+
+    def test_concurrent_resave_is_picked_up_not_stale_served(self, tmp_path):
+        """Store A has warm sidecar caches; store B save_indexed's over
+        the same location.  A must serve the new answers, not its cache."""
+        where = location("binary", tmp_path)
+        store_a = GoddagStore(where, backend="binary")
+        store_b = GoddagStore(where, backend="binary")
+        try:
+            document = self._small_doc("x")
+            manager = IndexManager.for_document(document)
+            store_a.save_indexed(document, "d", manager)
+            assert store_a.query_spans("d", 0, 4) == [("p", "x", 0, 4)]
+            other = self._small_doc("y")
+            store_b.save_indexed(other, "d", IndexManager.for_document(other),
+                                 overwrite=True)
+            assert store_a.query_spans("d", 0, 4) == [("p", "y", 0, 4)]
+        finally:
+            store_a.close()
+            store_b.close()
+
+    def test_corrupt_sidecar_raises_then_recovers(self, tmp_path):
+        where = location("binary", tmp_path)
+        with GoddagStore(where, backend="binary") as store:
+            document = self._small_doc()
+            manager = IndexManager.for_document(document)
+            store.save_indexed(document, "d", manager)
+            sidecar = store._sidecar_file("d")
+            # A concurrent writer dies mid-rewrite: the header survives
+            # but every packed region is gone.
+            import struct
+
+            raw = sidecar.read_bytes()
+            (header_length,) = struct.unpack_from("<I", raw, 6)
+            sidecar.write_bytes(raw[: 10 + header_length])
+            with pytest.raises(StorageError) as excinfo:
+                store.query_spans("d", 0, 4)
+            assert "drop_index" in str(excinfo.value)
+            store.drop_index("d")
+            assert store.query_spans("d", 0, 4) == [("p", "x", 0, 4)]
+
+    def test_corrupt_sqlite_blob_raises_then_recovers(self, tmp_path):
+        with GoddagStore(location("sqlite", tmp_path),
+                         backend="sqlite") as store:
+            document = self._small_doc()
+            manager = IndexManager.for_document(document)
+            store.save_indexed(document, "d", manager)
+            store._sqlite._conn.execute(
+                "UPDATE index_terms SET starts = X'0102'"  # not 4-aligned
+            )
+            with pytest.raises(StorageError) as excinfo:
+                store.term_occurrences("d", "abcd")
+            assert "drop_index" in str(excinfo.value)
+            store.drop_index("d")
+            assert store.term_occurrences("d", "abcd") == [0]
