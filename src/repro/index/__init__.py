@@ -1,24 +1,30 @@
 """Query-acceleration indexes for GODDAG documents.
 
-Three cooperating indexes plus a manager:
+Four cooperating indexes plus a manager:
 
 * :class:`StructuralSummary` — DescribeX-style label-path partitioning
-  per hierarchy, resolving name tests to candidate element lists;
+  per hierarchy, resolving name tests to candidate element lists (from
+  root *and*, via label-path containment, non-root contexts);
 * :class:`TermIndex` — tokenized leaf text → posting lists, serving
-  exact ``contains()`` predicates by binary search;
+  exact ``contains()``/``starts-with()`` predicates by binary search;
+* :class:`AttributeIndex` — ``(name, value)`` → document-order posting
+  lists, serving ``@name='value'`` predicates and attribute-driven
+  candidate enumeration;
 * :class:`OverlapIndex` — serializable per-hierarchy interval tables,
   answering stabbing/overlap queries on *stored* documents without
   materializing the GODDAG;
-* :class:`IndexManager` — builds all three, tracks document versions,
+* :class:`IndexManager` — builds all four, tracks document versions,
   keeps them warm across edits via the delta protocol, and is what the
-  Extended XPath engine and the storage backends consult.
+  Extended XPath planner and the storage backends consult.
 
-Attach to a document and every compiled query accelerates transparently::
+Attach to a document and every compiled query runs under a cost-based
+access-path plan (:mod:`repro.xpath.planner`)::
 
     from repro.index import IndexManager
 
     IndexManager.for_document(doc)          # build + attach
     ExtendedXPath("//w").nodes(doc)         # now index-served
+    ExtendedXPath("//w").explain(doc)       # the plan, estimates vs actuals
 
 Results are always byte-identical to the unindexed engine: any step the
 indexes cannot serve falls back to the classic evaluation path.
@@ -59,9 +65,10 @@ from .manager import IndexManager
 from .overlap import HierarchyIntervals, OverlapIndex
 from .sidecar import read_sidecar, sidecar_path, write_sidecar
 from .structural import StructuralSummary
-from .term import TermIndex, tokenize
+from .term import AttributeIndex, TermIndex, tokenize
 
 __all__ = [
+    "AttributeIndex",
     "HierarchyIntervals",
     "IndexManager",
     "OverlapIndex",

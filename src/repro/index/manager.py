@@ -1,8 +1,8 @@
-"""The index manager: builds, refreshes, and serves the three indexes.
+"""The index manager: builds, refreshes, and serves the document indexes.
 
 One :class:`IndexManager` owns, for one document, a structural summary
-(:mod:`.structural`), a term index (:mod:`.term`) and an overlap index
-(:mod:`.overlap`).  It is version-stamped against the document exactly
+(:mod:`.structural`), a term index and attribute-value posting table
+(:mod:`.term`), and an overlap index (:mod:`.overlap`).  It is version-stamped against the document exactly
 like the lazy interval indexes of :mod:`repro.core.intervals`: any
 mutation bumps ``document.version``, which marks the manager stale.  On
 the next index access the manager catches up — preferably by replaying
@@ -11,13 +11,15 @@ patching the structural summary and overlap tables *in place*, falling
 back to a full rebuild when the journal cannot bridge the gap, the
 backlog exceeds :attr:`IndexManager.delta_threshold`, or a record turns
 out inconsistent with the index state.  The term index is keyed to the
-immutable document text and therefore survives everything.
+immutable document text and therefore survives everything; the
+attribute posting table is patched per record like the summary.
 
 Attach a manager with :meth:`IndexManager.attach` (or the
-``for_document`` convenience) and the Extended XPath engine picks it up
-automatically; queries fall back to the unindexed paths whenever the
-manager cannot serve a step, so results are always identical with and
-without an index.
+``for_document`` convenience) and the Extended XPath engine's
+cost-based planner (:mod:`repro.xpath.planner`) prices its access
+paths from this manager's population statistics; queries fall back to
+the unindexed paths whenever the manager cannot serve a step, so
+results are always identical with and without an index.
 
 Applied deltas are additionally queued for persistence: a storage layer
 calls :meth:`IndexManager.pending_persist` to fetch the row-level
@@ -35,14 +37,15 @@ from typing import TYPE_CHECKING
 from ..errors import IndexDeltaError
 from .overlap import OverlapIndex
 from .structural import StructuralSummary, encode_path
-from .term import TermIndex
+from .term import AttributeIndex, TermIndex
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from ..core.goddag import GoddagDocument
     from ..core.node import Element
 
-#: Current persisted payload format.
-PAYLOAD_FORMAT = 1
+#: Current persisted payload format.  Format 2 added the attribute-value
+#: posting rows; format-1 artifacts read back with an empty table.
+PAYLOAD_FORMAT = 2
 
 #: Default delta backlog beyond which catching up incrementally is
 #: assumed slower than one rebuild.
@@ -54,8 +57,10 @@ class PersistDeltas:
 
     ``overlap_add``/``overlap_remove`` hold ``(hierarchy, tag, start,
     end)`` interval rows; ``paths`` holds the ``(hierarchy, label-path)``
-    partition keys whose membership changed (the persistence layer
-    re-writes exactly those rows, deleting the ones that emptied).
+    partition keys whose membership changed; ``attrs`` holds the
+    ``(name, value)`` attribute-posting keys whose membership changed
+    (the persistence layer re-writes exactly those rows, deleting the
+    ones that emptied).
 
     Rows are content-identified, so a removal cancels a queued insertion
     of the same row (and vice versa) — undo churn nets out instead of
@@ -64,7 +69,7 @@ class PersistDeltas:
     write is cheaper than replaying that many single-row statements.
     """
 
-    __slots__ = ("overlap_add", "overlap_remove", "paths")
+    __slots__ = ("overlap_add", "overlap_remove", "paths", "attrs")
 
     #: Queued-operation bound beyond which a full rewrite wins.
     LIMIT = 1024
@@ -73,23 +78,28 @@ class PersistDeltas:
         self.overlap_add: list[tuple[str, str, int, int]] = []
         self.overlap_remove: list[tuple[str, str, int, int]] = []
         self.paths: set[tuple[str, tuple[str, ...]]] = set()
+        self.attrs: set[tuple[str, str]] = set()
 
     def __bool__(self) -> bool:
-        return bool(self.overlap_add or self.overlap_remove or self.paths)
+        return bool(
+            self.overlap_add or self.overlap_remove or self.paths
+            or self.attrs
+        )
 
     @property
     def overflowed(self) -> bool:
         return (
             len(self.overlap_add) + len(self.overlap_remove)
-            + len(self.paths) > self.LIMIT
+            + len(self.paths) + len(self.attrs) > self.LIMIT
         )
 
-    def record(self, change, touched_paths) -> None:
+    def record(self, change, touched_paths, touched_attrs=()) -> None:
         from ..core.changes import InsertMarkup, RemoveMarkup
 
         self.paths.update(touched_paths)
+        self.attrs.update(touched_attrs)
         if not isinstance(change, (InsertMarkup, RemoveMarkup)):
-            return  # attribute edits touch no persisted index row
+            return  # attribute edits touch no interval or partition row
         if change.start != change.end:
             row = (change.hierarchy, change.tag, change.start, change.end)
             if isinstance(change, InsertMarkup):
@@ -123,6 +133,7 @@ class IndexManager:
         self._structural: StructuralSummary | None = None
         self._overlap: OverlapIndex | None = None
         self._terms: TermIndex | None = None
+        self._attrs: AttributeIndex | None = None
         # None: the persisted form (if any) needs a full re-write;
         # a PersistDeltas: row-level changes since mark_persisted().
         # The token identifies *which* persisted artifact the backlog is
@@ -163,10 +174,16 @@ class IndexManager:
         """Bring the indexes up to the document version.
 
         Stale managers first try to replay the document's delta journal
-        in place; a full rebuild of the structural and overlap indexes
-        happens only when forced, on first build, or when deltas cannot
-        bridge the gap.  The term index is built once: the text is
-        immutable.
+        in place; a full rebuild of the structural, overlap, and
+        attribute indexes happens only when forced, on first build, or
+        when deltas cannot bridge the gap.  The term index is built
+        once: the text is immutable.
+
+        Args:
+            force: rebuild even when the manager believes it is fresh.
+
+        Returns:
+            ``self``, for chaining (``IndexManager(doc).refresh()``).
         """
         if not (force or self.is_stale or self._structural is None):
             return self
@@ -179,6 +196,7 @@ class IndexManager:
             return self
         self._structural = StructuralSummary(self.document)
         self._overlap = OverlapIndex.from_document(self.document)
+        self._attrs = AttributeIndex.from_document(self.document)
         if self._terms is None:
             self._terms = TermIndex.from_text(self.document.text)
         self._built_version = self.document.version
@@ -195,8 +213,9 @@ class IndexManager:
             for change in changes:
                 touched = self._structural.apply(change)
                 self._overlap.apply(change)
+                touched_attrs = self._attrs.apply(change)
                 if self._pending is not None:
-                    self._pending.record(change, touched)
+                    self._pending.record(change, touched, touched_attrs)
         except IndexDeltaError:
             # The summary/tables are now half-patched; the caller's
             # rebuild replaces them outright, so no unwind is needed.
@@ -238,47 +257,104 @@ class IndexManager:
 
     @property
     def structural(self) -> StructuralSummary:
+        """The label-path structural summary (refreshed first)."""
         self.refresh()
         return self._structural
 
     @property
     def overlap(self) -> OverlapIndex:
+        """The per-hierarchy interval tables (refreshed first)."""
         self.refresh()
         return self._overlap
 
     @property
     def terms(self) -> TermIndex:
+        """The term posting lists (text-keyed; never goes stale)."""
         if self._terms is None:
             self._terms = TermIndex.from_text(self.document.text)
         return self._terms
 
+    @property
+    def attrs(self) -> AttributeIndex:
+        """The attribute-value posting table (refreshed first)."""
+        self.refresh()
+        return self._attrs
+
     # -- the engine-facing query surface --------------------------------------
+    #
+    # These are the primitives the cost-based planner
+    # (:mod:`repro.xpath.planner`) prices and serves steps from; every
+    # answer is exact, so a served step is byte-identical to a scanned
+    # one.
 
     def name_candidates(
         self, name: str, hierarchy: str | None = None
     ) -> "list[Element] | None":
         """Document-order elements matching a name test, or ``None`` when
-        the index cannot prune the step."""
+        the index cannot prune the step (a bare ``*``).
+
+        Args:
+            name: the tag to match, or ``"*"`` for any.
+            hierarchy: restrict to one hierarchy (``phys:line`` tests).
+
+        Returns:
+            A fresh list in canonical document order, or ``None``.
+        """
         return self.structural.candidates(name, hierarchy)
 
     def supports_contains(self, needle: str) -> bool:
-        """True when ``contains`` with this literal is index-servable."""
+        """True when ``contains``/``starts-with`` with this literal is
+        index-servable (non-empty, alphanumeric-only)."""
         return TermIndex.is_indexable(needle)
 
     def contains_span(self, start: int, end: int, needle: str) -> bool:
         """Exactly ``needle in document.text[start:end]`` (indexable needles)."""
         return self.terms.span_contains(start, end, needle)
 
+    def starts_with_span(self, start: int, end: int, needle: str) -> bool:
+        """Exactly ``document.text[start:end].startswith(needle)`` for
+        indexable needles — one binary search over the occurrences."""
+        return self.terms.span_starts_with(start, end, needle)
+
+    def occurrence_count(self, needle: str) -> int:
+        """Number of occurrences of an indexable needle in the text (the
+        planner's ``contains``/``starts-with`` selectivity statistic)."""
+        return self.terms.count(needle)
+
+    def attr_candidates(self, name: str, value: str) -> "list[Element]":
+        """Document-order elements with attribute ``name`` = ``value``."""
+        return self.attrs.candidates(name, value)
+
+    def attr_count(self, name: str, value: str) -> int:
+        """Posting length of ``(name, value)`` — the planner's
+        attribute-predicate selectivity statistic."""
+        return self.attrs.posting_length(name, value)
+
     # -- persistence ------------------------------------------------------------
 
     def payload(self, name: str = "") -> dict:
-        """The serializable form consumed by both storage backends."""
+        """The serializable form consumed by both storage backends.
+
+        Args:
+            name: the stored-document name stamped into the payload.
+
+        Returns:
+            A JSON-shaped dict with ``format`` (see ``PAYLOAD_FORMAT``),
+            ``name``, ``doc_length``, ``overlap`` interval tables,
+            ``terms`` posting lists, ``paths`` label-path partition
+            rows, and ``attrs`` attribute-value posting rows.
+        """
         self.refresh()
         paths = [
             (hierarchy, encode_path(path), path[-1], count,
              [(e.start, e.end)
               for e in self.structural.partition(hierarchy, path)])
             for hierarchy, path, count in self.structural.label_paths()
+        ]
+        attrs = [
+            (attr_name, value, len(elements),
+             [(e.start, e.end) for e in elements])
+            for attr_name, value, elements in self.attrs.items()
         ]
         return {
             "format": PAYLOAD_FORMAT,
@@ -287,15 +363,38 @@ class IndexManager:
             "overlap": self.overlap.payload(),
             "terms": {term: list(starts) for term, starts in self.terms.items()},
             "paths": paths,
+            "attrs": attrs,
         }
 
     def stats(self) -> dict[str, int]:
-        """Size census of the three indexes (benchmarks print this).
+        """Per-index population census — the statistics the query
+        planner's cost model consumes (and benchmarks print).
 
         Reads whatever is currently built — it never triggers a build or
         a catch-up as a side effect, so counting a fresh or stale
         manager is free (callers wanting up-to-date numbers call
         :meth:`refresh` first; the ``stale`` flag says which you got).
+
+        Schema (all values are non-negative ints):
+
+        ==================  ====================================================
+        key                 meaning
+        ==================  ====================================================
+        ``elements``        elements in the structural summary's flat lists
+        ``solid_elements``  interval rows in the overlap index (zero-width
+                            elements carry no interval)
+        ``label_paths``     label-path partitions in the structural summary
+        ``terms``           distinct tokens in the term index vocabulary
+        ``postings``        total term-index posting entries (sum of all
+                            posting-list lengths — a ``contains`` predicate's
+                            selectivity denominator)
+        ``attr_keys``       distinct ``(name, value)`` attribute posting keys
+        ``attr_postings``   total attribute posting entries (an
+                            ``@name='value'`` predicate's cardinality source)
+        ``builds``          full rebuilds this manager has paid
+        ``deltas``          journal records replayed in place
+        ``stale``           1 when the document mutated after the last build
+        ==================  ====================================================
         """
         built = self._structural is not None and self._overlap is not None
         return {
@@ -304,6 +403,8 @@ class IndexManager:
             "label_paths": self._structural.partition_count() if built else 0,
             "terms": self._terms.term_count if self._terms else 0,
             "postings": self._terms.posting_count if self._terms else 0,
+            "attr_keys": self._attrs.key_count if self._attrs else 0,
+            "attr_postings": self._attrs.posting_count if self._attrs else 0,
             "builds": self.build_count,
             "deltas": self.delta_count,
             "stale": int(self.is_stale),

@@ -14,6 +14,9 @@ a versioned magic, a JSON header, and packed little-endian sections:
     overlap region     | per hierarchy: count × '<III' (start, end, tag_idx)
     terms region       | one u32 array; header maps term → [offset, count]
     paths region       | u32 span pairs; header rows carry offsets
+    attrs region       | u32 span pairs; header rows carry offsets
+                       |   (format ≥ 2; absent in older sidecars, which
+                       |   read back with an empty attribute table)
 
 Readers ask for the sections they need (:func:`read_sidecar` with
 ``sections=("overlap",)`` seeks past the rest), which is what lets the
@@ -34,7 +37,7 @@ from ..errors import StorageError
 MAGIC = b"GIDX1\n"
 SIDECAR_SUFFIX = ".gidx"
 
-_ALL_SECTIONS = ("overlap", "terms", "paths")
+_ALL_SECTIONS = ("overlap", "terms", "paths", "attrs")
 _TRIPLET = struct.Struct("<III")
 
 
@@ -85,6 +88,16 @@ def write_sidecar(path: str | Path, payload: dict) -> None:
             all_spans.append(end)
     paths_region = pack_u32(all_spans)
 
+    # -- attrs region: u32 span pairs per attribute-value posting row.
+    attr_rows: list[list] = []
+    attr_spans: list[int] = []
+    for attr_name, value, count, spans in payload.get("attrs", []):
+        attr_rows.append([attr_name, value, count, len(attr_spans)])
+        for start, end in spans:
+            attr_spans.append(start)
+            attr_spans.append(end)
+    attrs_region = pack_u32(attr_spans)
+
     header = {
         "format": payload.get("format", 1),
         "name": payload.get("name", ""),
@@ -96,10 +109,12 @@ def write_sidecar(path: str | Path, payload: dict) -> None:
             "overlap": len(overlap_region),
             "terms": len(terms_region),
             "paths": len(paths_region),
+            "attrs": len(attrs_region),
         },
         "overlap": overlap_toc,
         "term_entries": term_toc,
         "path_rows": path_rows,
+        "attr_rows": attr_rows,
     }
     header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
     # Write-then-rename: a crash mid-write must never leave a truncated
@@ -113,6 +128,7 @@ def write_sidecar(path: str | Path, payload: dict) -> None:
         fh.write(overlap_region)
         fh.write(terms_region)
         fh.write(paths_region)
+        fh.write(attrs_region)
     os.replace(scratch, target)
 
 
@@ -214,4 +230,18 @@ def _read_sections(fh, header: dict, wanted: set[str]) -> dict:
             ]
             rows.append((hierarchy, path_str, tag, count, spans))
         payload["paths"] = rows
+    else:
+        fh.seek(regions["paths"], 1)
+
+    if "attrs" in wanted:
+        # Format-1 sidecars predate the attribute table: read back empty.
+        attr_spans = unpack_u32(fh.read(regions.get("attrs", 0)))
+        rows = []
+        for attr_name, value, count, offset in header.get("attr_rows", []):
+            spans = [
+                (attr_spans[offset + 2 * i], attr_spans[offset + 2 * i + 1])
+                for i in range(count)
+            ]
+            rows.append((attr_name, value, count, spans))
+        payload["attrs"] = rows
     return payload

@@ -225,11 +225,18 @@ class StructuralSummary:
     def candidates(
         self, name: str, hierarchy: str | None = None
     ) -> list["Element"] | None:
-        """Document-order elements matching a name test, or ``None`` when
-        the summary cannot prune (a bare ``*`` matches everything).
+        """Document-order elements matching a name test.
 
-        The list is the caller's to keep: mutations never reach the
-        summary's internal partitions.
+        Args:
+            name: the tag a name test matches, or ``"*"`` for any tag.
+            hierarchy: restrict matches to one hierarchy (the
+                ``phys:line`` qualified-test form), or ``None`` for all.
+
+        Returns:
+            A fresh list in canonical document order — the caller's to
+            keep, mutations never reach the summary's internal
+            partitions — or ``None`` when the summary cannot prune (a
+            bare ``*`` with no hierarchy matches everything).
         """
         if hierarchy is None:
             if name == "*":
@@ -245,6 +252,61 @@ class StructuralSummary:
         if found is None:
             return sum(len(elements) for elements in self._by_tag.values())
         return len(found)
+
+    def path_of(self, element: "Element") -> tuple[str, ...] | None:
+        """The element's root-to-self label path, or ``None`` when the
+        element is not in the summary (foreign or removed)."""
+        return self._paths.get(element)
+
+    def is_descendant_of(self, element: "Element", ancestor: "Element") -> bool:
+        """Exact subtree membership, in O(path-length difference).
+
+        The label paths give the depth difference; walking that many
+        parent hops from ``element`` must land on ``ancestor``.  A span
+        pre-check rejects most non-members without hopping (within one
+        hierarchy, a descendant's span always lies inside its
+        ancestor's).
+        """
+        element_path = self._paths.get(element)
+        ancestor_path = self._paths.get(ancestor)
+        if element_path is None or ancestor_path is None:
+            return False
+        hops = len(element_path) - len(ancestor_path)
+        if hops <= 0 or element.hierarchy != ancestor.hierarchy:
+            return False
+        if element.start < ancestor.start or element.end > ancestor.end:
+            return False
+        node = element
+        for _ in range(hops):
+            node = node._parent
+            if node is None:
+                return False
+        return node is ancestor
+
+    def subtree_candidates(
+        self, element: "Element", name: str, hierarchy: str | None = None
+    ) -> list["Element"] | None:
+        """Descendants of ``element`` matching a name test, in canonical
+        document order — the label-path containment access path for
+        descendant steps from non-root contexts.
+
+        Returns ``None`` when the summary cannot serve (the element is
+        unknown, or the test is a bare ``*`` with no hierarchy and the
+        flat lists cannot prune anyway — within one subtree the
+        hierarchy is fixed, so the element's own hierarchy is used).
+        """
+        if self._paths.get(element) is None:
+            return None
+        if hierarchy is not None and hierarchy != element.hierarchy:
+            return []  # descendants all live in the element's hierarchy
+        base = self.candidates(name, element.hierarchy)
+        if base is None:
+            return None
+        return [
+            member
+            for member in base
+            if member is not element and self.is_descendant_of(member, element)
+        ]
 
     def tags(self, hierarchy: str | None = None) -> frozenset[str]:
         """The tag vocabulary, overall or of one hierarchy."""

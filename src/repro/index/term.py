@@ -15,12 +15,40 @@ and the right-hand side is a binary search over the cached occurrence
 offsets.  Literals containing whitespace or punctuation are declared
 non-indexable (:meth:`TermIndex.is_indexable`) and evaluated the plain
 way, keeping indexed results byte-identical to unindexed ones.
+
+The same occurrence machinery serves ``starts-with(., 'lit')``
+(:meth:`TermIndex.span_starts_with`): a node's text starts with an
+alphanumeric literal exactly when an occurrence begins at the node's
+start offset and fits inside the node's span — one binary search.
+
+This module also hosts the **attribute-value posting table**
+(:class:`AttributeIndex`): document-order posting lists keyed by
+``(attribute name, value)``.  Unlike the term postings it indexes
+*markup*, not text, so it is maintained through the same delta protocol
+as the structural summary (:meth:`AttributeIndex.apply`) and persisted
+alongside the other index sections by both storage backends.  A
+worked example::
+
+    >>> index = TermIndex.from_text("sing a song of sixpence")
+    >>> index.span_contains(0, 11, "song")
+    True
+    >>> index.span_starts_with(7, 11, "song")
+    True
+    >>> index.span_starts_with(0, 11, "song")
+    False
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left
-from typing import Iterator
+from bisect import bisect_left, insort
+from typing import TYPE_CHECKING, Iterator
+
+from ..errors import IndexDeltaError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..core.changes import ChangeRecord
+    from ..core.goddag import GoddagDocument
+    from ..core.node import Element
 
 
 def find_all(haystack: str, needle: str) -> list[int]:
@@ -126,6 +154,18 @@ class TermIndex:
         i = bisect_left(occurrences, start)
         return i < len(occurrences) and occurrences[i] + len(needle) <= end
 
+    def span_starts_with(self, start: int, end: int, needle: str) -> bool:
+        """Exactly ``text[start:end].startswith(needle)`` for indexable
+        needles: an occurrence begins at ``start`` and fits before
+        ``end`` — one binary search over the occurrence offsets."""
+        occurrences = self._occurrence_list(needle)
+        i = bisect_left(occurrences, start)
+        return (
+            i < len(occurrences)
+            and occurrences[i] == start
+            and start + len(needle) <= end
+        )
+
     # -- persistence -----------------------------------------------------------
 
     def items(self) -> Iterator[tuple[str, list[int]]]:
@@ -139,6 +179,124 @@ class TermIndex:
     ) -> "TermIndex":
         """Rebuild from persisted ``(term, starts)`` pairs."""
         return cls(text_length, {term: list(starts) for term, starts in items})
+
+
+class AttributeIndex:
+    """Attribute-value posting lists: ``(name, value)`` → elements.
+
+    Postings hold live elements in canonical document order (the order
+    the structural summary's candidate lists use), so the query planner
+    can serve an ``@name='value'`` predicate either as a per-node check
+    or as the step's candidate source.  Maintenance mirrors the
+    structural summary: rebuilt from :meth:`from_document`, or patched
+    in place per change record via :meth:`apply` — attribute edits are
+    the one mutation class the (text-keyed) term postings never see.
+    """
+
+    __slots__ = ("_postings",)
+
+    def __init__(
+        self, postings: "dict[tuple[str, str], list[Element]] | None" = None
+    ) -> None:
+        self._postings = postings if postings is not None else {}
+
+    @classmethod
+    def from_document(cls, document: "GoddagDocument") -> "AttributeIndex":
+        """Build the posting table from every element's attributes."""
+        postings: dict[tuple[str, str], list] = {}
+        for element in document.ordered_elements():
+            for name, value in element.attributes.items():
+                postings.setdefault((name, value), []).append(element)
+        return cls(postings)
+
+    # -- incremental maintenance (the delta protocol) --------------------------
+
+    def apply(self, change: "ChangeRecord") -> set[tuple[str, str]]:
+        """Patch the postings in place for one change record.
+
+        Returns the ``(name, value)`` posting keys whose membership
+        changed (what a persistence layer must re-write).  Raises
+        :class:`~repro.errors.IndexDeltaError` on inconsistency; callers
+        fall back to a rebuild.
+        """
+        from ..core.changes import InsertMarkup, RemoveMarkup, SetAttribute
+
+        if isinstance(change, InsertMarkup):
+            for name, value in change.attributes:
+                self._add(change.element, name, value)
+            return set(change.attributes)
+        if isinstance(change, RemoveMarkup):
+            for name, value in change.attributes:
+                self._remove(change.element, name, value)
+            return set(change.attributes)
+        if isinstance(change, SetAttribute):
+            touched: set[tuple[str, str]] = set()
+            if change.element.is_root:
+                # The postings index elements only — from_document walks
+                # ordered_elements(), which excludes the shared root —
+                # so root attribute edits must not enter incrementally
+                # either (a rebuild would drop them again).
+                return touched
+            if change.old == change.value:
+                return touched  # idempotent set / removal of an absent name
+            if change.old is not None:
+                self._remove(change.element, change.name, change.old)
+                touched.add((change.name, change.old))
+            if change.value is not None:
+                self._add(change.element, change.name, change.value)
+                touched.add((change.name, change.value))
+            return touched
+        raise IndexDeltaError(f"unsupported change record {change!r}")
+
+    def _add(self, element: "Element", name: str, value: str) -> None:
+        from ..core.navigation import order_key
+
+        insort(self._postings.setdefault((name, value), []),
+               element, key=order_key)
+
+    def _remove(self, element: "Element", name: str, value: str) -> None:
+        members = self._postings.get((name, value))
+        if members is None:
+            raise IndexDeltaError(f"no posting for @{name}={value!r}")
+        try:
+            members.remove(element)
+        except ValueError:
+            raise IndexDeltaError(
+                f"{element!r} missing from the @{name}={value!r} posting"
+            ) from None
+        if not members:
+            del self._postings[(name, value)]
+
+    # -- queries ---------------------------------------------------------------
+
+    def candidates(self, name: str, value: str) -> "list[Element]":
+        """Document-order elements with attribute ``name`` = ``value``.
+        The list is the caller's to keep."""
+        return list(self._postings.get((name, value), ()))
+
+    def posting_length(self, name: str, value: str) -> int:
+        """Number of elements carrying ``name`` = ``value`` (the
+        planner's selectivity statistic)."""
+        return len(self._postings.get((name, value), ()))
+
+    def spans(self, name: str, value: str) -> list[tuple[int, int]]:
+        """The ``(start, end)`` spans of one posting (persistence form)."""
+        return [
+            (e.start, e.end) for e in self._postings.get((name, value), ())
+        ]
+
+    @property
+    def key_count(self) -> int:
+        return len(self._postings)
+
+    @property
+    def posting_count(self) -> int:
+        return sum(len(members) for members in self._postings.values())
+
+    def items(self) -> Iterator[tuple[str, str, "list[Element]"]]:
+        """``(name, value, elements)`` rows, sorted by key."""
+        for name, value in sorted(self._postings):
+            yield name, value, self._postings[(name, value)]
 
 
 def occurrences_from_terms(rows, needle: str) -> list[int]:

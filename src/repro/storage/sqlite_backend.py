@@ -77,6 +77,14 @@ CREATE TABLE IF NOT EXISTS index_terms (
     starts BLOB NOT NULL,
     PRIMARY KEY (doc_id, term)
 );
+CREATE TABLE IF NOT EXISTS index_attrs (
+    doc_id INTEGER NOT NULL REFERENCES documents(doc_id) ON DELETE CASCADE,
+    name TEXT NOT NULL,
+    value TEXT NOT NULL,
+    n INTEGER NOT NULL,
+    spans BLOB NOT NULL,
+    PRIMARY KEY (doc_id, name, value)
+);
 CREATE TABLE IF NOT EXISTS index_overlap (
     doc_id INTEGER NOT NULL REFERENCES documents(doc_id) ON DELETE CASCADE,
     hierarchy TEXT NOT NULL,
@@ -306,6 +314,19 @@ class SqliteStore:
         ).fetchall()
         return [(_stored(row[:6]), _stored(row[6:])) for row in rows]
 
+    def count_attribute_scan(self, name: str, attr: str, value: str) -> int:
+        """Elements carrying ``attr`` = ``value``, by scanning the
+        element rows' attribute JSON (the unindexed fallback; the shared
+        root's attributes are not element rows and are not counted)."""
+        doc_id, _ = self._document_row(name)
+        count = 0
+        for (encoded,) in self._conn.execute(
+            "SELECT attributes FROM elements WHERE doc_id = ?", (doc_id,)
+        ):
+            if json.loads(encoded).get(attr) == value:
+                count += 1
+        return count
+
     def text(self, name: str) -> str:
         """The full document text, without reconstructing any element."""
         _, row = self._document_row(name)
@@ -362,6 +383,14 @@ class SqliteStore:
             ],
         )
         self._conn.executemany(
+            "INSERT INTO index_attrs VALUES (?, ?, ?, ?, ?)",
+            [
+                (doc_id, name, value, count,
+                 pack_u32([v for span in spans for v in span]))
+                for name, value, count, spans in payload.get("attrs", [])
+            ],
+        )
+        self._conn.executemany(
             "INSERT INTO index_overlap VALUES (?, ?, ?, ?, ?)",
             [
                 (doc_id, hierarchy, tag, start, end)
@@ -373,16 +402,18 @@ class SqliteStore:
         )
 
     def _apply_index_delta_rows(self, doc_id: int, deltas,
-                                partition_spans) -> None:
+                                partition_spans, attr_spans) -> None:
         """Row-level index maintenance from a
         :class:`~repro.index.manager.PersistDeltas` (statements only —
         :meth:`resave_with_index` owns the transaction).
 
         Inserts/deletes the individual ``index_overlap`` rows the edits
-        touched and upserts exactly the dirty ``index_paths`` partition
+        touched, upserts exactly the dirty ``index_paths`` partition
         rows (``partition_spans(hierarchy, path)`` supplies the current
-        ``(start, end)`` members; an empty answer deletes the row).
-        Term rows never change — the text is immutable.
+        ``(start, end)`` members; an empty answer deletes the row), and
+        likewise upserts the dirty ``index_attrs`` posting rows from
+        ``attr_spans(name, value)``.  Term rows never change — the text
+        is immutable.
         """
         if deltas.overlap_add:
             self._conn.executemany(
@@ -414,6 +445,21 @@ class SqliteStore:
                     " AND hierarchy = ? AND path = ?",
                     (doc_id, hierarchy, encoded),
                 )
+        for attr_name, value in deltas.attrs:
+            spans = attr_spans(attr_name, value)
+            if spans:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO index_attrs"
+                    " VALUES (?, ?, ?, ?, ?)",
+                    (doc_id, attr_name, value, len(spans),
+                     pack_u32([v for span in spans for v in span])),
+                )
+            else:
+                self._conn.execute(
+                    "DELETE FROM index_attrs WHERE doc_id = ?"
+                    " AND name = ? AND value = ?",
+                    (doc_id, attr_name, value),
+                )
 
     def index_stamp(self, name: str) -> str | None:
         """The generation stamp of the persisted index (empty for one
@@ -428,7 +474,8 @@ class SqliteStore:
     def resave_with_index(self, document: GoddagDocument, name: str,
                           deltas, partition_spans, payload_factory,
                           stamp: str = "",
-                          expected_stamp: str | None = None) -> None:
+                          expected_stamp: str | None = None,
+                          attr_spans=None) -> None:
         """Atomically rewrite a stored document's rows *and* bring its
         index in step, in one transaction — a crash can never pair a
         newer document with a stale index.  ``deltas`` (when applicable
@@ -441,13 +488,19 @@ class SqliteStore:
         replaced the artifact after the caller's own-artifact check, the
         deltas no longer describe what is stored, and the method falls
         back to the full payload write — never a row-patch of a
-        stranger's index.
+        stranger's index.  Dirty attribute postings likewise need the
+        ``attr_spans(name, value)`` supplier; deltas that touched
+        attributes without one take the full-write path rather than
+        guessing (a wrong guess would silently delete posting rows).
         """
         doc_id, indexed = self._doc_index_row(name)
         with self._conn:
             self._update_document_rows(doc_id, document, name)
             row_level = False
-            if deltas is not None and indexed:
+            delta_capable = deltas is not None and (
+                attr_spans is not None or not deltas.attrs
+            )
+            if delta_capable and indexed:
                 cursor = self._conn.execute(
                     "UPDATE index_meta SET stamp = ?"
                     " WHERE doc_id = ? AND stamp = ?",
@@ -455,14 +508,17 @@ class SqliteStore:
                 )
                 row_level = cursor.rowcount == 1
             if row_level:
-                self._apply_index_delta_rows(doc_id, deltas, partition_spans)
+                self._apply_index_delta_rows(
+                    doc_id, deltas, partition_spans,
+                    attr_spans or (lambda name, value: []),
+                )
             else:
                 self._delete_index_rows(doc_id)
                 self._insert_index_rows(doc_id, payload_factory(), stamp)
 
     def _delete_index_rows(self, doc_id: int) -> None:
         for table in ("index_meta", "index_paths", "index_terms",
-                      "index_overlap"):
+                      "index_overlap", "index_attrs"):
             self._conn.execute(
                 f"DELETE FROM {table} WHERE doc_id = ?", (doc_id,)
             )
@@ -532,6 +588,16 @@ class SqliteStore:
                     (hierarchy, path, tag, count,
                      [(flat[2 * i], flat[2 * i + 1]) for i in range(count)])
                 )
+            attrs = []
+            for attr_name, value, count, spans in self._conn.execute(
+                "SELECT name, value, n, spans FROM index_attrs"
+                " WHERE doc_id = ? ORDER BY name, value", (doc_id,),
+            ):
+                flat = unpack_u32(spans)
+                attrs.append(
+                    (attr_name, value, count,
+                     [(flat[2 * i], flat[2 * i + 1]) for i in range(count)])
+                )
         except (ValueError, IndexError) as exc:
             raise self._corrupt(name, exc) from exc
         return {
@@ -541,6 +607,7 @@ class SqliteStore:
             "overlap": overlap,
             "terms": terms,
             "paths": paths,
+            "attrs": attrs,
         }
 
     def index_overlap_query(
@@ -578,6 +645,26 @@ class SqliteStore:
             return occurrences_from_terms(rows, needle)
         except ValueError as exc:
             raise self._corrupt(name, exc) from exc
+
+    def index_attr_count(self, name: str, attr: str, value: str) -> int | None:
+        """Elements with attribute ``attr`` = ``value`` per the persisted
+        attribute postings, or ``None`` when no index is stored or the
+        index predates the attribute table (format < 2) — the caller
+        falls back to a storage scan either way."""
+        doc_id, indexed = self._doc_index_row(name)
+        if not indexed:
+            return None
+        (fmt,) = self._conn.execute(
+            "SELECT format FROM index_meta WHERE doc_id = ?", (doc_id,)
+        ).fetchone()
+        if fmt < 2:
+            return None
+        (count,) = self._conn.execute(
+            "SELECT COALESCE(SUM(n), 0) FROM index_attrs"
+            " WHERE doc_id = ? AND name = ? AND value = ?",
+            (doc_id, attr, value),
+        ).fetchone()
+        return count
 
     def index_tag_count(self, name: str, tag: str) -> int | None:
         """Elements with ``tag`` per the structural summary, or ``None``

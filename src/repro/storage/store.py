@@ -148,11 +148,11 @@ class GoddagStore:
     def build_index(self, name: str) -> dict[str, int]:
         """Build and persist the index for a stored document.
 
-        Loads the document once, builds the three indexes (structural
-        summary, term index, overlap index), persists them to the
-        backend — sqlite tables or a ``.gidx`` sidecar — and returns the
-        size census.  Subsequent index-aware queries answer without
-        loading the document again.
+        Loads the document once, builds the four indexes (structural
+        summary, term index, attribute postings, overlap index),
+        persists them to the backend — sqlite tables or a ``.gidx``
+        sidecar — and returns the size census.  Subsequent index-aware
+        queries answer without loading the document again.
         """
         document = self.load(name)
         manager = IndexManager(document)
@@ -229,6 +229,7 @@ class GoddagStore:
                     lambda: manager.payload(name),
                     stamp=stamp,
                     expected_stamp=generation,
+                    attr_spans=manager.attrs.spans,
                 )
             else:
                 self._sqlite.save(document, name)
@@ -419,6 +420,38 @@ class GoddagStore:
                 row[3] for row in header["path_rows"] if row[2] == tag
             )
         return self.count_elements(name, tag)
+
+    def count_attribute(self, name: str, attr: str, value: str) -> int:
+        """Number of elements with attribute ``attr`` = ``value``.
+
+        With a persisted format-2 index the answer comes from the
+        attribute posting rows (sqlite) or the sidecar header's posting
+        populations (binary) — a metadata read, no document
+        materialization.  Older or missing indexes fall back to a
+        storage scan (sqlite: element-row attribute JSON; binary: one
+        document load).  The shared root's attributes are not counted —
+        attribute postings index elements, matching the in-memory
+        :class:`~repro.index.term.AttributeIndex`.
+        """
+        if self._sqlite is not None:
+            count = self._sqlite.index_attr_count(name, attr, value)
+            if count is not None:
+                return count
+            return self._sqlite.count_attribute_scan(name, attr, value)
+        if self.has_index(name):
+            header = self._sidecar_section(name, "header")
+            rows = header.get("attr_rows")
+            if rows is not None:  # format ≥ 2: populations live in the header
+                return sum(
+                    row[2] for row in rows
+                    if row[0] == attr and row[1] == value
+                )
+        document = self.load(name)
+        return sum(
+            1
+            for element in document.elements()
+            if element.attributes.get(attr) == value
+        )
 
     def count_elements(self, name: str, tag: str | None = None) -> int:
         if self._sqlite is not None:

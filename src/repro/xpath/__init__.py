@@ -6,6 +6,11 @@ XPath 1.0 re-defined over the GODDAG plus the concurrent-markup axes
 name tests (``phys:line``), and span extension functions
 (``hierarchy()``, ``start()``, ``end()``, ``span-length()``,
 ``overlap-text()``, ``overlaps()``, ``leaf-count()``).
+
+Compiled queries (:class:`ExtendedXPath`) evaluate under a cost-based
+access-path plan when the document carries an index
+(:mod:`repro.xpath.planner`); ``query.explain(document)`` returns the
+plan with per-step estimates vs. actuals.
 """
 
 from .ast import (
@@ -22,10 +27,11 @@ from .ast import (
     Unary,
 )
 from .axes import AXES, AttributeNode, DocumentNode, apply_axis, sorted_nodes
-from .engine import ExtendedXPath, register_function, xpath
+from .engine import ExtendedXPath, explain, register_function, xpath
 from .evaluator import Context, Evaluator
 from .functions import FUNCTIONS, node_name, string_value
 from .parser import ALL_AXES, CLASSICAL_AXES, EXTENSION_AXES, parse_xpath
+from .planner import Planner, PredicatePlan, QueryPlan, StepPlan
 from .tokens import Token, tokenize
 
 __all__ = [
@@ -47,11 +53,16 @@ __all__ = [
     "LocationPath",
     "NodeTest",
     "Number",
+    "Planner",
+    "PredicatePlan",
+    "QueryPlan",
     "Step",
+    "StepPlan",
     "Token",
     "Union",
     "Unary",
     "apply_axis",
+    "explain",
     "node_name",
     "parse_xpath",
     "register_function",

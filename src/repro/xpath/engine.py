@@ -2,14 +2,16 @@
 
 from __future__ import annotations
 
+import weakref
 from typing import Callable
 
 from ..core.goddag import GoddagDocument
 from ..core.node import Node
 from .ast import Expr
-from .evaluator import Evaluator, XPathValue
+from .evaluator import Evaluator, XPathValue, resolve_manager
 from .optimizer import optimize
 from .parser import parse_xpath
+from .planner import Planner, QueryPlan
 
 
 class ExtendedXPath:
@@ -25,23 +27,95 @@ class ExtendedXPath:
     typed conveniences for the common node-set case.
 
     When the document has an :class:`~repro.index.manager.IndexManager`
-    attached (or one is passed via ``index=``), accelerable steps are
-    index-served; results are identical either way.
+    attached (or one is passed via ``index=``), evaluation runs under a
+    cost-based access-path plan (:mod:`repro.xpath.planner`), cached per
+    document version; results are identical either way.  Pass
+    ``index=False`` to force the classic unindexed paths, and call
+    :meth:`explain` for the plan with per-step estimates vs. actuals.
     """
 
     def __init__(self, expression: str) -> None:
         self.expression = expression
         self.ast: Expr = optimize(parse_xpath(expression))
+        # One-slot plan cache, keyed by (document, version, manager):
+        # re-planning is cheap but not free, and the common pattern is
+        # many evaluations of one compiled query against one document.
+        # Identity is held via weakrefs (never raw id(), which CPython
+        # recycles after GC), so the cache cannot serve a plan priced
+        # against a dead document's statistics.
+        self._plan_document: weakref.ref | None = None
+        self._plan_manager: weakref.ref | None = None
+        self._plan_version: int | None = None
+        self._plan: QueryPlan | None = None
+
+    def _cached_plan(self, document: GoddagDocument, index) -> QueryPlan:
+        manager = resolve_manager(document, index)
+        cached_document = (
+            self._plan_document() if self._plan_document is not None else None
+        )
+        cached_manager = (
+            self._plan_manager() if self._plan_manager is not None else None
+        )
+        fresh = (
+            self._plan is not None
+            and cached_document is document
+            and self._plan_version == document.version
+            and cached_manager is manager
+            and (manager is not None) == (self._plan_manager is not None)
+        )
+        if not fresh:
+            self._plan = Planner(document, manager).plan(
+                self.ast, self.expression
+            )
+            self._plan_document = weakref.ref(document)
+            self._plan_manager = (
+                weakref.ref(manager) if manager is not None else None
+            )
+            self._plan_version = document.version
+        return self._plan
 
     def evaluate(
         self, document: GoddagDocument, context: Node | None = None,
         variables: dict | None = None, index=None,
     ) -> XPathValue:
         """Evaluate against ``document`` (optionally from ``context``,
-        with optional ``$name`` variable bindings)."""
-        return Evaluator(document, index=index).evaluate(
+        with optional ``$name`` variable bindings).  ``index=False``
+        disables index acceleration for this evaluation."""
+        plan = self._cached_plan(document, index)
+        return Evaluator(document, index=index, plan=plan).evaluate(
             self.ast, context, variables
         )
+
+    def explain(
+        self, document: GoddagDocument, context: Node | None = None,
+        variables: dict | None = None, index=None, execute: bool = True,
+    ) -> QueryPlan:
+        """The access-path plan for this query over ``document``.
+
+        Args:
+            document: the document to plan (and run) against.
+            context: optional context node, as for :meth:`evaluate`.
+            variables: optional ``$name`` bindings.
+            index: an explicit manager, ``None`` for the attached one,
+                or ``False`` to plan without index acceleration.
+            execute: when True (the default) the query is evaluated
+                under the fresh plan, so the returned
+                :class:`~repro.xpath.planner.QueryPlan` carries actual
+                row counts and served/fallback tallies next to the
+                estimates; ``execute=False`` returns estimates only.
+
+        Returns:
+            A fresh :class:`~repro.xpath.planner.QueryPlan` (never the
+            cached one, so actuals always describe exactly one run);
+            ``plan.render()`` — or ``str(plan)`` — is the EXPLAIN text.
+        """
+        manager = resolve_manager(document, index)
+        plan = Planner(document, manager).plan(self.ast, self.expression)
+        if execute:
+            Evaluator(document, index=index, plan=plan).evaluate(
+                self.ast, context, variables
+            )
+        return plan
 
     def nodes(
         self, document: GoddagDocument, context: Node | None = None,
@@ -76,6 +150,13 @@ def xpath(
 ) -> XPathValue:
     """One-shot evaluation convenience."""
     return ExtendedXPath(expression).evaluate(document, context)
+
+
+def explain(
+    document: GoddagDocument, expression: str, context: Node | None = None
+) -> QueryPlan:
+    """One-shot EXPLAIN convenience: compile, plan, run, return the plan."""
+    return ExtendedXPath(expression).explain(document, context)
 
 
 def register_function(name: str, fn: Callable) -> None:

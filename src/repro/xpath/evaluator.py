@@ -9,13 +9,18 @@ means "some node whose string-value equals", and so on.
 
 When the document carries an attached
 :class:`~repro.index.manager.IndexManager` (or one is passed to the
-evaluator), two step shapes are index-served with provably identical
-results: whole-document name-test steps (``descendant::tag`` from a
-root context resolve to the structural summary's candidate lists) and
-``contains(., 'lit')`` predicates over alphanumeric literals (answered
-by the term index).  Every other shape — and every case where the
-index declines — runs the classic evaluation path, so attaching an
-index never changes a query's answer.
+evaluator), step evaluation is driven by a cost-based access-path plan
+(:mod:`repro.xpath.planner`): name-test steps may resolve to structural
+summary candidate lists (from root *or* non-root contexts), to
+attribute-value postings, or to span-filtered overlap candidates, and
+``contains(., 'lit')`` / ``starts-with(., 'lit')`` / ``@name='value'``
+predicates are answered by the term and attribute indexes — with
+multi-predicate steps evaluated cheapest-first when provably safe.
+Every shape the plan cannot serve — and every case where a serving
+routine declines at runtime — runs the classic evaluation path, so
+attaching an index never changes a query's answer.  Pass ``index=False``
+to force the classic paths even on an indexed document (the
+planner-off arm of the differential harness).
 """
 
 from __future__ import annotations
@@ -49,9 +54,31 @@ from .axes import (
     sorted_nodes,
 )
 from .functions import FUNCTIONS, string_value
-from .optimizer import indexable_contains
+from .optimizer import (
+    indexable_attr_eq,
+    indexable_contains,
+    indexable_starts_with,
+)
+from .planner import Planner, QueryPlan, SCAN, STAB, StepPlan
 
 XPathValue = object  # list[XNode] | float | str | bool
+
+
+def resolve_manager(document: GoddagDocument, index):
+    """The index manager an evaluation of ``document`` should consult.
+
+    One shared resolution for the engine (planning) and the evaluator
+    (execution), so a plan is always priced against the manager that
+    will serve it: ``index=False`` disables index service outright, an
+    explicit manager wins over the document's attached one, and a
+    manager built for another document is ignored.
+    """
+    if index is False:
+        return None
+    manager = index if index is not None else document.index_manager
+    if manager is not None and manager.document is not document:
+        return None
+    return manager
 
 
 @dataclass
@@ -113,16 +140,19 @@ class Context:
 class Evaluator:
     """Evaluates parsed Extended XPath expressions over one document."""
 
-    def __init__(self, document: GoddagDocument, index=None) -> None:
+    def __init__(self, document: GoddagDocument, index=None,
+                 plan: QueryPlan | None = None) -> None:
         self.document = document
         self.functions = dict(FUNCTIONS)
-        # The index manager consulted for accelerable steps: an explicit
-        # one wins, else whatever is attached to the document (if any).
-        # A manager built for another document is ignored outright.
-        manager = index if index is not None else document.index_manager
-        if manager is not None and manager.document is not document:
-            manager = None
-        self.index = manager
+        self.index = resolve_manager(document, index)
+        # The access-path plan steps are executed under.  An explicit
+        # plan (built by ExtendedXPath, which caches per document
+        # version) wins; otherwise plans are built and memoized per
+        # expression on first evaluation.
+        self._plan = plan
+        self._planner: Planner | None = None
+        self._plan_memo: dict[int, QueryPlan] = {}
+        self._active_plan: QueryPlan | None = None
         # Bindings of the evaluation in progress; predicates inherit them.
         self._variables: dict = {}
 
@@ -135,8 +165,24 @@ class Evaluator:
         if context_node is None:
             context_node = DocumentNode(self.document)
         self._variables = variables or {}
+        self._active_plan = self._resolve_plan(expr)
         context = Context(context_node, 1, 1, self.document, self._variables)
         return self._eval(expr, context)
+
+    def _resolve_plan(self, expr: Expr) -> QueryPlan | None:
+        if self._plan is not None:
+            if self._planner is None and self.index is not None:
+                self._planner = Planner(self.document, self.index)
+            return self._plan
+        if self.index is None:
+            return None
+        if self._planner is None:
+            self._planner = Planner(self.document, self.index)
+        plan = self._plan_memo.get(id(expr))
+        if plan is None:
+            plan = self._planner.plan(expr)
+            self._plan_memo[id(expr)] = plan
+        return plan
 
     # -- dispatch -------------------------------------------------------------------
 
@@ -286,7 +332,7 @@ class Evaluator:
             start: list[XNode] = [DocumentNode(self.document)]
         else:
             start = [context.node]
-        return self._eval_steps(expr.steps, start)
+        return self._eval_steps(expr.steps, start, self._step_plans(expr))
 
     def _eval_filter(self, expr: FilterExpr, context: Context) -> XPathValue:
         value = self._eval(expr.primary, context)
@@ -299,27 +345,53 @@ class Evaluator:
             for predicate in expr.predicates:
                 nodes = self._filter_nodes(nodes, predicate)
             if expr.steps:
-                nodes = self._eval_steps(expr.steps, nodes)
+                nodes = self._eval_steps(expr.steps, nodes,
+                                         self._step_plans(expr))
             return nodes
         return value
 
+    def _step_plans(self, expr: Expr) -> list[StepPlan] | None:
+        plan = self._active_plan
+        if plan is None:
+            return None
+        return plan.steps_for(expr)
+
     def _eval_steps(
-        self, steps: Iterable[Step], start: list[XNode]
+        self, steps: Iterable[Step], start: list[XNode],
+        step_plans: list[StepPlan] | None = None,
     ) -> list[XNode]:
         current = start
-        for step in steps:
+        for i, step in enumerate(steps):
+            splan = step_plans[i] if step_plans is not None else None
+            if splan is not None:
+                splan.actual_in += len(current)
             gathered: list[XNode] = []
             for node in current:
-                gathered.extend(self._eval_step(step, node))
+                gathered.extend(self._eval_step(step, node, splan))
             current = sorted_nodes(gathered)
+            if splan is not None:
+                splan.actual_out += len(current)
         return current
 
-    def _eval_step(self, step: Step, node: XNode) -> list[XNode]:
+    def _eval_step(self, step: Step, node: XNode,
+                   splan: StepPlan | None = None) -> list[XNode]:
         # Axis implementations already order their result by proximity
         # (reverse axes nearest-first), so predicate positions are just
         # 1-based indexes into that order.  A name test can only match
         # elements, which lets prunable axes skip leaf materialization.
-        selected = self._index_step_candidates(step, node)
+        selected: list[XNode] | None = None
+        consumed_attr = False
+        if (
+            splan is not None
+            and splan.choice not in (SCAN, STAB)
+            and self._planner is not None
+        ):
+            served = self._planner.serve(splan, step, node)
+            if served is not None:
+                selected, consumed_attr = served
+                splan.served += 1
+            else:
+                splan.fallbacks += 1
         if selected is None:
             elements_only = step.test.kind == "name"
             candidates, _reverse = apply_axis(
@@ -330,55 +402,21 @@ class Evaluator:
                 for candidate in candidates
                 if _test_matches(step.test, candidate)
             ]
-        for predicate in step.predicates:
-            selected = self._filter_nodes(selected, predicate)
+        predicates = step.predicates
+        order = (
+            splan.order
+            if splan is not None and len(splan.order) == len(predicates)
+            else range(len(predicates))
+        )
+        for position in order:
+            if consumed_attr and position == splan.attr_pred:
+                continue  # the access path already applied this predicate
+            selected = self._filter_nodes(selected, predicates[position])
         return selected
-
-    def _index_step_candidates(
-        self, step: Step, node: XNode
-    ) -> list[XNode] | None:
-        """Index-served candidates for a whole-document name-test step.
-
-        Serves ``descendant``/``descendant-or-self`` name tests from a
-        root context (the document node or the shared root element) out
-        of the structural summary; these are exactly the steps whose
-        unindexed axis stream is the full document-order element list,
-        so the summary's per-tag sublists are provably the same nodes in
-        the same order.  Returns ``None`` — fall back — for every other
-        shape.
-        """
-        manager = self.index
-        if manager is None:
-            return None
-        if step.axis not in ("descendant", "descendant-or-self"):
-            return None
-        test = step.test
-        if test.kind != "name":
-            return None
-        if test.name == "*" and test.hierarchy is None:
-            return None  # matches every element: nothing to prune
-        at_document = isinstance(node, DocumentNode)
-        at_root = isinstance(node, Element) and node.is_root
-        if not (at_document or at_root):
-            return None
-        if node.document is not self.document:
-            return None  # a variable-bound foreign root: not ours to serve
-        elements = manager.name_candidates(test.name, test.hierarchy)
-        if elements is None:
-            return None
-        out: list[XNode] = []
-        # The axis reaches the shared root except for descendant-from-root;
-        # the root sorts first in document order.
-        if (at_document or step.axis == "descendant-or-self") and _test_matches(
-            test, self.document.root
-        ):
-            out.append(self.document.root)
-        out.extend(elements)
-        return out
 
     def _filter_nodes(self, nodes: list[XNode], predicate: Expr) -> list[XNode]:
         """Apply one predicate with correct proximity positions."""
-        fast = self._index_contains_filter(nodes, predicate)
+        fast = self._index_predicate_filter(nodes, predicate)
         if fast is not None:
             return fast
         size = len(nodes)
@@ -394,22 +432,40 @@ class Evaluator:
                 kept.append(node)
         return kept
 
-    def _index_contains_filter(
+    def _index_predicate_filter(
         self, nodes: list[XNode], predicate: Expr
     ) -> list[XNode] | None:
-        """Term-index filtering for ``contains(., 'lit')`` predicates.
+        """Index-served filtering for the recognized predicate shapes.
 
-        Applies only when the literal is index-servable (alphanumeric,
-        so token-boundary effects cannot arise) and every candidate is a
+        ``contains(., 'lit')`` and ``starts-with(., 'lit')`` apply only
+        when the literal is index-servable (alphanumeric, so
+        token-boundary effects cannot arise) and every candidate is a
         span-carrying node of *this* document (variable bindings can
         smuggle in foreign nodes, whose text the term index knows
-        nothing about) — then ``contains`` is a binary search per node
-        instead of a substring scan.  ``None`` means fall back.
+        nothing about) — then each test is a binary search instead of a
+        substring scan.  ``@name='value'`` needs no index data at all
+        (one dict probe per element replaces the generic attribute-axis
+        evaluation) but is still gated on an attached manager so the
+        unindexed engine stays a fully independent oracle.  ``None``
+        means fall back to generic evaluation.
         """
         manager = self.index
         if manager is None:
             return None
+        attr = indexable_attr_eq(predicate)
+        if attr is not None:
+            name, value = attr
+            return [
+                node
+                for node in nodes
+                if isinstance(node, Element)
+                and node.attributes.get(name) == value
+            ]
         needle = indexable_contains(predicate)
+        probe = manager.contains_span
+        if needle is None:
+            needle = indexable_starts_with(predicate)
+            probe = manager.starts_with_span
         if needle is None or not manager.supports_contains(needle):
             return None
         if not all(
@@ -419,9 +475,7 @@ class Evaluator:
         ):
             return None
         return [
-            node
-            for node in nodes
-            if manager.contains_span(node.start, node.end, needle)
+            node for node in nodes if probe(node.start, node.end, needle)
         ]
 
 

@@ -8,16 +8,21 @@ physical / linguistic / verse synthetic workloads of
   through the delta journal (incremental maintenance, the tentpole);
 * ``plain`` — no index at all (the ground-truth engine).
 
-After **every** step the harness asserts three equivalences:
+After **every** step the harness asserts four equivalences:
 
 1. *indexed vs unindexed*: a battery of Extended XPath queries (name
    tests, hierarchy-qualified wildcards, positional predicates,
-   ``contains``, cross-hierarchy axes) answers byte-identically on both
-   replicas;
-2. *incremental vs rebuilt*: the live manager's full persisted payload
-   (overlap interval tables, term postings, label-path partition rows —
-   including row order) equals that of a freshly built manager;
-3. the live document still satisfies the GODDAG structural invariants.
+   ``contains``/``starts-with``, attribute-value predicates,
+   descendant steps from non-root contexts, cross-hierarchy axes)
+   answers byte-identically on both replicas;
+2. *planner on vs planner off*: the same queries on the live replica
+   with ``index=False`` (the cost-based planner disabled outright)
+   answer byte-identically to the planned, index-served run;
+3. *incremental vs rebuilt*: the live manager's full persisted payload
+   (overlap interval tables, term postings, attribute-value posting
+   rows, label-path partition rows — including row order) equals that
+   of a freshly built manager;
+4. the live document still satisfies the GODDAG structural invariants.
 
 Scale: 3 workloads × ``REPRO_DIFF_SEEDS`` sessions × ``STEPS`` steps
 (≥ 200 steps at the defaults).  The nightly CI job raises
@@ -68,6 +73,15 @@ QUERIES = [ExtendedXPath(expression) for expression in (
     "//line[@n='2']",
     "count(//w)",
     "count(//seg)",
+    # The planner's new step shapes: non-root descendant (label-path
+    # containment), starts-with, attribute-value postings, and
+    # multi-predicate steps eligible for selectivity reordering.
+    "//s/descendant::w",
+    "//page/descendant::line",
+    "//page/descendant::seg[1]",
+    "//w[starts-with(., 'gar')]",
+    "//line[@n='2'][contains(., 'en')]",
+    "//seg[@resp='5']",
 )]
 
 EDIT_TAGS = ("seg", "note", "mark")
@@ -100,6 +114,10 @@ def check_equivalence(live: GoddagDocument, plain: GoddagDocument,
         indexed = snapshot(query.evaluate(live))
         unindexed = snapshot(query.evaluate(plain))
         assert indexed == unindexed, query.expression
+        # The planner-off arm: same document, cost-based planner and
+        # every index fast path disabled — byte-identical again.
+        planner_off = snapshot(query.evaluate(live, index=False))
+        assert planner_off == unindexed, query.expression
     # The incrementally maintained payload must be byte-identical to a
     # freshly rebuilt manager's (order of partition rows included), and
     # the flat candidate lists must match element for element — order

@@ -112,6 +112,38 @@ class TestDeltaAppliedRoundTrip:
                 expected = len(query.nodes(document))
                 assert store.count_tag("ms", "seg") == expected
 
+    def test_attribute_postings_follow_the_delta_path(self, backend, tmp_path):
+        """Attribute edits must reach the persisted attribute posting
+        rows through save_indexed (sqlite row-level upserts / sidecar
+        re-stamp), answering exactly as a from-scratch build_index."""
+        document = generate(WorkloadSpec(words=140, hierarchies=2, seed=8))
+        manager = IndexManager.for_document(document)
+        editor = Editor(document, prevalidate=False)
+        with GoddagStore(location(backend, tmp_path), backend=backend) as store:
+            store.save_indexed(document, "ms", manager)
+            line = next(document.elements(tag="line"))
+            editor.set_attribute(line, "rev", "a")
+            editor.set_attribute(line, "rev", "b")   # value move: a empties
+            editor.insert_markup("physical", "seg", 0, 9)
+            seg = next(document.elements(tag="seg"))
+            editor.set_attribute(seg, "resp", "ed")
+            editor.remove_markup(seg)                 # posting row must empty
+            store.save_indexed(document, "ms", manager)
+            keys = [("rev", "a"), ("rev", "b"), ("resp", "ed"),
+                    ("n", "2"), ("n", "nope")]
+            with GoddagStore(tmp_path / "truth-docs",
+                             backend="binary") as truth:
+                truth.save(document, "t")
+                truth.build_index("t")
+                for attr, value in keys:
+                    assert store.count_attribute("ms", attr, value) == \
+                        truth.count_attribute("t", attr, value), (attr, value)
+            # The fallback scan agrees once the index is gone.
+            indexed = {key: store.count_attribute("ms", *key) for key in keys}
+            store.drop_index("ms")
+            for key, expected in indexed.items():
+                assert store.count_attribute("ms", *key) == expected, key
+
 
 class TestSqliteRowLevelPath:
     def test_second_save_uses_row_level_upserts(self, tmp_path):
