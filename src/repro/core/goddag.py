@@ -68,6 +68,8 @@ class GoddagDocument:
         self._version = 0
         self._ordered_cache: list[Element] = []
         self._ordered_cache_version = -1
+        self._ordinal_map: dict[int, Element] = {}
+        self._ordinal_map_version = -1
         self._index_manager = None
         # Delta journal: (version, record) pairs for tracked mutations.
         # _journal_floor is the newest version with no record — deltas
@@ -228,8 +230,53 @@ class GoddagDocument:
         self._index_manager = None
 
     def _next_ordinal(self) -> int:
+        """The next birth ordinal (1-based; the shared root is 0).
+
+        Ordinals are the document's *persistent identity*: storage
+        backends persist them as ``elem_id`` and reconstruction restores
+        them, so the counter must never re-issue a loaded value.  The
+        builder bumps ``_ordinal`` past the maximum explicit ordinal
+        before materializing (see :meth:`GoddagBuilder.build`), which
+        keeps ``save → load → edit`` sessions collision-free.
+        """
         self._ordinal += 1
         return self._ordinal
+
+    def element_by_ordinal(self, ordinal: int) -> Element | None:
+        """The element whose birth ordinal (= persistent ``elem_id``) is
+        ``ordinal``, or ``None`` when no such element is attached.
+
+        This is the keyed identity lookup backing cross-session node
+        handles: an ordinal observed before a save names the same
+        element after ``GoddagStore.load``, so consumers resolve handles
+        directly instead of positionally re-matching spans or document
+        order.  Ordinal 0 resolves to the shared root.  O(1) per
+        lookup: a stale map catches up from the delta journal (one dict
+        op per structural record) and pays a full rebuild only when the
+        journal cannot bridge the gap — the same contract as the
+        indexes.
+        """
+        if ordinal == 0:
+            return self._root
+        if self._ordinal_map_version != self._version:
+            changes = (
+                self.changes_since(self._ordinal_map_version)
+                if self._ordinal_map_version >= 0 else None
+            )
+            if changes is None:
+                self._ordinal_map = {
+                    element.ordinal: element
+                    for elements in self._h_all.values()
+                    for element in elements
+                }
+            else:
+                for change in changes:
+                    if isinstance(change, InsertMarkup):
+                        self._ordinal_map[change.ordinal] = change.element
+                    elif isinstance(change, RemoveMarkup):
+                        self._ordinal_map.pop(change.ordinal, None)
+            self._ordinal_map_version = self._version
+        return self._ordinal_map.get(ordinal)
 
     # -- hierarchies ---------------------------------------------------------------
 
@@ -643,6 +690,7 @@ class GoddagDocument:
                 hierarchy=hierarchy, tag=tag, start=start, end=end,
                 attributes=tuple(sorted(element.attributes.items())),
                 ordinal=element.ordinal, element=element,
+                parent=None if parent.is_root else parent,
                 parent_path=self._label_path(parent),
                 repathed=tuple(
                     node
@@ -692,6 +740,7 @@ class GoddagDocument:
                 start=element.start, end=element.end,
                 attributes=tuple(sorted(element.attributes.items())),
                 ordinal=element.ordinal, element=element,
+                parent=None if parent.is_root else parent,
                 parent_path=self._label_path(parent),
                 repathed=tuple(
                     node
@@ -826,15 +875,27 @@ class GoddagDocument:
 class _OpenElement:
     """Builder-internal record of an element whose end tag is pending."""
 
-    __slots__ = ("tag", "start", "end", "attributes", "children", "seq")
+    __slots__ = ("tag", "start", "end", "attributes", "children", "seq",
+                 "ordinal")
 
-    def __init__(self, tag: str, start: int, attributes: dict[str, str], seq: int):
+    def __init__(self, tag: str, start: int, attributes: dict[str, str],
+                 seq: int, ordinal: int | None = None):
         self.tag = tag
         self.start = start
         self.end = -1
         self.attributes = attributes
         self.children: list[_OpenElement] = []
         self.seq = seq
+        self.ordinal = ordinal
+
+
+def _walk_open_elements(records: Iterable["_OpenElement"]) -> Iterator["_OpenElement"]:
+    """All builder records of some trees, preorder (identity pre-scan)."""
+    stack = list(records)
+    while stack:
+        record = stack.pop()
+        yield record
+        stack.extend(record.children)
 
 
 class GoddagBuilder:
@@ -848,6 +909,13 @@ class GoddagBuilder:
     * **annotation style** (used by standoff import, generators, tests):
       :meth:`add_annotation` with ``(tag, start, end)``; nesting is derived
       from spans using the placement conventions of this module.
+
+    Every input method accepts an optional explicit ``ordinal`` — the
+    persistent-identity path used by :func:`repro.storage.schema.decode_document`
+    so that reconstruction preserves the birth ordinals the elements were
+    stored under.  Elements without one draw fresh ordinals *above* the
+    largest explicit ordinal, so loaded identity and new identity never
+    collide (``_next_ordinal`` resumes past the loaded maximum).
     """
 
     def __init__(self, text: str, root_tag: str = "r") -> None:
@@ -884,15 +952,30 @@ class GoddagBuilder:
         self._seq += 1
         return self._seq
 
+    @staticmethod
+    def _check_ordinal(ordinal: int | None) -> int | None:
+        if ordinal is not None and ordinal < 1:
+            raise MarkupConflictError(
+                f"explicit element ordinal must be >= 1 (0 is the shared "
+                f"root), got {ordinal}"
+            )
+        return ordinal
+
     # -- event style --------------------------------------------------------------
 
     def start_element(
         self, hierarchy: str, tag: str, offset: int,
         attributes: Mapping[str, str] | None = None,
+        ordinal: int | None = None,
     ) -> None:
-        """Open ``<tag>`` at character position ``offset``."""
+        """Open ``<tag>`` at character position ``offset``.
+
+        ``ordinal`` fixes the element's persistent identity explicitly
+        (storage reconstruction); omitted, a fresh one is assigned.
+        """
         self._check_hierarchy(hierarchy)
-        record = _OpenElement(tag, offset, dict(attributes or {}), self._next_seq())
+        record = _OpenElement(tag, offset, dict(attributes or {}),
+                              self._next_seq(), self._check_ordinal(ordinal))
         stack = self._stacks[hierarchy]
         if stack:
             stack[-1].children.append(record)
@@ -926,10 +1009,12 @@ class GoddagBuilder:
     def empty_element(
         self, hierarchy: str, tag: str, offset: int,
         attributes: Mapping[str, str] | None = None,
+        ordinal: int | None = None,
     ) -> None:
         """Record a zero-width element at ``offset`` (source nesting kept)."""
         self._check_hierarchy(hierarchy)
-        record = _OpenElement(tag, offset, dict(attributes or {}), self._next_seq())
+        record = _OpenElement(tag, offset, dict(attributes or {}),
+                              self._next_seq(), self._check_ordinal(ordinal))
         record.end = offset
         stack = self._stacks[hierarchy]
         if stack:
@@ -942,6 +1027,7 @@ class GoddagBuilder:
     def add_annotation(
         self, hierarchy: str, tag: str, start: int, end: int,
         attributes: Mapping[str, str] | None = None,
+        ordinal: int | None = None,
     ) -> None:
         """Record markup by offsets; nesting is derived at :meth:`build`."""
         self._check_hierarchy(hierarchy)
@@ -951,7 +1037,8 @@ class GoddagBuilder:
                 f"{len(self._text)}"
             )
         self._annotations[hierarchy].append(
-            (tag, start, end, dict(attributes or {}), self._next_seq())
+            (tag, start, end, dict(attributes or {}), self._next_seq(),
+             self._check_ordinal(ordinal))
         )
 
     # -- construction ------------------------------------------------------------------
@@ -964,8 +1051,8 @@ class GoddagBuilder:
         annotations.sort(key=lambda a: (a[1], -a[2], a[4]))
         top = self._toplevel[hierarchy]
         stack: list[_OpenElement] = []
-        for tag, start, end, attributes, seq in annotations:
-            record = _OpenElement(tag, start, attributes, seq)
+        for tag, start, end, attributes, seq, ordinal in annotations:
+            record = _OpenElement(tag, start, attributes, seq, ordinal)
             record.end = end
             while stack:
                 open_span = Span(stack[-1].start, stack[-1].end)
@@ -1003,6 +1090,17 @@ class GoddagBuilder:
             self._nest_annotations(name)
 
         document = GoddagDocument(self._text, self._root_tag)
+        # The identity contract: explicit ordinals (reconstruction) are
+        # preserved verbatim, and the fresh-ordinal counter starts past
+        # their maximum so mixed input — and every element created by a
+        # later editing session — can never collide with a loaded id.
+        document._ordinal = max(
+            (record.ordinal
+             for name in self._hierarchy_names
+             for record in _walk_open_elements(self._toplevel[name])
+             if record.ordinal is not None),
+            default=0,
+        )
         boundaries: set[int] = set()
         for name in self._hierarchy_names:
             hierarchy = document.add_hierarchy(name, dtd=self._hierarchy_dtds[name])
@@ -1040,7 +1138,8 @@ class GoddagBuilder:
             record.start,
             record.end,
             record.attributes,
-            document._next_ordinal(),
+            record.ordinal if record.ordinal is not None
+            else document._next_ordinal(),
         )
         element._parent = parent
         boundaries.add(record.start)

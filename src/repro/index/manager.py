@@ -60,7 +60,12 @@ class PersistDeltas:
     partition keys whose membership changed; ``attrs`` holds the
     ``(name, value)`` attribute-posting keys whose membership changed
     (the persistence layer re-writes exactly those rows, deleting the
-    ones that emptied).
+    ones that emptied); ``rows`` is the
+    :class:`~repro.core.changes.ElementRowCoalescer` folding the same
+    record stream into the minimal *element-row* write set, keyed by
+    persistent ``elem_id`` — what lets the sqlite backend upsert only
+    the document rows the session touched instead of rewriting the
+    table.
 
     Rows are content-identified, so a removal cancels a queued insertion
     of the same row (and vice versa) — undo churn nets out instead of
@@ -69,28 +74,32 @@ class PersistDeltas:
     write is cheaper than replaying that many single-row statements.
     """
 
-    __slots__ = ("overlap_add", "overlap_remove", "paths", "attrs")
+    __slots__ = ("overlap_add", "overlap_remove", "paths", "attrs", "rows")
 
     #: Queued-operation bound beyond which a full rewrite wins.
     LIMIT = 1024
 
     def __init__(self) -> None:
+        from ..core.changes import ElementRowCoalescer
+
         self.overlap_add: list[tuple[str, str, int, int]] = []
         self.overlap_remove: list[tuple[str, str, int, int]] = []
         self.paths: set[tuple[str, tuple[str, ...]]] = set()
         self.attrs: set[tuple[str, str]] = set()
+        self.rows = ElementRowCoalescer()
 
     def __bool__(self) -> bool:
         return bool(
             self.overlap_add or self.overlap_remove or self.paths
-            or self.attrs
+            or self.attrs or self.rows
         )
 
     @property
     def overflowed(self) -> bool:
         return (
             len(self.overlap_add) + len(self.overlap_remove)
-            + len(self.paths) + len(self.attrs) > self.LIMIT
+            + len(self.paths) + len(self.attrs) + len(self.rows)
+            > self.LIMIT
         )
 
     def record(self, change, touched_paths, touched_attrs=()) -> None:
@@ -98,6 +107,7 @@ class PersistDeltas:
 
         self.paths.update(touched_paths)
         self.attrs.update(touched_attrs)
+        self.rows.record(change)
         if not isinstance(change, (InsertMarkup, RemoveMarkup)):
             return  # attribute edits touch no interval or partition row
         if change.start != change.end:
@@ -329,6 +339,21 @@ class IndexManager:
         """Posting length of ``(name, value)`` — the planner's
         attribute-predicate selectivity statistic."""
         return self.attrs.posting_length(name, value)
+
+    def element(self, ordinal: int) -> "Element | None":
+        """Keyed element lookup by persistent id (birth ordinal).
+
+        The in-memory half of the cross-session node-handle contract:
+        an ``elem_id`` stored with a document resolves to the same
+        element after any reload, so consumers — the XPath
+        ``element-by-id()`` function among them — never positionally
+        re-match spans or document order against a freshly loaded
+        document.  Delegates to
+        :meth:`~repro.core.goddag.GoddagDocument.element_by_ordinal`
+        (which already maintains a per-version identity map, so no
+        second map goes stale here).
+        """
+        return self.document.element_by_ordinal(ordinal)
 
     # -- persistence ------------------------------------------------------------
 

@@ -15,9 +15,24 @@ Format (versioned magic, little-endian):
                           |   attribute blob; 0xFFFFFFFF = no attributes)
     attribute blob        | newline-separated JSON objects
 
+``elem_id`` is the element's *persistent identity* — its birth ordinal
+in the GODDAG core — and ``parent_id`` the parent's (0 = shared root),
+so binary round-trips preserve identity exactly like the sqlite rows
+do.  Records are written in per-hierarchy preorder and sibling rank is
+carried by that *record order* within each parent (ids themselves are
+not rank: an element born late in an editing session keeps its high
+ordinal wherever it nests).  Artifacts written before ids were
+identity-stable encode per-save preorder numbers instead; loading one
+simply adopts those numbers as the ordinals, so old files stay fully
+readable.
+
 The element table is fixed-width, so :func:`scan_spans` can answer span
-queries by reading the header + table only — the storage-level query of
-experiment E7 without SQLite.
+queries — and :func:`read_element` keyed handle lookups — by reading
+the header + table only, the storage-level access of experiment E7
+without SQLite.  Index sidecars (``.gidx``) are managed by the store
+facade: ``GoddagStore.save_indexed`` re-stamps the sidecar from the
+index manager's in-memory payload alongside each document write, so an
+editing session never pays a load-and-rebuild to keep it fresh.
 """
 
 from __future__ import annotations
@@ -136,7 +151,9 @@ def load_file(path: str | Path) -> GoddagDocument:
         for rank, item in enumerate(header.hierarchies)
     ]
     element_rows: list[ElementRow] = []
-    # Child ranks are implicit in elem_id order within each parent.
+    # Child ranks are implicit in *record order* within each parent (the
+    # writer emits per-hierarchy preorder; ids are birth ordinals and
+    # need not be monotone in document position after edits).
     sibling_counters: dict[int, int] = {}
     for record in _RECORD.iter_unpack(table):
         elem_id, h_idx, tag_idx, start, end, parent_id, attrs_offset = record
@@ -192,6 +209,43 @@ def scan_spans(
                 )
             )
     return out
+
+
+def read_element(
+    path: str | Path, elem_id: int
+) -> tuple[str, str, int, int, dict[str, str]] | None:
+    """Resolve a persistent element id against the stored table.
+
+    Returns ``(hierarchy, tag, start, end, attributes)`` for the record
+    whose ``elem_id`` matches, or ``None`` — the binary backend's half
+    of the cross-session node handle (``GoddagStore.element``).  Reads
+    the header and the fixed-width element table, and the attribute blob
+    only when the match carries attributes; the text region is skipped
+    and no document is materialized.
+    """
+    with open(path, "rb") as fh:
+        header = _read_header(fh)
+        fh.seek(header.text_bytes, 1)  # skip the text
+        table = fh.read(header.element_count * _RECORD.size)
+        for record in _RECORD.iter_unpack(table):
+            found, h_idx, tag_idx, start, end, _, attrs_offset = record
+            if found != elem_id:
+                continue
+            attributes: dict[str, str] = {}
+            if attrs_offset != _NO_ATTRS:
+                fh.seek(attrs_offset, 1)
+                encoded = fh.read(header.attrs_bytes - attrs_offset)
+                attributes = json.loads(
+                    encoded[: encoded.index(b"\n")].decode("utf-8")
+                )
+            return (
+                header.hierarchies[h_idx]["name"],
+                header.tags[tag_idx],
+                start,
+                end,
+                attributes,
+            )
+    return None
 
 
 def file_stats(path: str | Path) -> dict[str, int]:

@@ -7,9 +7,18 @@ span, its parent element id, and its rank among its siblings — enough
 to reconstruct the GODDAG exactly (including zero-width placement and
 equal-span nesting, which spans alone cannot recover).
 
-Element ids are assigned in per-hierarchy preorder, so ``parent_id <
-elem_id`` always holds and bulk loads can wire parents in one pass.
-The root is element id 0 by convention.
+``elem_id`` is the element's birth ordinal — the *stable persistent
+identity* of the GODDAG core.  It round-trips: :func:`decode_document`
+reconstructs every element under its stored ordinal (and the fresh
+ordinal counter resumes past the loaded maximum), so ``save → load →
+save`` re-emits identical ids and row-level delta saves can key element
+upserts by ``(doc_id, elem_id)``.  The root is element id 0 by
+convention; ``parent_id`` is the parent's ordinal.  For documents that
+were never edited, ordinals coincide with the per-hierarchy preorder
+numbering older artifacts stored — which is exactly why loading such an
+artifact adopts its ids unchanged ("backfill by adoption").  After
+edits, ids are *not* preorder (a late-born wrapper has a larger ordinal
+than the children it adopted), and nothing here relies on that anymore.
 """
 
 from __future__ import annotations
@@ -70,15 +79,11 @@ def encode_document(
         hierarchy_rows.append(HierarchyRow(rank, hierarchy_name, dtd_source))
 
     element_rows: list[ElementRow] = []
-    next_id = ROOT_ID + 1
 
     def emit(element: Element, parent_id: int, child_rank: int) -> None:
-        nonlocal next_id
-        elem_id = next_id
-        next_id += 1
         element_rows.append(
             ElementRow(
-                elem_id=elem_id,
+                elem_id=element.ordinal,
                 hierarchy=element.hierarchy,
                 tag=element.tag,
                 start=element.start,
@@ -89,12 +94,56 @@ def encode_document(
             )
         )
         for rank, child in enumerate(element.element_children):
-            emit(child, elem_id, rank)
+            emit(child, element.ordinal, rank)
 
     for hierarchy_name in document.hierarchy_names():
         for rank, top in enumerate(document.top_level(hierarchy_name)):
             emit(top, ROOT_ID, rank)
     return doc_row, hierarchy_rows, element_rows
+
+
+def element_row(
+    element: Element,
+    parent_id: int | None = None,
+    child_rank: int | None = None,
+) -> ElementRow:
+    """The relational row of one live element, from its current state.
+
+    The single-element counterpart of :func:`encode_document`, used by
+    the journal-driven row upserts: ``elem_id`` is the element's birth
+    ordinal, ``parent_id`` the parent's (``ROOT_ID`` at top level), and
+    ``child_rank`` the element's position in its current sibling list —
+    for top-level elements, the rank within their hierarchy's top-level
+    sequence, matching the full encoder exactly.  Callers that already
+    know the placement (the coalescer's container enumeration) pass
+    both hints and skip the sibling-list scan.
+    """
+    if parent_id is None or child_rank is None:
+        parent = element.parent
+        if parent.is_root:
+            parent_id = ROOT_ID
+            siblings: tuple[Element, ...] = element.document.top_level(
+                element.hierarchy
+            )
+        else:
+            parent_id = parent.ordinal
+            siblings = parent.element_children
+        try:
+            child_rank = siblings.index(element)
+        except ValueError:
+            raise StorageError(
+                f"element {element!r} is not attached to its document"
+            ) from None
+    return ElementRow(
+        elem_id=element.ordinal,
+        hierarchy=element.hierarchy,
+        tag=element.tag,
+        start=element.start,
+        end=element.end,
+        parent_id=parent_id,
+        child_rank=child_rank,
+        attributes=json.dumps(element.attributes, sort_keys=True),
+    )
 
 
 def decode_document(
@@ -106,7 +155,11 @@ def decode_document(
 
     Rebuilding uses the builder's event interface driven by an explicit
     parent/child-rank walk, so nesting (including equal spans and
-    zero-width placement) is restored exactly as stored.
+    zero-width placement) is restored exactly as stored.  Every element
+    is reconstructed under its stored ``elem_id`` as its birth ordinal —
+    the persistent-identity half of the round-trip contract — and the
+    builder resumes the fresh-ordinal counter past the loaded maximum,
+    so post-load edits never collide with persisted ids.
     """
     builder = GoddagBuilder(doc_row.text, doc_row.root_tag)
     dtds = {}
@@ -132,13 +185,15 @@ def decode_document(
     def replay(row: ElementRow) -> None:
         attributes = json.loads(row.attributes)
         if row.start == row.end:
-            builder.empty_element(row.hierarchy, row.tag, row.start, attributes)
+            builder.empty_element(row.hierarchy, row.tag, row.start,
+                                  attributes, ordinal=row.elem_id)
             for child in children.get(row.elem_id, ()):  # pragma: no cover
                 raise StorageError(
                     f"zero-width element {row.elem_id} has children"
                 )
             return
-        builder.start_element(row.hierarchy, row.tag, row.start, attributes)
+        builder.start_element(row.hierarchy, row.tag, row.start, attributes,
+                              ordinal=row.elem_id)
         for child in children.get(row.elem_id, ()):
             replay(child)
         builder.end_element(row.hierarchy, row.tag, row.end)

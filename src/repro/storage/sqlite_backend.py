@@ -23,6 +23,7 @@ from .schema import (
     HierarchyRow,
     decode_document,
     encode_document,
+    element_row,
 )
 
 _DDL = """
@@ -198,36 +199,6 @@ class SqliteStore:
         ]
         return decode_document(doc_row, hierarchy_rows, element_rows)
 
-    def _update_document_rows(
-        self, doc_id: int, document: GoddagDocument, name: str
-    ) -> None:
-        """Rewrite the document/hierarchy/element rows of ``doc_id``
-        (statements only — the caller owns the transaction)."""
-        doc_row, hierarchy_rows, element_rows = encode_document(document, name)
-        self._conn.execute(
-            "UPDATE documents SET root_tag = ?, text = ?,"
-            " root_attributes = ? WHERE doc_id = ?",
-            (doc_row.root_tag, doc_row.text, doc_row.root_attributes,
-             doc_id),
-        )
-        self._conn.execute(
-            "DELETE FROM hierarchies WHERE doc_id = ?", (doc_id,)
-        )
-        self._conn.execute(
-            "DELETE FROM elements WHERE doc_id = ?", (doc_id,)
-        )
-        self._conn.executemany(
-            "INSERT INTO hierarchies VALUES (?, ?, ?, ?)",
-            [(doc_id, row.rank, row.name, row.dtd_source)
-             for row in hierarchy_rows],
-        )
-        self._conn.executemany(
-            "INSERT INTO elements VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            [(doc_id, row.elem_id, row.hierarchy, row.tag, row.start,
-              row.end, row.parent_id, row.child_rank, row.attributes)
-             for row in element_rows],
-        )
-
     def delete(self, name: str) -> None:
         doc_id, _ = self._document_row(name)
         with self._conn:
@@ -292,6 +263,24 @@ class SqliteStore:
             )
         ]
 
+    def element(self, name: str, elem_id: int) -> StoredElement | None:
+        """The element row with persistent id ``elem_id``, or ``None``.
+
+        One keyed probe of the ``(doc_id, elem_id)`` primary key — the
+        storage half of a cross-session node handle: an
+        :attr:`~repro.core.node.Element.elem_id` observed in one session
+        resolves here (or, materialized, via
+        :meth:`~repro.core.goddag.GoddagDocument.element_by_ordinal`)
+        in any later one.
+        """
+        doc_id, _ = self._document_row(name)
+        row = self._conn.execute(
+            "SELECT elem_id, hierarchy, tag, start, end, attributes"
+            " FROM elements WHERE doc_id = ? AND elem_id = ?",
+            (doc_id, elem_id),
+        ).fetchone()
+        return _stored(row) if row is not None else None
+
     def overlapping_pairs(
         self, name: str, tag_a: str, tag_b: str
     ) -> list[tuple[StoredElement, StoredElement]]:
@@ -317,15 +306,34 @@ class SqliteStore:
     def count_attribute_scan(self, name: str, attr: str, value: str) -> int:
         """Elements carrying ``attr`` = ``value``, by scanning the
         element rows' attribute JSON (the unindexed fallback; the shared
-        root's attributes are not element rows and are not counted)."""
+        root's attributes are not element rows and are not counted).
+
+        The scan streams a dedicated cursor instead of materializing the
+        document's attribute blobs, and pushes a cheap prefilter into
+        SQL: only rows whose raw JSON contains the exact encoded
+        ``"attr": "value"`` pair are decoded at all.  The prefilter is
+        sound — inside a JSON-encoded string every quote is escaped, so
+        the unescaped pair text cannot occur within a value — but not
+        exact (the pair of a *longer* key ends with the same bytes), so
+        each candidate is confirmed by one ``json.loads``.
+        """
         doc_id, _ = self._document_row(name)
-        count = 0
-        for (encoded,) in self._conn.execute(
-            "SELECT attributes FROM elements WHERE doc_id = ?", (doc_id,)
-        ):
-            if json.loads(encoded).get(attr) == value:
-                count += 1
-        return count
+        # json.dumps of the single pair, braces stripped: '"attr": "value"'.
+        needle = json.dumps({attr: value}, sort_keys=True)[1:-1]
+        cursor = self._conn.cursor()
+        try:
+            cursor.execute(
+                "SELECT attributes FROM elements"
+                " WHERE doc_id = ? AND attributes != '{}'"
+                " AND instr(attributes, ?) > 0",
+                (doc_id, needle),
+            )
+            return sum(
+                1 for (encoded,) in cursor
+                if json.loads(encoded).get(attr) == value
+            )
+        finally:
+            cursor.close()
 
     def text(self, name: str) -> str:
         """The full document text, without reconstructing any element."""
@@ -476,29 +484,58 @@ class SqliteStore:
                           stamp: str = "",
                           expected_stamp: str | None = None,
                           attr_spans=None) -> None:
-        """Atomically rewrite a stored document's rows *and* bring its
-        index in step, in one transaction — a crash can never pair a
-        newer document with a stale index.  ``deltas`` (when applicable
-        and an index is stored) patches row-level; otherwise the index
-        rows are rewritten from ``payload_factory()``.  Either way the
-        index generation mark becomes ``stamp``.
+        """Atomically bring a stored document's rows *and* its index in
+        step, in one transaction — a crash can never pair a newer
+        document with a stale index.  ``deltas`` (when applicable and an
+        index is stored) patches row-level — element rows through the
+        journal's :class:`~repro.core.changes.ElementRowCoalescer`
+        (``deltas.rows``), index rows through
+        :meth:`_apply_index_delta_rows` — so an attribute-only edit
+        persists in O(1) element-row writes instead of an
+        O(document) delete-and-reinsert.  Otherwise every row is
+        rewritten from ``document`` and ``payload_factory()``.  Either
+        way the index generation mark becomes ``stamp``.
 
         The delta path re-verifies ``expected_stamp`` *inside* the
         transaction (a conditional stamp update): if another writer
         replaced the artifact after the caller's own-artifact check, the
         deltas no longer describe what is stored, and the method falls
-        back to the full payload write — never a row-patch of a
-        stranger's index.  Dirty attribute postings likewise need the
-        ``attr_spans(name, value)`` supplier; deltas that touched
-        attributes without one take the full-write path rather than
-        guessing (a wrong guess would silently delete posting rows).
+        back to the full rewrite — never a row-patch of a stranger's
+        artifact.  The same fallback covers journal overflow, untracked
+        mutations, and a broken row coalescer (the caller passes
+        ``deltas=None`` for the first two — mirroring
+        :class:`~repro.index.manager.IndexManager`'s own rebuild rules —
+        and ``deltas.rows.broken`` guards the third).  Dirty attribute
+        postings likewise need the ``attr_spans(name, value)`` supplier;
+        deltas that touched attributes without one take the full-write
+        path rather than guessing (a wrong guess would silently delete
+        posting rows).
         """
         doc_id, indexed = self._doc_index_row(name)
         with self._conn:
-            self._update_document_rows(doc_id, document, name)
+            # The document row always rewrites: root attributes may have
+            # changed, and it is one row either way.  (The text and the
+            # hierarchy set are immutable within a tracked session — a
+            # hierarchy addition is an untracked touch, which voids the
+            # deltas and lands in the full-rewrite branch below.)
+            doc_row = DocumentRow(
+                name=name,
+                root_tag=document.root.tag,
+                text=document.text,
+                root_attributes=json.dumps(document.root.attributes,
+                                           sort_keys=True),
+            )
+            self._conn.execute(
+                "UPDATE documents SET root_tag = ?, text = ?,"
+                " root_attributes = ? WHERE doc_id = ?",
+                (doc_row.root_tag, doc_row.text, doc_row.root_attributes,
+                 doc_id),
+            )
             row_level = False
-            delta_capable = deltas is not None and (
-                attr_spans is not None or not deltas.attrs
+            delta_capable = (
+                deltas is not None
+                and not deltas.rows.broken
+                and (attr_spans is not None or not deltas.attrs)
             )
             if delta_capable and indexed:
                 cursor = self._conn.execute(
@@ -508,13 +545,69 @@ class SqliteStore:
                 )
                 row_level = cursor.rowcount == 1
             if row_level:
+                self._apply_element_row_deltas(
+                    doc_id, deltas.rows.updates(document)
+                )
                 self._apply_index_delta_rows(
                     doc_id, deltas, partition_spans,
                     attr_spans or (lambda name, value: []),
                 )
             else:
+                self._rewrite_rows(doc_id, document, name)
                 self._delete_index_rows(doc_id)
                 self._insert_index_rows(doc_id, payload_factory(), stamp)
+
+    def _rewrite_rows(
+        self, doc_id: int, document: GoddagDocument, name: str
+    ) -> None:
+        """Full rewrite of the hierarchy and element rows (statements
+        only — the caller owns the transaction and the document row)."""
+        _, hierarchy_rows, element_rows = encode_document(document, name)
+        self._conn.execute(
+            "DELETE FROM hierarchies WHERE doc_id = ?", (doc_id,)
+        )
+        self._conn.execute(
+            "DELETE FROM elements WHERE doc_id = ?", (doc_id,)
+        )
+        self._conn.executemany(
+            "INSERT INTO hierarchies VALUES (?, ?, ?, ?)",
+            [(doc_id, row.rank, row.name, row.dtd_source)
+             for row in hierarchy_rows],
+        )
+        self._conn.executemany(
+            "INSERT INTO elements VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            [(doc_id, row.elem_id, row.hierarchy, row.tag, row.start,
+              row.end, row.parent_id, row.child_rank, row.attributes)
+             for row in element_rows],
+        )
+
+    def _apply_element_row_deltas(self, doc_id: int, updates) -> None:
+        """Journal-driven element-row maintenance (statements only — the
+        caller owns the transaction).
+
+        ``updates`` is the coalesced write set of
+        :meth:`~repro.core.changes.ElementRowCoalescer.updates`: one
+        ``DELETE`` per removed element, one keyed upsert per element
+        whose row content, parent, or sibling rank changed.  Rows are
+        keyed by ``(doc_id, elem_id)`` — the persistent birth ordinal —
+        so the result is byte-identical to a full rewrite.
+        """
+        self._conn.executemany(
+            "DELETE FROM elements WHERE doc_id = ? AND elem_id = ?",
+            [(doc_id, op.ordinal) for op in updates if op.is_delete],
+        )
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO elements VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            [
+                (doc_id, row.elem_id, row.hierarchy, row.tag, row.start,
+                 row.end, row.parent_id, row.child_rank, row.attributes)
+                for row in (
+                    element_row(op.element, op.parent_id, op.child_rank)
+                    for op in updates
+                    if not op.is_delete
+                )
+            ],
+        )
 
     def _delete_index_rows(self, doc_id: int) -> None:
         for table in ("index_meta", "index_paths", "index_terms",

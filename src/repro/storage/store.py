@@ -38,6 +38,7 @@ from ..index.term import TermIndex, find_all
 from .binary_backend import (
     file_stats,
     load_file,
+    read_element,
     read_text,
     save_file,
     scan_spans,
@@ -175,11 +176,17 @@ class GoddagStore:
         and its applied deltas propagate to the backend instead of
         invalidating the stored index wholesale:
 
-        * **sqlite** — one transaction rewrites the document rows under
-          their existing ``doc_id`` and patches the index rows
-          (row-level when the manager can supply deltas *for this
-          store and name*, a full rewrite otherwise), so a crash can
-          never pair a newer document with a stale index;
+        * **sqlite** — one transaction brings the stored rows in step
+          under their existing ``doc_id``: when the manager can supply
+          deltas *for this store and name*, the journal's coalesced
+          :class:`~repro.core.changes.UpdateElementRow` set upserts and
+          deletes exactly the element rows the session touched (keyed
+          by persistent ``elem_id`` — an attribute-only edit writes
+          O(1) rows) and the index rows are patched likewise; anything
+          else (journal overflow, untracked mutations, foreign
+          artifacts) takes a full rewrite.  Either way the transaction
+          is atomic, so a crash can never pair a newer document with a
+          stale index;
         * **binary** — the ``.gidx`` sidecar is re-stamped from the
           manager's in-memory payload, skipping the document load and
           index rebuild that :meth:`build_index` would pay.  (The
@@ -351,6 +358,31 @@ class GoddagStore:
                 if e.start < e.end
             ]
         return scan_spans(self._file(name), start, end)
+
+    def element(self, name: str, elem_id: int) -> StoredElement | None:
+        """Resolve a cross-session node handle without materializing
+        the document.
+
+        ``elem_id`` is the stable persistent identity of an element —
+        its birth ordinal, :attr:`repro.core.node.Element.elem_id` —
+        which both backends store and preserve across every save → load
+        round trip.  Returns the element's stored state as a
+        :class:`StoredElement` (one keyed SQL probe on sqlite, one
+        fixed-width table scan on the binary backend), or ``None`` when
+        no element with that id exists.  To resolve the handle against a
+        materialized document instead, use
+        :meth:`~repro.core.goddag.GoddagDocument.element_by_ordinal`.
+        """
+        if self._sqlite is not None:
+            return self._sqlite.element(name, elem_id)
+        target = self._file(name)
+        if not target.exists():
+            raise StorageError(f"no stored document {name!r}")
+        found = read_element(target, elem_id)
+        if found is None:
+            return None
+        hierarchy, tag, start, end, attributes = found
+        return StoredElement(elem_id, hierarchy, tag, start, end, attributes)
 
     def query_spans(
         self, name: str, start: int, end: int

@@ -21,6 +21,13 @@ routine declines at runtime — runs the classic evaluation path, so
 attaching an index never changes a query's answer.  Pass ``index=False``
 to force the classic paths even on an indexed document (the
 planner-off arm of the differential harness).
+
+Element identity is keyed, never positional: the ``element-by-id()``
+function (:mod:`repro.xpath.functions`) resolves a persistent
+``elem_id`` through the document's ordinal map — and because both
+storage backends round-trip ordinals, a handle captured before a save
+resolves to the same element after ``GoddagStore.load``, with no
+re-matching of spans or document order.
 """
 
 from __future__ import annotations

@@ -3,7 +3,9 @@
 The XPath 1.0 core library (minus id()/lang(), which presuppose DTD ID
 semantics the framework does not need) plus concurrent-markup extension
 functions: ``hierarchy()``, ``start()``, ``end()``, ``span-length()``,
-``overlap-text()``, ``overlaps()``, ``leaf-count()``.
+``overlap-text()``, ``overlaps()``, ``leaf-count()``, and
+``element-by-id()`` — keyed resolution of a persistent element id
+(``Element.elem_id``), the cross-session node-handle lookup.
 
 Every function receives ``(context, args)`` with args already evaluated;
 ``context`` exposes the node, position, size, and coercion helpers of
@@ -295,6 +297,27 @@ def fn_leaf_count(context, args):
     return float(len(target.leaves()))
 
 
+def fn_element_by_id(context, args):
+    """element-by-id(n) — the element whose persistent id (birth
+    ordinal, ``Element.elem_id``) is ``n``; the empty node-set when no
+    such element exists.
+
+    The query-language face of the cross-session node-handle contract:
+    ids survive ``save → load`` on both storage backends, so a handle
+    recorded in one session resolves keyedly here in any later one —
+    no positional re-matching against spans or document order.  (The
+    shared root is deliberately not addressable: ``id 0`` yields the
+    empty set, like any other unknown id.)
+    """
+    if len(args) != 1:
+        raise XPathEvaluationError("element-by-id() expects one argument")
+    number = context.to_number(args[0])
+    if math.isnan(number) or math.isinf(number) or number != int(number):
+        return []
+    found = context.document.element_by_ordinal(int(number))
+    return [found] if found is not None and not found.is_root else []
+
+
 FUNCTIONS: dict[str, Callable] = {
     "last": fn_last,
     "position": fn_position,
@@ -328,4 +351,5 @@ FUNCTIONS: dict[str, Callable] = {
     "overlap-text": fn_overlap_text,
     "overlaps": fn_overlaps,
     "leaf-count": fn_leaf_count,
+    "element-by-id": fn_element_by_id,
 }

@@ -1,0 +1,11 @@
+"""Shared helpers for the test suite (not a conftest: the name would
+collide with benchmarks/conftest.py in mixed pytest runs)."""
+
+from __future__ import annotations
+
+
+def location(backend, tmp_path, stem="store"):
+    """The storage location for one backend: a database file for
+    sqlite, a document directory for binary."""
+    return tmp_path / (f"{stem}.sqlite" if backend == "sqlite"
+                       else f"{stem}-docs")

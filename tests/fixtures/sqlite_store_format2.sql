@@ -1,0 +1,91 @@
+-- A PR-3-era sqlite store artifact: same "hello world" document as the
+-- format-1 fixture, but with the stamp column, the index_attrs table,
+-- and an index payload at format 2 — still written before persistent
+-- element identity, so the element ids are the old per-save preorder
+-- numbering the loader must adopt as birth ordinals without data loss.
+BEGIN TRANSACTION;
+CREATE TABLE documents (
+    doc_id INTEGER PRIMARY KEY,
+    name TEXT NOT NULL UNIQUE,
+    root_tag TEXT NOT NULL,
+    text TEXT NOT NULL,
+    root_attributes TEXT NOT NULL
+);
+CREATE TABLE hierarchies (
+    doc_id INTEGER NOT NULL REFERENCES documents(doc_id) ON DELETE CASCADE,
+    rank INTEGER NOT NULL,
+    name TEXT NOT NULL,
+    dtd_source TEXT NOT NULL,
+    PRIMARY KEY (doc_id, rank)
+);
+CREATE TABLE elements (
+    doc_id INTEGER NOT NULL REFERENCES documents(doc_id) ON DELETE CASCADE,
+    elem_id INTEGER NOT NULL,
+    hierarchy TEXT NOT NULL,
+    tag TEXT NOT NULL,
+    start INTEGER NOT NULL,
+    end INTEGER NOT NULL,
+    parent_id INTEGER NOT NULL,
+    child_rank INTEGER NOT NULL,
+    attributes TEXT NOT NULL,
+    PRIMARY KEY (doc_id, elem_id)
+);
+CREATE INDEX idx_elements_tag ON elements(doc_id, tag);
+CREATE INDEX idx_elements_span ON elements(doc_id, start, end);
+CREATE INDEX idx_elements_hierarchy ON elements(doc_id, hierarchy);
+CREATE TABLE index_meta (
+    doc_id INTEGER PRIMARY KEY REFERENCES documents(doc_id) ON DELETE CASCADE,
+    format INTEGER NOT NULL,
+    doc_length INTEGER NOT NULL,
+    stamp TEXT NOT NULL DEFAULT ''
+);
+CREATE TABLE index_paths (
+    doc_id INTEGER NOT NULL REFERENCES documents(doc_id) ON DELETE CASCADE,
+    hierarchy TEXT NOT NULL,
+    path TEXT NOT NULL,
+    tag TEXT NOT NULL,
+    n INTEGER NOT NULL,
+    spans BLOB NOT NULL,
+    PRIMARY KEY (doc_id, hierarchy, path)
+);
+CREATE TABLE index_terms (
+    doc_id INTEGER NOT NULL REFERENCES documents(doc_id) ON DELETE CASCADE,
+    term TEXT NOT NULL,
+    starts BLOB NOT NULL,
+    PRIMARY KEY (doc_id, term)
+);
+CREATE TABLE index_attrs (
+    doc_id INTEGER NOT NULL REFERENCES documents(doc_id) ON DELETE CASCADE,
+    name TEXT NOT NULL,
+    value TEXT NOT NULL,
+    n INTEGER NOT NULL,
+    spans BLOB NOT NULL,
+    PRIMARY KEY (doc_id, name, value)
+);
+CREATE TABLE index_overlap (
+    doc_id INTEGER NOT NULL REFERENCES documents(doc_id) ON DELETE CASCADE,
+    hierarchy TEXT NOT NULL,
+    tag TEXT NOT NULL,
+    start INTEGER NOT NULL,
+    end INTEGER NOT NULL
+);
+CREATE INDEX idx_index_overlap_span ON index_overlap(doc_id, start, end);
+CREATE INDEX idx_index_paths_tag ON index_paths(doc_id, tag);
+INSERT INTO documents VALUES (1, 'legacy', 'r', 'hello world', '{}');
+INSERT INTO hierarchies VALUES (1, 0, 'physical', '');
+INSERT INTO hierarchies VALUES (1, 1, 'linguistic', '');
+INSERT INTO elements VALUES (1, 1, 'physical', 'line', 0, 11, 0, 0, '{"n": "1"}');
+INSERT INTO elements VALUES (1, 2, 'physical', 'w', 0, 5, 1, 0, '{}');
+INSERT INTO elements VALUES (1, 3, 'linguistic', 's', 6, 11, 0, 0, '{"resp": "ed"}');
+INSERT INTO index_meta VALUES (1, 2, 11, '');
+INSERT INTO index_paths VALUES (1, 'physical', 'line', 'line', 1, X'000000000B000000');
+INSERT INTO index_paths VALUES (1, 'physical', 'line/w', 'w', 1, X'0000000005000000');
+INSERT INTO index_paths VALUES (1, 'linguistic', 's', 's', 1, X'060000000B000000');
+INSERT INTO index_terms VALUES (1, 'hello', X'00000000');
+INSERT INTO index_terms VALUES (1, 'world', X'06000000');
+INSERT INTO index_attrs VALUES (1, 'n', '1', 1, X'000000000B000000');
+INSERT INTO index_attrs VALUES (1, 'resp', 'ed', 1, X'060000000B000000');
+INSERT INTO index_overlap VALUES (1, 'physical', 'line', 0, 11);
+INSERT INTO index_overlap VALUES (1, 'physical', 'w', 0, 5);
+INSERT INTO index_overlap VALUES (1, 'linguistic', 's', 6, 11);
+COMMIT;

@@ -22,7 +22,14 @@ After **every** step the harness asserts four equivalences:
    (overlap interval tables, term postings, attribute-value posting
    rows, label-path partition rows — including row order) equals that
    of a freshly built manager;
-4. the live document still satisfies the GODDAG structural invariants.
+4. the live document still satisfies the GODDAG structural invariants;
+5. *delta-saved vs full-rewritten storage*: the live replica is
+   ``save_indexed``-ed into a persistent sqlite store after every step
+   (journal-driven element-row upserts keyed by persistent ``elem_id``
+   plus index-row patches), and the store's entire row set — document,
+   hierarchy, element, and index tables — must be byte-identical to a
+   store written from scratch, while the delta store never once falls
+   back to a full element-table rewrite.
 
 Scale: 3 workloads × ``REPRO_DIFF_SEEDS`` sessions × ``STEPS`` steps
 (≥ 200 steps at the defaults).  The nightly CI job raises
@@ -42,6 +49,7 @@ from repro.core.goddag import GoddagDocument
 from repro.editing import Editor
 from repro.errors import EditError, MarkupConflictError
 from repro.index import IndexManager
+from repro.storage import GoddagStore
 from repro.workloads import WorkloadSpec, generate
 from repro.xpath import ExtendedXPath
 
@@ -108,8 +116,29 @@ def _keys(elements):
             for e in elements]
 
 
+def _store_rows(store: GoddagStore) -> dict[str, list]:
+    """Every stored row, doc_id- and stamp-free (stamps are per-writer
+    generation marks; everything else must be byte-identical)."""
+    conn = store._sqlite._conn
+    tables = {
+        "documents": "name, root_tag, text, root_attributes",
+        "hierarchies": "rank, name, dtd_source",
+        "elements": "elem_id, hierarchy, tag, start, end, parent_id,"
+                    " child_rank, attributes",
+        "index_meta": "format, doc_length",
+        "index_paths": "hierarchy, path, tag, n, spans",
+        "index_terms": "term, starts",
+        "index_attrs": "name, value, n, spans",
+        "index_overlap": "hierarchy, tag, start, end",
+    }
+    return {
+        table: sorted(conn.execute(f"SELECT {columns} FROM {table}"))
+        for table, columns in tables.items()
+    }
+
+
 def check_equivalence(live: GoddagDocument, plain: GoddagDocument,
-                      manager: IndexManager) -> None:
+                      manager: IndexManager) -> IndexManager:
     for query in QUERIES:
         indexed = snapshot(query.evaluate(live))
         unindexed = snapshot(query.evaluate(plain))
@@ -131,6 +160,7 @@ def check_equivalence(live: GoddagDocument, plain: GoddagDocument,
         assert _keys(manager.structural.candidates("*", hierarchy)) == \
             _keys(rebuilt.structural.candidates("*", hierarchy)), hierarchy
     assert not live.check_invariants()
+    return rebuilt
 
 
 class _Session:
@@ -143,6 +173,23 @@ class _Session:
         self.editors = (Editor(self.live, prevalidate=False),
                         Editor(self.plain, prevalidate=False))
         self.rng = random.Random(seed)
+        # The storage arm: the live replica is delta-saved here after
+        # every step; _rewrite_rows is the full-rewrite fallback, which
+        # a healthy journal-driven session must never need.
+        self.store = GoddagStore(":memory:")
+        self.full_rewrites = 0
+        backend = self.store._sqlite
+        original = backend._rewrite_rows
+
+        def counting_rewrite(doc_id, document, name):
+            self.full_rewrites += 1
+            return original(doc_id, document, name)
+
+        backend._rewrite_rows = counting_rewrite
+        self.store.save_indexed(self.live, "d", self.manager)
+
+    def close(self) -> None:
+        self.store.close()
 
     # Decisions are drawn once (from the plain replica's state, which is
     # identical to the live one's) and applied positionally to both.
@@ -205,20 +252,34 @@ class _Session:
                     editor.redo()
 
     def check(self) -> None:
-        check_equivalence(self.live, self.plain, self.manager)
+        rebuilt = check_equivalence(self.live, self.plain, self.manager)
+        # The storage arm: delta-save the live replica, then demand the
+        # store is row-for-row identical to one written from scratch
+        # (the rebuilt manager saves the plain replica — same ordinals,
+        # same rows — through the full encode_document path).
+        self.store.save_indexed(self.live, "d", self.manager)
+        with GoddagStore(":memory:") as full_store:
+            full_store.save_indexed(self.plain, "d", rebuilt)
+            assert _store_rows(self.store) == _store_rows(full_store)
 
 
 def run_session(workload: str, seed: int, steps: int = STEPS) -> IndexManager:
     """Drive one full session; returns the live manager for inspection."""
     session = _Session(WORKLOADS[workload], seed)
-    session.check()
-    for step in range(steps):
-        try:
-            session.step()
-            session.check()
-        except AssertionError:
-            _log_failing_seed(workload, seed, step)
-            raise
+    try:
+        session.check()
+        for step in range(steps):
+            try:
+                session.step()
+                session.check()
+            except AssertionError:
+                _log_failing_seed(workload, seed, step)
+                raise
+        # The delta path alone must have carried every save after the
+        # first — a single fallback means stable identity broke down.
+        assert session.full_rewrites == 0
+    finally:
+        session.close()
     return session.manager
 
 

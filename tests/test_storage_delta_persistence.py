@@ -19,10 +19,7 @@ from repro.storage import GoddagStore
 from repro.workloads import WorkloadSpec, generate
 from repro.xpath import ExtendedXPath
 
-
-def location(backend, tmp_path, stem="store"):
-    return tmp_path / (f"{stem}.sqlite" if backend == "sqlite"
-                       else f"{stem}-docs")
+from _helpers import location
 
 
 def fresh_answers(document, tmp_path, windows, tags, needles):
@@ -261,6 +258,96 @@ class TestSqliteRowLevelPath:
             store.save_indexed(document, "ms", manager)
             assert manager.build_count == 2
             assert store.count_tag("ms", "seg") == 1
+
+
+class TestElementRowDeltas:
+    """save_indexed drives element rows from the change journal: writes
+    are keyed by persistent ``elem_id`` and proportional to what the
+    session touched, never to the document."""
+
+    def _session(self, tmp_path, words=400):
+        document = generate(WorkloadSpec(words=words, hierarchies=2))
+        manager = IndexManager.for_document(document)
+        store = GoddagStore(location("sqlite", tmp_path), backend="sqlite")
+        store.save_indexed(document, "ms", manager)
+        return document, manager, store
+
+    def test_attribute_only_save_writes_o1_rows(self, tmp_path):
+        document, manager, store = self._session(tmp_path)
+        with store:
+            total = store.count_elements("ms")
+            editor = Editor(document, prevalidate=False)
+            editor.set_attribute(
+                next(document.elements(tag="line")), "rev", "a")
+            conn = store._sqlite._conn
+            before = conn.total_changes
+            store.save_indexed(document, "ms", manager)
+            written = conn.total_changes - before
+            # One document row, one stamp, one element upsert, one
+            # attribute-posting row (sqlite counts REPLACE as delete +
+            # insert) — constant, regardless of document size.
+            assert written <= 8, written
+            assert total > 100  # the rewrite this replaces was O(total)
+
+    def test_n_edits_to_one_element_collapse_to_one_row_write(
+        self, tmp_path
+    ):
+        document, manager, store = self._session(tmp_path)
+        with store:
+            editor = Editor(document, prevalidate=False)
+            line = next(document.elements(tag="line"))
+            for i in range(10):
+                editor.set_attribute(line, "rev", str(i))
+            conn = store._sqlite._conn
+            before = conn.total_changes
+            store.save_indexed(document, "ms", manager)
+            # Ten journal records, one element-row write (plus the
+            # document row, the stamp, and the dirty posting rows).
+            assert conn.total_changes - before <= 26
+            assert store.element(
+                "ms", line.elem_id).attributes["rev"] == "9"
+
+    def test_removed_element_row_is_deleted_by_key(self, tmp_path):
+        document, manager, store = self._session(tmp_path, words=120)
+        with store:
+            editor = Editor(document, prevalidate=False)
+            victim = next(document.elements(tag="w"))
+            victim_id = victim.elem_id
+            survivors = {
+                e.elem_id for e in document.elements()
+            } - {victim_id}
+            editor.remove_markup(victim)
+            store.save_indexed(document, "ms", manager)
+            assert store.element("ms", victim_id) is None
+            stored = {
+                row[0] for row in store._sqlite._conn.execute(
+                    "SELECT elem_id FROM elements")
+            }
+            assert stored == survivors
+
+    def test_insert_and_undo_nets_out_of_the_row_backlog(self, tmp_path):
+        document, manager, store = self._session(tmp_path, words=120)
+        with store:
+            editor = Editor(document, prevalidate=False)
+            line = next(document.elements(tag="line"))
+            born = editor.insert_markup("physical", "seg",
+                                        line.start, line.end)
+            born_id = born.elem_id
+            editor.undo()
+            store.save_indexed(document, "ms", manager)
+            assert store.element("ms", born_id) is None
+            assert store.count_tag("ms", "seg") == 0
+
+    def test_delete_all_reinsert_helper_is_gone(self):
+        """The pre-identity `_update_document_rows` delete-everything
+        helper must not quietly come back: full rewrites are explicit
+        (`_rewrite_rows`) and reached only through the documented
+        fallbacks."""
+        from repro.storage.sqlite_backend import SqliteStore
+
+        assert not hasattr(SqliteStore, "_update_document_rows")
+        assert hasattr(SqliteStore, "_rewrite_rows")
+        assert hasattr(SqliteStore, "_apply_element_row_deltas")
 
 
 class TestBackwardCompatibilityAndBacklog:
