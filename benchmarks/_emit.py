@@ -1,0 +1,45 @@
+"""Where the machine-readable bench results land.
+
+Every bench run — pytest or standalone ``__main__`` — funnels its rows
+through :func:`emit`, which writes ``BENCH_<name>.json`` in the
+``repro-bench/1`` schema (see :mod:`repro.obs.benchjson`).  Output goes
+to ``benchmarks/results/`` unless ``REPRO_BENCH_DIR`` points elsewhere;
+``benchmarks/check_regression.py`` diffs that directory against the
+committed baselines in ``benchmarks/baselines/``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+BENCH_ROOT = Path(__file__).resolve().parent
+
+try:
+    import repro  # noqa: F401  (standalone runs may lack PYTHONPATH=src)
+except ModuleNotFoundError:
+    sys.path.insert(0, str(BENCH_ROOT.parent / "src"))
+
+from repro.obs.benchjson import scenario, write_bench_json  # noqa: E402
+
+__all__ = ["scenario", "emit", "output_dir"]
+
+
+def output_dir() -> Path:
+    directory = Path(os.environ.get("REPRO_BENCH_DIR")
+                     or BENCH_ROOT / "results")
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory
+
+
+def emit(name: str, scenarios: list, metrics_snapshot: dict | None = None):
+    """Write one ``BENCH_<name>.json`` and return its path."""
+    if metrics_snapshot is None:
+        from repro.obs import metrics
+
+        metrics_snapshot = metrics.snapshot()
+    path = write_bench_json(output_dir(), name, scenarios,
+                            metrics_snapshot=metrics_snapshot)
+    print(f"[bench-json] wrote {path}")
+    return path

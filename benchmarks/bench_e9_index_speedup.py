@@ -41,6 +41,7 @@ import time
 
 from repro.editing import Editor
 from repro.index import IndexManager
+from repro.obs.benchjson import scenario
 from repro.storage import GoddagStore
 from repro.workloads import WorkloadSpec, generate
 from repro.xpath import ExtendedXPath
@@ -86,6 +87,10 @@ def measure_size(words: int, tmp_dir) -> dict[str, float]:
     assert NAME_QUERY.nodes(document) and CONTAINS_QUERY.nodes(document)
     row["name_test"] = baseline_name / indexed_name
     row["contains"] = baseline_contains / indexed_contains
+    row["name_indexed_s"] = indexed_name
+    row["name_baseline_s"] = baseline_name
+    row["contains_indexed_s"] = indexed_contains
+    row["contains_baseline_s"] = baseline_contains
 
     # -- overlap: stored document, sidecar index vs table scan.
     store = GoddagStore(tmp_dir / f"e9-{words}", backend="binary")
@@ -100,6 +105,8 @@ def measure_size(words: int, tmp_dir) -> dict[str, float]:
     store.query_spans("ms", 0, 1)  # pre-warm the sidecar cache
     indexed_sweep = best_of(sweep, n=3)
     row["overlap"] = baseline_sweep / indexed_sweep
+    row["overlap_indexed_s"] = indexed_sweep
+    row["overlap_baseline_s"] = baseline_sweep
     document.detach_index()
     return row
 
@@ -184,11 +191,47 @@ def report_editing(rows: list[dict[str, float]]) -> str:
     return "\n".join(lines)
 
 
+#: Scenarios accumulate across the module's tests; every emit rewrites
+#: the file with everything gathered so far (see _emit.emit).
+_SCENARIOS: list[dict] = []
+
+
+def emit_json() -> None:
+    from _emit import emit
+
+    emit("e9_index_speedup", list(_SCENARIOS))
+
+
+def collect_query_scenarios(rows) -> None:
+    for row in rows:
+        words = row["words"]
+        for cls in ("name", "contains", "overlap"):
+            _SCENARIOS.append(scenario(
+                f"{cls}_indexed", words, [row[f"{cls}_indexed_s"]],
+                speedup=round(row[f"{cls}_baseline_s"]
+                              / row[f"{cls}_indexed_s"], 2)))
+            _SCENARIOS.append(scenario(
+                f"{cls}_unindexed", words, [row[f"{cls}_baseline_s"]]))
+
+
+def collect_editing_scenarios(rows) -> None:
+    for row in rows:
+        _SCENARIOS.append(scenario(
+            "editing_incremental", row["words"],
+            [row["incremental_ms"] / 1e3], edits=row["edits"],
+            speedup=round(row["speedup"], 2)))
+        _SCENARIOS.append(scenario(
+            "editing_rebuild", row["words"],
+            [row["rebuild_ms"] / 1e3], edits=row["edits"]))
+
+
 def test_e9_index_speedup(tmp_path):
     """Acceptance bar: ≥ 2x on at least one query class at the largest
     corpus size (asserted loosely; the printed table records the rest)."""
     rows = run(tmp_path)
     print("\n" + report(rows))
+    collect_query_scenarios(rows)
+    emit_json()
     largest = rows[-1]
     best = max(largest["name_test"], largest["contains"], largest["overlap"])
     assert best >= 2.0, largest
@@ -199,6 +242,8 @@ def test_e9_editing_session():
     rebuild-per-edit for a k-edit session at the 8k-word corpus."""
     row = measure_editing(SIZES[-1])
     print("\n" + report_editing([row]))
+    collect_editing_scenarios([row])
+    emit_json()
     assert row["speedup"] >= 5.0, row
 
 
@@ -207,6 +252,11 @@ if __name__ == "__main__":
     from pathlib import Path
 
     with tempfile.TemporaryDirectory() as tmp:
-        print(report(run(Path(tmp))))
+        rows = run(Path(tmp))
+        print(report(rows))
     print()
-    print(report_editing(run_editing()))
+    editing_rows = run_editing()
+    print(report_editing(editing_rows))
+    collect_query_scenarios(rows)
+    collect_editing_scenarios(editing_rows)
+    emit_json()

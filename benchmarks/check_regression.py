@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Diff BENCH_*.json results against committed baselines.
+
+Pairs every ``BENCH_<name>.json`` in the results directory with the
+file of the same name in the baseline directory, matches scenarios by
+``(scenario, size)``, and exits nonzero if any matched scenario's
+median regressed by more than the threshold (default 20%, the
+``repro-bench/1`` contract).  Scenarios present on only one side are
+reported but never fail the run — benches grow.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        [--baseline benchmarks/baselines] [--current benchmarks/results] \
+        [--threshold 0.2]
+
+The nightly workflow runs exactly this against the baselines checked
+into the repo; refresh them by copying ``results/`` over ``baselines/``
+when a slowdown is intentional.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+BENCH_ROOT = Path(__file__).resolve().parent
+
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    sys.path.insert(0, str(BENCH_ROOT.parent / "src"))
+
+from repro.obs.benchjson import DEFAULT_THRESHOLD, compare, load  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path,
+                        default=BENCH_ROOT / "baselines")
+    parser.add_argument("--current", type=Path,
+                        default=BENCH_ROOT / "results")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="relative slowdown that fails (default 0.2)")
+    args = parser.parse_args(argv)
+
+    baseline_files = {p.name: p for p in args.baseline.glob("BENCH_*.json")}
+    current_files = {p.name: p for p in args.current.glob("BENCH_*.json")}
+    if not current_files:
+        print(f"no BENCH_*.json under {args.current} — run the benches first")
+        return 2
+    if not baseline_files:
+        print(f"no baselines under {args.baseline} — nothing to compare")
+        return 2
+
+    failed = False
+    for name in sorted(baseline_files.keys() & current_files.keys()):
+        result = compare(load(baseline_files[name]),
+                         load(current_files[name]), args.threshold)
+        status = "FAIL" if result["regressions"] else "ok"
+        print(f"{status:>4}  {name}: {result['matched']} matched, "
+              f"{len(result['regressions'])} regressed, "
+              f"{len(result['improvements'])} improved, "
+              f"{len(result['unmatched'])} unmatched")
+        for entry in result["regressions"]:
+            failed = True
+            print(f"      REGRESSION {entry['scenario']} "
+                  f"(size {entry['size']}): "
+                  f"{entry['baseline_median_s']:.6f} -> "
+                  f"{entry['current_median_s']:.6f} "
+                  f"({entry['ratio']:.2f}x)")
+        for entry in result["improvements"]:
+            print(f"      improved   {entry['scenario']} "
+                  f"(size {entry['size']}): {entry['ratio']:.2f}x")
+    for name in sorted(current_files.keys() - baseline_files.keys()):
+        print(f" new  {name}: no baseline yet")
+    for name in sorted(baseline_files.keys() - current_files.keys()):
+        print(f"miss  {name}: baseline present but bench did not run")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -91,8 +91,9 @@ def main() -> None:
     # are index-served and always byte-identical to the unindexed engine.
     lines = ExtendedXPath("//line").nodes(editor.document)
     print(f"index-served //line -> {len(lines)} hits")
-    census = manager.stats()
-    print(f"builds: {census['builds']}  deltas applied: {census['deltas']}")
+    census = manager.stats()["counts"]
+    print(f"builds: {census['index.builds']}"
+          f"  deltas applied: {census['index.deltas']}")
 
     # Persisting keeps the stored index in step too: save_indexed applies
     # the same deltas to the backend (row-level on sqlite, a sidecar

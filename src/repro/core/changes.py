@@ -196,9 +196,14 @@ class ElementRowCoalescer:
     — the same contract as an untracked mutation.
     """
 
-    __slots__ = ("_touched", "_containers", "_deleted", "_born", "broken")
+    __slots__ = ("_touched", "_containers", "_deleted", "_born", "broken",
+                 "records_seen")
 
     def __init__(self) -> None:
+        #: Journal records folded so far — the numerator of the fold
+        #: ratio (records seen / row writes produced) reported by
+        #: :meth:`updates` to the ``journal.coalesce.*`` metrics.
+        self.records_seen = 0
         # ordinal -> live element whose own row content changed
         self._touched: dict[int, "Element"] = {}
         # container key -> parent element whose child list changed:
@@ -228,6 +233,7 @@ class ElementRowCoalescer:
 
     def record(self, change: ChangeRecord) -> None:
         """Fold one journal record into the pending write set."""
+        self.records_seen += 1
         if self.broken:
             return
         if isinstance(change, SetAttribute):
@@ -274,6 +280,8 @@ class ElementRowCoalescer:
         """
         if self.broken:
             raise ValueError("broken coalescer cannot produce row updates")
+        from ..obs.metrics import metrics
+
         ops = [UpdateElementRow(ordinal=ordinal)
                for ordinal in sorted(self._deleted)]
         upserts: dict[int, UpdateElementRow] = {
@@ -300,6 +308,16 @@ class ElementRowCoalescer:
                     parent_id=parent_id, child_rank=rank,
                 )
         ops.extend(op for _, op in sorted(upserts.items()))
+        if metrics.enabled:
+            metrics.incr("journal.coalesce.records", self.records_seen)
+            metrics.incr("journal.coalesce.row_writes", len(ops))
+            # Fold ratio: journal records absorbed per row write emitted
+            # (an attribute-churn session folds many records into few
+            # rows; 1.0 means no folding happened).
+            metrics.observe(
+                "journal.coalesce.fold_ratio",
+                self.records_seen / max(len(ops), 1),
+            )
         return ops
 
 

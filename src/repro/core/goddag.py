@@ -32,6 +32,7 @@ from heapq import merge as heap_merge
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from ..errors import HierarchyError, MarkupConflictError, SpanError
+from ..obs.metrics import metrics as _metrics
 from .changes import ChangeRecord, InsertMarkup, RemoveMarkup, SetAttribute
 from .hierarchy import Hierarchy
 from .intervals import StaticIntervalIndex
@@ -169,6 +170,9 @@ class GoddagDocument:
             if len(self._journal) > JOURNAL_LIMIT:
                 del self._journal[0]
                 self._journal_floor = self._journal[0][0] - 1
+            if _metrics.enabled:
+                _metrics.incr("journal.records")
+                _metrics.observe("journal.depth", len(self._journal))
 
     @contextmanager
     def speculation(self) -> Iterator[None]:

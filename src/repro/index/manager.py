@@ -35,6 +35,9 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..errors import IndexDeltaError
+from ..obs import fallback as _obs_fallback
+from ..obs.metrics import metrics
+from ..obs.stats import stats_dict
 from .overlap import OverlapIndex
 from .structural import StructuralSummary, encode_path
 from .term import AttributeIndex, TermIndex
@@ -139,6 +142,13 @@ class IndexManager:
         self.delta_count = 0
         self.incremental = incremental
         self.delta_threshold = delta_threshold
+        #: Reason code of the most recent full rebuild (see REBUILD_REASONS
+        #: in the class docstring of the Observability section of
+        #: docs/ARCHITECTURE.md): 'first-build', 'forced',
+        #: 'incremental-disabled', 'journal-gap', 'backlog', or
+        #: 'delta-error'.  None until the first build happens.
+        self.last_rebuild_reason: str | None = None
+        self._catch_up_reason: str | None = None
         self._built_version = -1
         self._structural: StructuralSummary | None = None
         self._overlap: OverlapIndex | None = None
@@ -204,39 +214,83 @@ class IndexManager:
             and self._catch_up()
         ):
             return self
-        self._structural = StructuralSummary(self.document)
-        self._overlap = OverlapIndex.from_document(self.document)
-        self._attrs = AttributeIndex.from_document(self.document)
-        if self._terms is None:
-            self._terms = TermIndex.from_text(self.document.text)
+        # Name why the cheap path was not taken.  The journal-bridging
+        # reasons ('journal-gap', 'backlog', 'delta-error') are silent
+        # degradation — an incremental manager doing full work — so they
+        # go through the fallback channel (reason-coded metric, plus a
+        # RuntimeWarning under REPRO_OBS_STRICT=1); the rest are normal
+        # operation and only count.
+        if self._structural is None:
+            reason = "first-build"
+        elif force:
+            reason = "forced"
+        elif not self.incremental:
+            reason = "incremental-disabled"
+        else:
+            reason = self._catch_up_reason or "delta-error"
+        self.last_rebuild_reason = reason
+        if reason in ("journal-gap", "backlog", "delta-error"):
+            _obs_fallback(
+                "index.rebuilds", reason,
+                f"document version {self.document.version}, "
+                f"built {self._built_version}",
+            )
+        else:
+            metrics.incr("index.rebuilds", reason=reason)
+        with metrics.time("index.rebuild"):
+            self._structural = StructuralSummary(self.document)
+            self._overlap = OverlapIndex.from_document(self.document)
+            self._attrs = AttributeIndex.from_document(self.document)
+            if self._terms is None:
+                self._terms = TermIndex.from_text(self.document.text)
         self._built_version = self.document.version
         self.build_count += 1
         self._pending = None  # a rebuild invalidates any delta backlog
         return self
 
     def _catch_up(self) -> bool:
-        """Replay journal deltas onto the live indexes; False → rebuild."""
+        """Replay journal deltas onto the live indexes; False → rebuild.
+
+        A False return leaves :attr:`_catch_up_reason` naming why the
+        incremental path declined — the journal could not bridge the gap
+        ('journal-gap'), the backlog exceeded the threshold ('backlog'),
+        or a record contradicted the index state ('delta-error') — for
+        :meth:`refresh` to surface through the fallback metrics.
+        """
+        self._catch_up_reason = None
         changes = self.document.changes_since(self._built_version)
-        if changes is None or len(changes) > self.delta_threshold:
+        if changes is None:
+            self._catch_up_reason = "journal-gap"
+            return False
+        if len(changes) > self.delta_threshold:
+            self._catch_up_reason = "backlog"
             return False
         try:
-            for change in changes:
-                touched = self._structural.apply(change)
-                self._overlap.apply(change)
-                touched_attrs = self._attrs.apply(change)
-                if self._pending is not None:
-                    self._pending.record(change, touched, touched_attrs)
+            with metrics.time("index.catch_up"):
+                for change in changes:
+                    touched = self._structural.apply(change)
+                    self._overlap.apply(change)
+                    touched_attrs = self._attrs.apply(change)
+                    if self._pending is not None:
+                        self._pending.record(change, touched, touched_attrs)
         except IndexDeltaError:
             # The summary/tables are now half-patched; the caller's
             # rebuild replaces them outright, so no unwind is needed.
+            self._catch_up_reason = "delta-error"
             return False
         if self._pending is not None and self._pending.overflowed:
             # Replaying this many single-row statements would cost more
             # than one full payload write: let the next persistence do
             # the full write instead.
+            _obs_fallback(
+                "index.pending_dropped", "overflow",
+                f"more than {PersistDeltas.LIMIT} queued row operations",
+            )
             self._pending = None
         self._built_version = self.document.version
         self.delta_count += len(changes)
+        metrics.incr("index.patches")
+        metrics.incr("index.deltas_applied", len(changes))
         return True
 
     # -- persistence hand-off ---------------------------------------------------
@@ -391,49 +445,79 @@ class IndexManager:
             "attrs": attrs,
         }
 
-    def stats(self) -> dict[str, int]:
+    def stats(self) -> dict:
         """Per-index population census — the statistics the query
         planner's cost model consumes (and benchmarks print).
 
         Reads whatever is currently built — it never triggers a build or
         a catch-up as a side effect, so counting a fresh or stale
         manager is free (callers wanting up-to-date numbers call
-        :meth:`refresh` first; the ``stale`` flag says which you got).
+        :meth:`refresh` first; the ``index.stale`` flag says which you
+        got).
 
-        Schema (all values are non-negative ints):
+        Returns the unified ``repro-stats/1`` envelope (see
+        docs/ARCHITECTURE.md, Observability): ``{"schema":
+        "repro-stats/1", "source": "index.manager", "counts": {...},
+        "last_rebuild_reason": ...}``.  ``counts`` keys (all
+        non-negative ints):
 
-        ==================  ====================================================
-        key                 meaning
-        ==================  ====================================================
-        ``elements``        elements in the structural summary's flat lists
-        ``solid_elements``  interval rows in the overlap index (zero-width
-                            elements carry no interval)
-        ``label_paths``     label-path partitions in the structural summary
-        ``terms``           distinct tokens in the term index vocabulary
-        ``postings``        total term-index posting entries (sum of all
-                            posting-list lengths — a ``contains`` predicate's
-                            selectivity denominator)
-        ``attr_keys``       distinct ``(name, value)`` attribute posting keys
-        ``attr_postings``   total attribute posting entries (an
-                            ``@name='value'`` predicate's cardinality source)
-        ``builds``          full rebuilds this manager has paid
-        ``deltas``          journal records replayed in place
-        ``stale``           1 when the document mutated after the last build
-        ==================  ====================================================
+        ========================  ==============================================
+        key                       meaning
+        ========================  ==============================================
+        ``index.elements``        elements in the structural summary's flat
+                                  lists
+        ``index.solid_elements``  interval rows in the overlap index
+                                  (zero-width elements carry no interval)
+        ``index.label_paths``     label-path partitions in the structural
+                                  summary
+        ``index.terms``           distinct tokens in the term index vocabulary
+        ``index.postings``        total term-index posting entries (sum of all
+                                  posting-list lengths — a ``contains``
+                                  predicate's selectivity denominator)
+        ``index.attr_keys``       distinct ``(name, value)`` attribute posting
+                                  keys
+        ``index.attr_postings``   total attribute posting entries (an
+                                  ``@name='value'`` predicate's cardinality
+                                  source)
+        ``index.builds``          full rebuilds this manager has paid
+        ``index.deltas``          journal records replayed in place
+        ``index.stale``           1 when the document mutated after the last
+                                  build
+        ========================  ==============================================
+
+        The pre-unification flat keys (``elements``, ``builds``, ...)
+        still answer for one release via a deprecation shim that warns
+        and reads the new key.
         """
         built = self._structural is not None and self._overlap is not None
-        return {
-            "elements": self._structural.element_count() if built else 0,
-            "solid_elements": self._overlap.element_count() if built else 0,
-            "label_paths": self._structural.partition_count() if built else 0,
-            "terms": self._terms.term_count if self._terms else 0,
-            "postings": self._terms.posting_count if self._terms else 0,
-            "attr_keys": self._attrs.key_count if self._attrs else 0,
-            "attr_postings": self._attrs.posting_count if self._attrs else 0,
-            "builds": self.build_count,
-            "deltas": self.delta_count,
-            "stale": int(self.is_stale),
+        counts = {
+            "index.elements":
+                self._structural.element_count() if built else 0,
+            "index.solid_elements":
+                self._overlap.element_count() if built else 0,
+            "index.label_paths":
+                self._structural.partition_count() if built else 0,
+            "index.terms": self._terms.term_count if self._terms else 0,
+            "index.postings": self._terms.posting_count if self._terms else 0,
+            "index.attr_keys": self._attrs.key_count if self._attrs else 0,
+            "index.attr_postings":
+                self._attrs.posting_count if self._attrs else 0,
+            "index.builds": self.build_count,
+            "index.deltas": self.delta_count,
+            "index.stale": int(self.is_stale),
         }
+        aliases = {
+            legacy: ("counts", f"index.{legacy}")
+            for legacy in (
+                "elements", "solid_elements", "label_paths", "terms",
+                "postings", "attr_keys", "attr_postings", "builds",
+                "deltas", "stale",
+            )
+        }
+        return stats_dict(
+            "index.manager", counts, aliases=aliases,
+            last_rebuild_reason=self.last_rebuild_reason,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "stale" if self.is_stale else "fresh"

@@ -1,0 +1,103 @@
+"""Estimate-vs-actual cardinality drift capture.
+
+The planner prices each location step with an estimated output
+cardinality (``StepPlan.est_out``); the evaluator then observes the
+real output.  When observation is on, each completed path evaluation
+emits one :class:`DriftRecord` per step into a bounded process-wide
+:class:`DriftRing`.  The ring is the input feed for the ROADMAP's
+"cardinality feedback" item: a planner that re-prices from observed
+drift needs exactly this (expression, step, est, actual) stream.
+
+The ring is bounded (default 256 records) and circular — old records
+fall off, :attr:`DriftRing.total_recorded` keeps the lifetime count —
+so a long-running process can leave drift capture on without growth.
+
+    >>> ring = DriftRing(capacity=2)
+    >>> for n in range(3):
+    ...     ring.record(DriftRecord("//w", 0, "descendant", "w", "SCAN", 10, n))
+    >>> len(ring.records())
+    2
+    >>> ring.total_recorded
+    3
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Default capacity of the process-wide drift ring.
+RING_CAPACITY = 256
+
+
+@dataclass(frozen=True)
+class DriftRecord:
+    """One step's estimate-vs-actual outcome from one evaluation run."""
+
+    expression: str      # source text of the path query
+    step_index: int      # position of the step within its path
+    axis: str            # location-step axis (child, descendant, ...)
+    test: str            # node-test as rendered by the planner
+    choice: str          # access path the planner selected (SCAN, STAB, ...)
+    est_out: float       # planner's estimated output cardinality
+    actual_out: int      # observed output cardinality
+
+    @property
+    def drift(self) -> float:
+        """Signed relative error: (actual - estimate) / max(actual, 1).
+
+        0.0 means the estimate was exact; +0.9 means the planner
+        underestimated 10x; negative values are overestimates.
+        """
+        return (self.actual_out - self.est_out) / max(self.actual_out, 1)
+
+    def to_dict(self) -> dict:
+        return {
+            "expression": self.expression,
+            "step_index": self.step_index,
+            "axis": self.axis,
+            "test": self.test,
+            "choice": self.choice,
+            "est_out": self.est_out,
+            "actual_out": self.actual_out,
+            "drift": round(self.drift, 4),
+        }
+
+
+@dataclass
+class DriftRing:
+    """Bounded circular buffer of the most recent drift records."""
+
+    capacity: int = RING_CAPACITY
+    total_recorded: int = 0
+    _buffer: list = field(default_factory=list, repr=False)
+    _head: int = field(default=0, repr=False)
+
+    def record(self, record: DriftRecord) -> None:
+        self.total_recorded += 1
+        if len(self._buffer) < self.capacity:
+            self._buffer.append(record)
+        else:
+            self._buffer[self._head] = record
+            self._head = (self._head + 1) % self.capacity
+
+    def records(self) -> list[DriftRecord]:
+        """Retained records, oldest first."""
+        return self._buffer[self._head:] + self._buffer[:self._head]
+
+    def clear(self) -> None:
+        self._buffer.clear()
+        self._head = 0
+        self.total_recorded = 0
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def to_dicts(self) -> list[dict]:
+        return [record.to_dict() for record in self.records()]
+
+
+#: Process-wide ring the evaluator feeds while observation is on.
+ring = DriftRing()
+
+
+__all__ = ["DriftRecord", "DriftRing", "RING_CAPACITY", "ring"]

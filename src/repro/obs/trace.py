@@ -1,0 +1,211 @@
+"""Nested-span tracer with JSON-lines export.
+
+A :class:`Tracer` records a tree of :class:`Span` objects — one per
+traced operation — each with a wall-clock duration and a small dict of
+typed attributes.  The span hierarchy mirrors the library's layers:
+
+    query                     one evaluate() call
+    ├─ plan                   planner pass (cache miss only)
+    └─ execute                the path walk
+       └─ step                one location step over its context set
+          └─ access-path      index service for that step
+
+and on the storage side ``save → coalesce → transaction``.
+
+Tracing is explicitly scoped: nothing is traced unless a tracer has
+been installed, either via the :func:`repro.obs.tracing` context
+manager or :meth:`Tracer.install`.  Instrumented code asks
+:func:`current_tracer` (a module-global read — this library is
+single-writer by design, see docs/ARCHITECTURE.md) and skips all span
+work when it returns None.
+
+Spans can explode on pathological queries — a predicate with an inner
+relative path is evaluated once per candidate node — so a tracer caps
+retained spans (default 50 000) and counts the dropped remainder in
+:attr:`Tracer.dropped` instead of growing without bound.
+
+    >>> tracer = Tracer()
+    >>> with tracer.span("query", expression="//page"):
+    ...     with tracer.span("step", axis="descendant"):
+    ...         pass
+    >>> [span.name for span in tracer.walk()]
+    ['query', 'step']
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Retained-span cap for a fresh Tracer(); excess spans are counted, not kept.
+SPAN_LIMIT = 50_000
+
+
+class Span:
+    """One traced operation: name, wall time, attributes, children."""
+
+    __slots__ = ("name", "start_ns", "duration_ns", "attributes", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.start_ns = 0
+        self.duration_ns = 0
+        self.attributes: dict = {}
+        self.children: list[Span] = []
+
+    def set(self, **attributes) -> "Span":
+        """Attach (or overwrite) typed attributes on this span."""
+        self.attributes.update(attributes)
+        return self
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_ns / 1e6
+
+    def to_dict(self) -> dict:
+        """This span and its subtree as plain JSON-shaped data."""
+        return {
+            "name": self.name,
+            "duration_ns": self.duration_ns,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Span({self.name!r}, {self.duration_ms:.3f}ms, "
+            f"{len(self.children)} children)"
+        )
+
+
+class Tracer:
+    """Collects a forest of spans for one observed run.
+
+    Use :meth:`span` as a context manager around the operation; nesting
+    follows the runtime call stack.  :meth:`export_jsonl` flattens the
+    forest to JSON lines (one span per line, parent ids assigned
+    depth-first) for offline tooling.
+    """
+
+    def __init__(self, max_spans: int = SPAN_LIMIT) -> None:
+        self.roots: list[Span] = []
+        self.dropped = 0
+        self._max_spans = max_spans
+        self._count = 0
+        self._stack: list[Span] = []
+
+    # -- recording --------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attributes) -> Iterator[Span]:
+        """Record a span around the enclosed block.
+
+        Past the span cap a detached throwaway span is yielded so caller
+        code (``span.set(...)``) keeps working while nothing is retained.
+        """
+        span = Span(name)
+        if attributes:
+            span.attributes.update(attributes)
+        retained = self._count < self._max_spans
+        if retained:
+            self._count += 1
+            if self._stack:
+                self._stack[-1].children.append(span)
+            else:
+                self.roots.append(span)
+        else:
+            self.dropped += 1
+        self._stack.append(span)
+        span.start_ns = time.perf_counter_ns()
+        try:
+            yield span
+        finally:
+            span.duration_ns = time.perf_counter_ns() - span.start_ns
+            self._stack.pop()
+
+    # -- reading ----------------------------------------------------------------
+
+    def walk(self) -> Iterator[Span]:
+        """All retained spans, depth-first."""
+        stack = list(reversed(self.roots))
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+    def find(self, name: str) -> list[Span]:
+        """All retained spans with the given name, depth-first order."""
+        return [span for span in self.walk() if span.name == name]
+
+    def to_dicts(self) -> list[dict]:
+        return [root.to_dict() for root in self.roots]
+
+    def export_jsonl(self) -> str:
+        """One JSON object per line; ids assigned depth-first, children
+        point at their parent via ``parent_id`` (roots use None)."""
+        lines = []
+        next_id = [0]
+
+        def emit(span: Span, parent_id: int | None) -> None:
+            span_id = next_id[0]
+            next_id[0] += 1
+            lines.append(json.dumps({
+                "id": span_id,
+                "parent_id": parent_id,
+                "name": span.name,
+                "start_ns": span.start_ns,
+                "duration_ns": span.duration_ns,
+                "attributes": span.attributes,
+            }, sort_keys=True, default=str))
+            for child in span.children:
+                emit(child, span_id)
+
+        for root in self.roots:
+            emit(root, None)
+        return "\n".join(lines)
+
+    # -- installation -----------------------------------------------------------
+
+    def install(self) -> "Tracer":
+        """Make this the process-current tracer (see :func:`current_tracer`)."""
+        global _current
+        _current = self
+        return self
+
+    def uninstall(self) -> None:
+        global _current
+        if _current is self:
+            _current = None
+
+
+_current: Tracer | None = None
+
+
+def current_tracer() -> Tracer | None:
+    """The installed tracer, or None when tracing is off (the default)."""
+    return _current
+
+
+@contextmanager
+def tracing(max_spans: int = SPAN_LIMIT) -> Iterator[Tracer]:
+    """Install a fresh tracer for the enclosed block.
+
+        >>> from repro.obs import tracing
+        >>> with tracing() as tracer:
+        ...     pass  # evaluate queries, save documents, ...
+        >>> tracer.dropped
+        0
+    """
+    global _current
+    previous = _current
+    tracer = Tracer(max_spans=max_spans)
+    tracer.install()
+    try:
+        yield tracer
+    finally:
+        _current = previous
+
+
+__all__ = ["Span", "Tracer", "SPAN_LIMIT", "current_tracer", "tracing"]

@@ -44,6 +44,7 @@ from pathlib import Path
 
 from ..core.goddag import GoddagDocument
 from ..errors import StorageError
+from ..obs.metrics import metrics
 from .schema import decode_document, encode_document, DocumentRow, HierarchyRow, ElementRow
 
 _MAGIC = b"GDAG1\n"
@@ -68,6 +69,8 @@ def save_file(document: GoddagDocument, path: str | Path, name: str = "") -> Non
     doc_row, hierarchy_rows, element_rows = encode_document(
         document, name or str(path)
     )
+    metrics.incr("storage.binary_saves")
+    metrics.incr("storage.rows_rewritten", len(element_rows))
     hierarchy_index = {row.name: i for i, row in enumerate(hierarchy_rows)}
     tags: list[str] = []
     tag_index: dict[str, int] = {}

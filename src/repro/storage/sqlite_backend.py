@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import json
 import sqlite3
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from .._util import pack_u32, unpack_u32
@@ -17,6 +18,9 @@ from ..core.goddag import GoddagDocument
 from ..errors import StorageError
 from ..index.structural import encode_path
 from ..index.term import occurrences_from_terms
+from ..obs import fallback as _obs_fallback
+from ..obs.metrics import metrics
+from ..obs.trace import current_tracer
 from .schema import (
     DocumentRow,
     ElementRow,
@@ -510,9 +514,19 @@ class SqliteStore:
         deltas that touched attributes without one take the full-write
         path rather than guessing (a wrong guess would silently delete
         posting rows).
+
+        Every full-rewrite fallback is reason-coded into the
+        ``storage.full_rewrites.*`` metrics ('stale-deltas',
+        'broken-coalescer', 'missing-attr-spans', 'no-stored-index',
+        'stamp-mismatch') and warns under ``REPRO_OBS_STRICT=1``.
         """
         doc_id, indexed = self._doc_index_row(name)
-        with self._conn:
+        tracer = current_tracer()
+        span_cm = (
+            tracer.span("transaction", document=name)
+            if tracer is not None else nullcontext(None)
+        )
+        with span_cm as txn_span, self._conn:
             # The document row always rewrites: root attributes may have
             # changed, and it is one row either way.  (The text and the
             # hierarchy set are immutable within a tracked session — a
@@ -532,30 +546,56 @@ class SqliteStore:
                  doc_id),
             )
             row_level = False
-            delta_capable = (
-                deltas is not None
-                and not deltas.rows.broken
-                and (attr_spans is not None or not deltas.attrs)
-            )
-            if delta_capable and indexed:
+            reason = None
+            if deltas is None:
+                reason = "stale-deltas"
+            elif deltas.rows.broken:
+                reason = "broken-coalescer"
+            elif deltas.attrs and attr_spans is None:
+                reason = "missing-attr-spans"
+            elif not indexed:
+                reason = "no-stored-index"
+            else:
+                # Stamp re-verification, inside the transaction: the
+                # conditional UPDATE succeeds only against the exact
+                # artifact generation the deltas describe.
+                metrics.incr("storage.stamp_checks")
                 cursor = self._conn.execute(
                     "UPDATE index_meta SET stamp = ?"
                     " WHERE doc_id = ? AND stamp = ?",
                     (stamp, doc_id, expected_stamp or ""),
                 )
                 row_level = cursor.rowcount == 1
+                if not row_level:
+                    reason = "stamp-mismatch"
             if row_level:
-                self._apply_element_row_deltas(
-                    doc_id, deltas.rows.updates(document)
-                )
+                if tracer is not None:
+                    with tracer.span("coalesce") as coalesce_span:
+                        updates = deltas.rows.updates(document)
+                    coalesce_span.set(
+                        records=deltas.rows.records_seen,
+                        row_writes=len(updates),
+                    )
+                else:
+                    updates = deltas.rows.updates(document)
+                deleted = sum(1 for op in updates if op.is_delete)
+                metrics.incr("storage.row_level_saves")
+                metrics.incr("storage.rows_deleted", deleted)
+                metrics.incr("storage.rows_upserted", len(updates) - deleted)
+                self._apply_element_row_deltas(doc_id, updates)
                 self._apply_index_delta_rows(
                     doc_id, deltas, partition_spans,
                     attr_spans or (lambda name, value: []),
                 )
             else:
+                _obs_fallback(
+                    "storage.full_rewrites", reason, f"document {name!r}"
+                )
                 self._rewrite_rows(doc_id, document, name)
                 self._delete_index_rows(doc_id)
                 self._insert_index_rows(doc_id, payload_factory(), stamp)
+            if txn_span is not None:
+                txn_span.set(row_level=row_level, reason=reason)
 
     def _rewrite_rows(
         self, doc_id: int, document: GoddagDocument, name: str
@@ -563,6 +603,7 @@ class SqliteStore:
         """Full rewrite of the hierarchy and element rows (statements
         only — the caller owns the transaction and the document row)."""
         _, hierarchy_rows, element_rows = encode_document(document, name)
+        metrics.incr("storage.rows_rewritten", len(element_rows))
         self._conn.execute(
             "DELETE FROM hierarchies WHERE doc_id = ?", (doc_id,)
         )

@@ -27,6 +27,8 @@ from uuid import uuid4
 from ..core.goddag import GoddagDocument
 from ..errors import StorageError
 from ..index.manager import IndexManager
+from ..obs.metrics import metrics
+from ..obs.trace import current_tracer
 from ..index.overlap import OverlapIndex
 from ..index.sidecar import (
     read_sidecar,
@@ -146,7 +148,7 @@ class GoddagStore:
 
     # -- persisted indexes --------------------------------------------------------------
 
-    def build_index(self, name: str) -> dict[str, int]:
+    def build_index(self, name: str) -> dict:
         """Build and persist the index for a stored document.
 
         Loads the document once, builds the four indexes (structural
@@ -167,7 +169,7 @@ class GoddagStore:
 
     def save_indexed(self, document: GoddagDocument, name: str,
                      manager: IndexManager | None = None,
-                     overwrite: bool = False) -> dict[str, int]:
+                     overwrite: bool = False) -> dict:
         """Save (or re-save) a document *and* keep its persisted index in
         step — the editing-session alternative to save + :meth:`build_index`.
 
@@ -211,6 +213,18 @@ class GoddagStore:
                 "save_indexed needs an IndexManager for this document "
                 "(attach one, or pass manager=)"
             )
+        tracer = current_tracer()
+        if tracer is None:
+            with metrics.time("storage.save"):
+                self._save_indexed(document, name, manager, overwrite)
+        else:
+            with tracer.span("save", document=name, backend=self.backend):
+                with metrics.time("storage.save"):
+                    self._save_indexed(document, name, manager, overwrite)
+        return manager.stats()
+
+    def _save_indexed(self, document: GoddagDocument, name: str,
+                      manager: IndexManager, overwrite: bool) -> None:
         # The token pins delta accounting to one exact artifact
         # *generation*: deltas accumulated against another store,
         # another name, or an artifact someone replaced since our last
@@ -266,11 +280,11 @@ class GoddagStore:
             self._invalidate_sidecar(name)
             save_file(document, target, name)
             write_sidecar(self._sidecar_file(name), manager.payload(name))
+            metrics.incr("storage.sidecar_restamps")
             manager.mark_persisted(
                 (self.backend, str(self.location), name,
                  _file_identity(target))
             )
-        return manager.stats()
 
     def has_index(self, name: str) -> bool:
         """True when a persisted index exists for ``name``."""
@@ -502,11 +516,24 @@ class GoddagStore:
             )
         return self._sqlite.overlapping_pairs(name, tag_a, tag_b)
 
-    def stats(self, name: str) -> dict[str, int]:
-        """Size accounting (binary backend) or row counts (sqlite)."""
+    def stats(self, name: str) -> dict:
+        """Stored-document counts in the unified ``repro-stats/1`` shape
+        (see docs/ARCHITECTURE.md, Observability): element row count on
+        sqlite, size accounting on the binary backend.  The old flat
+        keys (``elements``, ``total_bytes``, ...) still answer for one
+        release via the deprecation shim."""
+        from ..obs.stats import stats_dict
+
         if self._sqlite is not None:
-            return {"elements": self._sqlite.count_elements(name)}
-        return file_stats(self._file(name))
+            raw = {"elements": self._sqlite.count_elements(name)}
+        else:
+            raw = file_stats(self._file(name))
+        counts = {f"storage.{key}": value for key, value in raw.items()}
+        aliases = {key: ("counts", f"storage.{key}") for key in raw}
+        return stats_dict(
+            "storage.store", counts, aliases=aliases,
+            name=name, backend=self.backend,
+        )
 
 
 __all__ = ["GoddagStore", "SqliteStore", "StoredElement"]

@@ -7,6 +7,7 @@ from typing import Callable
 
 from ..core.goddag import GoddagDocument
 from ..core.node import Node
+from ..obs.trace import Tracer, current_tracer
 from .ast import Expr
 from .evaluator import Evaluator, XPathValue, resolve_manager
 from .optimizer import optimize
@@ -81,14 +82,26 @@ class ExtendedXPath:
         """Evaluate against ``document`` (optionally from ``context``,
         with optional ``$name`` variable bindings).  ``index=False``
         disables index acceleration for this evaluation."""
-        plan = self._cached_plan(document, index)
-        return Evaluator(document, index=index, plan=plan).evaluate(
-            self.ast, context, variables
-        )
+        tracer = current_tracer()
+        if tracer is None:
+            plan = self._cached_plan(document, index)
+            return Evaluator(document, index=index, plan=plan).evaluate(
+                self.ast, context, variables
+            )
+        with tracer.span("query", expression=self.expression):
+            cached_before = self._plan
+            with tracer.span("plan") as plan_span:
+                plan = self._cached_plan(document, index)
+            plan_span.set(cached=plan is cached_before)
+            with tracer.span("execute"):
+                return Evaluator(document, index=index, plan=plan).evaluate(
+                    self.ast, context, variables
+                )
 
     def explain(
         self, document: GoddagDocument, context: Node | None = None,
         variables: dict | None = None, index=None, execute: bool = True,
+        analyze: bool = False,
     ) -> QueryPlan:
         """The access-path plan for this query over ``document``.
 
@@ -103,6 +116,12 @@ class ExtendedXPath:
                 :class:`~repro.xpath.planner.QueryPlan` carries actual
                 row counts and served/fallback tallies next to the
                 estimates; ``execute=False`` returns estimates only.
+            analyze: when True (EXPLAIN ANALYZE), the query runs under
+                the tracer with forced step observation, so the plan
+                additionally carries measured per-step wall time
+                (``StepPlan.actual_ns``, shown by ``render()``) and
+                estimate-vs-actual drift, and ``plan.trace`` holds the
+                span tree of the run.  Implies ``execute``.
 
         Returns:
             A fresh :class:`~repro.xpath.planner.QueryPlan` (never the
@@ -111,7 +130,27 @@ class ExtendedXPath:
         """
         manager = resolve_manager(document, index)
         plan = Planner(document, manager).plan(self.ast, self.expression)
-        if execute:
+        if analyze:
+            # Run under the installed tracer if the caller has one, so
+            # the analyze spans land in their trace; otherwise install a
+            # private tracer for the duration of this one run.
+            tracer = current_tracer()
+            owned = tracer is None
+            if owned:
+                tracer = Tracer().install()
+            try:
+                with tracer.span(
+                    "query", expression=self.expression, analyze=True
+                ):
+                    with tracer.span("execute"):
+                        Evaluator(
+                            document, index=index, plan=plan, observe=True
+                        ).evaluate(self.ast, context, variables)
+            finally:
+                if owned:
+                    tracer.uninstall()
+            plan.trace = tracer
+        elif execute:
             Evaluator(document, index=index, plan=plan).evaluate(
                 self.ast, context, variables
             )
@@ -153,10 +192,16 @@ def xpath(
 
 
 def explain(
-    document: GoddagDocument, expression: str, context: Node | None = None
+    document: GoddagDocument, expression: str, context: Node | None = None,
+    analyze: bool = False,
 ) -> QueryPlan:
-    """One-shot EXPLAIN convenience: compile, plan, run, return the plan."""
-    return ExtendedXPath(expression).explain(document, context)
+    """One-shot EXPLAIN convenience: compile, plan, run, return the plan.
+
+    ``analyze=True`` is EXPLAIN ANALYZE — the run happens under the
+    tracer and the returned plan carries measured per-step wall time and
+    drift next to the estimates (see :meth:`ExtendedXPath.explain`)."""
+    return ExtendedXPath(expression).explain(document, context,
+                                             analyze=analyze)
 
 
 def register_function(name: str, fn: Callable) -> None:

@@ -33,12 +33,16 @@ re-matching of spans or document order.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Iterable
 
 from ..core.goddag import GoddagDocument
 from ..core.node import Element, Leaf
 from ..errors import XPathEvaluationError
+from ..obs.drift import DriftRecord, ring as drift_ring
+from ..obs.metrics import metrics
+from ..obs.trace import current_tracer
 from .ast import (
     Binary,
     Expr,
@@ -148,10 +152,19 @@ class Evaluator:
     """Evaluates parsed Extended XPath expressions over one document."""
 
     def __init__(self, document: GoddagDocument, index=None,
-                 plan: QueryPlan | None = None) -> None:
+                 plan: QueryPlan | None = None,
+                 observe: bool | None = None) -> None:
         self.document = document
         self.functions = dict(FUNCTIONS)
         self.index = resolve_manager(document, index)
+        # Observation override: None (the default) auto-detects — steps
+        # are timed/traced only while repro.obs metrics are enabled or a
+        # tracer is installed, so the unobserved hot path pays a single
+        # flag check per path.  True/False force it either way (the
+        # overhead bench uses False as its baseline arm).
+        self._observe = observe
+        self._observing = False
+        self._tracer = None
         # The access-path plan steps are executed under.  An explicit
         # plan (built by ExtendedXPath, which caches per document
         # version) wins; otherwise plans are built and memoized per
@@ -173,6 +186,13 @@ class Evaluator:
             context_node = DocumentNode(self.document)
         self._variables = variables or {}
         self._active_plan = self._resolve_plan(expr)
+        # Resolved once per evaluation, not per step (see __init__).
+        if self._observe is None:
+            self._tracer = current_tracer()
+            self._observing = metrics.enabled or self._tracer is not None
+        else:
+            self._observing = self._observe
+            self._tracer = current_tracer() if self._observing else None
         context = Context(context_node, 1, 1, self.document, self._variables)
         return self._eval(expr, context)
 
@@ -367,6 +387,8 @@ class Evaluator:
         self, steps: Iterable[Step], start: list[XNode],
         step_plans: list[StepPlan] | None = None,
     ) -> list[XNode]:
+        if self._observing:
+            return self._eval_steps_observed(steps, start, step_plans)
         current = start
         for i, step in enumerate(steps):
             splan = step_plans[i] if step_plans is not None else None
@@ -378,6 +400,72 @@ class Evaluator:
             current = sorted_nodes(gathered)
             if splan is not None:
                 splan.actual_out += len(current)
+        return current
+
+    def _eval_steps_observed(
+        self, steps: Iterable[Step], start: list[XNode],
+        step_plans: list[StepPlan] | None,
+    ) -> list[XNode]:
+        """The observed twin of :meth:`_eval_steps`.
+
+        Identical node semantics, plus per-step wall time (accumulated
+        on ``StepPlan.actual_ns`` — what ``explain(analyze=True)``
+        reports), tracer spans (``step`` with a child ``access-path``
+        around the per-context-node gather loop), rows-examined metrics,
+        and one :class:`DriftRecord` per step per run into the process
+        drift ring.  Nested predicate paths re-enter this method inside
+        the gather loop, so their spans nest under the access-path span
+        of the step that triggered them.
+        """
+        tracer = self._tracer
+        plan = self._active_plan
+        expression = plan.expression if plan is not None else ""
+        current = start
+        for i, step in enumerate(steps):
+            splan = step_plans[i] if step_plans is not None else None
+            rows_in = len(current)
+            axis = splan.axis if splan is not None else step.axis
+            test = splan.test if splan is not None else step.test.kind
+            choice = splan.choice if splan is not None else "NONE"
+            if splan is not None:
+                splan.actual_in += rows_in
+            served_before = splan.served if splan is not None else 0
+            fell_before = splan.fallbacks if splan is not None else 0
+            start_ns = time.perf_counter_ns()
+            if tracer is not None:
+                with tracer.span(
+                    "step", axis=axis, test=test, choice=choice
+                ) as step_span:
+                    with tracer.span("access-path", choice=choice) as ap:
+                        gathered: list[XNode] = []
+                        for node in current:
+                            gathered.extend(self._eval_step(step, node, splan))
+                        if splan is not None:
+                            ap.set(
+                                served=splan.served - served_before,
+                                fallbacks=splan.fallbacks - fell_before,
+                            )
+                        ap.set(rows=len(gathered))
+                    current = sorted_nodes(gathered)
+                    step_span.set(rows_in=rows_in, rows_out=len(current))
+            else:
+                gathered = []
+                for node in current:
+                    gathered.extend(self._eval_step(step, node, splan))
+                current = sorted_nodes(gathered)
+            elapsed_ns = time.perf_counter_ns() - start_ns
+            rows_out = len(current)
+            metrics.incr("xpath.steps")
+            metrics.incr("xpath.rows_examined", rows_in)
+            metrics.incr("xpath.rows_produced", rows_out)
+            metrics.record_ns("xpath.step", elapsed_ns)
+            if splan is not None:
+                splan.actual_out += rows_out
+                splan.actual_ns += elapsed_ns
+                drift_ring.record(DriftRecord(
+                    expression, i, axis, test, choice,
+                    splan.est_out, rows_out,
+                ))
         return current
 
     def _eval_step(self, step: Step, node: XNode,

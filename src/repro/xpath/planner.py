@@ -177,6 +177,14 @@ class StepPlan:
     actual_out: int = 0
     served: int = 0
     fallbacks: int = 0
+    actual_ns: int = 0      #: measured wall time (explain(analyze=True) only)
+
+    @property
+    def drift(self) -> float:
+        """Signed relative estimation error of this step's output
+        cardinality: ``(actual_out - est_out) / max(actual_out, 1)``.
+        0.0 = exact; positive = the planner underestimated."""
+        return (self.actual_out - self.est_out) / max(self.actual_out, 1)
 
     def describe(self) -> list[str]:
         lines = [f"{self.axis}::{self.test}"]
@@ -191,6 +199,11 @@ class StepPlan:
             f"   actual: in={self.actual_in} out={self.actual_out}"
             f" (served {self.served}, fell back {self.fallbacks})"
         )
+        if self.actual_ns:
+            lines.append(
+                f"  measured: {self.actual_ns / 1e6:.3f}ms"
+                f"  drift={self.drift:+.2f}"
+            )
         if self.predicates:
             header = "  predicates"
             if self.reordered:
@@ -218,6 +231,8 @@ class QueryPlan:
         self.expression = expression
         self.indexed = indexed
         self.paths: list[tuple[str, list[StepPlan]]] = []
+        # Span tree of the analyzed run; set by explain(analyze=True).
+        self.trace = None
         self._by_expr: dict[int, list[StepPlan]] = {}
         self._exprs: list[Expr] = []  # keeps id() keys alive
 
@@ -239,6 +254,38 @@ class QueryPlan:
         """The chosen access path of every planned step, in plan order."""
         return [step.choice for _, plans in self.paths for step in plans]
 
+    def stats(self) -> dict:
+        """The plan's execution counters in the unified repro-stats/1
+        shape (see docs/ARCHITECTURE.md, Observability).  Totals are
+        summed across every planned path, nested predicate paths
+        included; ``plan.rows_examined`` is the number of context nodes
+        fed into steps, ``plan.rows_produced`` the nodes they emitted."""
+        from ..obs.stats import stats_dict
+
+        all_steps = [step for _, plans in self.paths for step in plans]
+        counts = {
+            "plan.steps": len(all_steps),
+            "plan.paths": len(self.paths),
+            "plan.rows_examined": sum(step.actual_in for step in all_steps),
+            "plan.rows_produced": sum(step.actual_out for step in all_steps),
+            "plan.served": sum(step.served for step in all_steps),
+            "plan.fallbacks": sum(step.fallbacks for step in all_steps),
+            "plan.elapsed_ns": sum(step.actual_ns for step in all_steps),
+        }
+        for choice in self.choices():
+            key = f"plan.choice.{choice.lower()}"
+            counts[key] = counts.get(key, 0) + 1
+        aliases = {
+            "served": ("counts", "plan.served"),
+            "fallbacks": ("counts", "plan.fallbacks"),
+            "rows_examined": ("counts", "plan.rows_examined"),
+            "rows_produced": ("counts", "plan.rows_produced"),
+        }
+        return stats_dict(
+            "xpath.plan", counts, aliases=aliases,
+            expression=self.expression, indexed=self.indexed,
+        )
+
     def to_dict(self) -> dict:
         """A JSON-shaped form of the plan (estimates and actuals)."""
         return {
@@ -257,6 +304,8 @@ class QueryPlan:
                             "est_out": step.est_out,
                             "actual_in": step.actual_in,
                             "actual_out": step.actual_out,
+                            "actual_ns": step.actual_ns,
+                            "drift": round(step.drift, 4),
                             "served": step.served,
                             "fallbacks": step.fallbacks,
                             "order": list(step.order),

@@ -70,3 +70,29 @@ def test_named_identifiers_are_real():
     from repro.xpath.optimizer import reorder_safe  # noqa: F401
 
     assert hasattr(ExtendedXPath, "explain")
+
+
+def test_observability_identifiers_are_real():
+    """Spot-check the identifiers the Observability section leans on."""
+    import inspect
+
+    import repro.obs as obs
+    from repro.obs.benchjson import BENCH_SCHEMA, compare  # noqa: F401
+    from repro.obs.drift import DriftRing
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.stats import STATS_SCHEMA, DeprecatedKeyDict  # noqa: F401
+    from repro.obs.trace import SPAN_LIMIT, Tracer
+
+    for name in ("enable", "disable", "report", "tracing", "fallback",
+                 "current_tracer"):
+        assert callable(getattr(obs, name)), name
+    assert obs.STRICT_ENV == "REPRO_OBS_STRICT"
+    assert hasattr(Tracer, "export_jsonl") and SPAN_LIMIT == 50_000
+    assert hasattr(MetricsRegistry, "snapshot")
+    assert DriftRing().capacity == 256
+    assert BENCH_SCHEMA == "repro-bench/1"
+    assert STATS_SCHEMA == "repro-stats/1"
+    # explain() grew the analyze knob the guide documents.
+    from repro.xpath import ExtendedXPath
+
+    assert "analyze" in inspect.signature(ExtendedXPath.explain).parameters

@@ -17,7 +17,11 @@ After **every** step the harness asserts four equivalences:
    answers byte-identically on both replicas;
 2. *planner on vs planner off*: the same queries on the live replica
    with ``index=False`` (the cost-based planner disabled outright)
-   answer byte-identically to the planned, index-served run;
+   answer byte-identically to the planned, index-served run — and a
+   *tracing arm* repeats the indexed run under an installed
+   :mod:`repro.obs` tracer (spans, step timing, drift recording all
+   live), which must also answer byte-identically: observation never
+   changes answers;
 3. *incremental vs rebuilt*: the live manager's full persisted payload
    (overlap interval tables, term postings, attribute-value posting
    rows, label-path partition rows — including row order) equals that
@@ -49,6 +53,7 @@ from repro.core.goddag import GoddagDocument
 from repro.editing import Editor
 from repro.errors import EditError, MarkupConflictError
 from repro.index import IndexManager
+from repro.obs import tracing
 from repro.storage import GoddagStore
 from repro.workloads import WorkloadSpec, generate
 from repro.xpath import ExtendedXPath
@@ -147,6 +152,12 @@ def check_equivalence(live: GoddagDocument, plain: GoddagDocument,
         # every index fast path disabled — byte-identical again.
         planner_off = snapshot(query.evaluate(live, index=False))
         assert planner_off == unindexed, query.expression
+        # The tracing arm: the indexed evaluation repeated with the
+        # observability layer fully live (tracer installed, per-step
+        # timing and drift capture on) — still byte-identical.
+        with tracing():
+            traced = snapshot(query.evaluate(live))
+        assert traced == unindexed, query.expression
     # The incrementally maintained payload must be byte-identical to a
     # freshly rebuilt manager's (order of partition rows included), and
     # the flat candidate lists must match element for element — order

@@ -152,22 +152,22 @@ class TestLazyRebuild:
         of the three indexes on a fresh (or stale) manager."""
         document = build_document()
         manager = IndexManager(document, build=False).attach()
-        census = manager.stats()
+        census = manager.stats()["counts"]
         assert manager.build_count == 0
         assert manager._structural is None  # nothing was built
-        assert census["elements"] == 0 and census["builds"] == 0
-        assert census["stale"] == 1
+        assert census["index.elements"] == 0 and census["index.builds"] == 0
+        assert census["index.stale"] == 1
         manager.refresh()
-        fresh = manager.stats()
-        assert fresh["elements"] == 3
-        assert fresh["stale"] == 0 and fresh["builds"] == 1
+        fresh = manager.stats()["counts"]
+        assert fresh["index.elements"] == 3
+        assert fresh["index.stale"] == 0 and fresh["index.builds"] == 1
         # Stale managers report the stale census, flagged as such.
         Editor(document).insert_markup(
             "linguistic", "w", 4, 9
         )
-        stale = manager.stats()
+        stale = manager.stats()["counts"]
         assert manager.build_count == 1 and manager.delta_count == 0
-        assert stale["stale"] == 1 and stale["elements"] == 3
+        assert stale["index.stale"] == 1 and stale["index.elements"] == 3
 
     def test_mirrors_interval_index_contract(self):
         """The manager invalidates exactly when the core's lazy interval
