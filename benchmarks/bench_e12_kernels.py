@@ -1,0 +1,278 @@
+"""E12 — batch interval kernels and the compiled-plan cache.
+
+Three studies on the standard synthetic corpora:
+
+* **batch vs object walk** — the hot query shapes of E9/E10 evaluated
+  twice under the *same* cost-based plan choices: once through the flat
+  ``array('q')`` kernels (``BatchProgram`` over ``CandidateVector``
+  columns), once through the classic per-node object walk
+  (``Planner(batch=False)``), so the measured ratio isolates the kernel
+  layer from planning.  The heavy shapes (full name scan, ``contains``,
+  ``starts-with`` — the ones E9/E10 spend their time in) must clear
+  ≥ 5x at the largest size; the micro shapes (already tens of
+  microseconds before this layer) must clear ≥ 2x.  Every pair of runs
+  must return byte-identical node lists;
+* **interval-kernel parity** — ``IntervalTable`` row queries timed
+  against the object-level ``StaticIntervalIndex`` on identical span
+  sets, results row-for-row identical;
+* **compiled-plan cache** — a repeated one-shot query served from the
+  process-wide plan cache vs the same query re-parsed and re-planned
+  every call (cache cleared between calls).
+
+Run standalone for the report tables::
+
+    PYTHONPATH=src python benchmarks/bench_e12_kernels.py
+
+or through pytest (the assertions are the acceptance bars)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_e12_kernels.py -q
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.intervals import StaticIntervalIndex
+from repro.index import IndexManager
+from repro.index.kernels import IntervalTable
+from repro.workloads import WorkloadSpec, generate
+from repro.xpath import Evaluator, ExtendedXPath, Planner, clear_plan_cache
+from repro.xpath import xpath as xpath_once
+
+SIZES = (2000, 8000)
+DENSITY = 0.25
+
+#: (expression, speedup floor at the largest size).  The heavy shapes
+#: carry the ≥ 5x acceptance bar; the micro shapes run in microseconds
+#: either way, so their bar only guards against the kernels losing.
+HOT_QUERIES = (
+    ("//w", 5.0),
+    ("//w[contains(., 'gar')]", 5.0),
+    ("//w[starts-with(., 'gar')]", 5.0),
+    ("//page", 2.0),
+    ("//line[@n='7']", 2.0),
+)
+
+CACHE_QUERY = "//line[@n='7']"
+PARITY_PROBES = 300
+
+
+def corpus(words: int):
+    document = generate(
+        WorkloadSpec(words=words, hierarchies=4, overlap_density=DENSITY)
+    )
+    document.ordered_elements()  # pre-warm the shared order cache
+    manager = IndexManager(document).attach()
+    return document, manager
+
+
+def best_of(fn, n: int = 5) -> float:
+    times = []
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def measure_batch(document, manager, words: int) -> list[dict]:
+    """Kernel path vs object walk under identical plan choices."""
+    rows = []
+    for expression, floor in HOT_QUERIES:
+        compiled = ExtendedXPath(expression)
+        object_plan = Planner(document, manager, batch=False).plan(
+            compiled.ast, expression
+        )
+        batch = compiled.nodes(document)
+        walked = Evaluator(document, plan=object_plan).evaluate(compiled.ast)
+        assert len(batch) == len(walked) and all(
+            a is b for a, b in zip(batch, walked)
+        ), expression
+        batch_plan = Planner(document, manager).plan(
+            compiled.ast, expression
+        )
+        assert batch_plan.whole_program is not None, expression
+        compiled.nodes(document)  # warm the vector snapshots
+        batch_time = best_of(lambda: compiled.nodes(document))
+        object_time = best_of(
+            lambda: Evaluator(document, plan=object_plan).evaluate(
+                compiled.ast
+            )
+        )
+        rows.append({
+            "query": expression,
+            "words": words,
+            "floor": floor,
+            "rows": len(batch),
+            "batch_ms": batch_time * 1e3,
+            "object_ms": object_time * 1e3,
+            "speedup": object_time / batch_time,
+        })
+    return rows
+
+
+def measure_parity(document, manager, words: int) -> dict:
+    """IntervalTable vs StaticIntervalIndex on the corpus's own spans."""
+    solid = [e for e in document.ordered_elements() if not e.is_empty]
+    ordered = sorted(solid, key=lambda e: (e.start, -e.end, e.tag))
+    table = IntervalTable(
+        [e.start for e in ordered], [e.end for e in ordered],
+        [e.tag for e in ordered],
+    )
+    reference = StaticIntervalIndex(ordered)
+    length = len(document.text)
+    step = max(1, length // PARITY_PROBES)
+    offsets = list(range(0, length, step))[:PARITY_PROBES]
+    for offset in offsets:
+        got = [(table.starts[i], table.ends[i], table.tags[i])
+               for i in table.rows_stabbing(offset)]
+        want = [(e.start, e.end, e.tag) for e in reference.stabbing(offset)]
+        assert got == want, offset
+    table_time = best_of(
+        lambda: [table.rows_stabbing(offset) for offset in offsets]
+    )
+    object_time = best_of(
+        lambda: [reference.stabbing(offset) for offset in offsets]
+    )
+    return {
+        "words": words,
+        "probes": len(offsets),
+        "table_ms": table_time * 1e3,
+        "object_ms": object_time * 1e3,
+        "ratio": object_time / table_time,
+    }
+
+
+def measure_plan_cache(document, words: int) -> dict:
+    """One-shot queries with the plan cache vs re-compiling every call."""
+    clear_plan_cache()
+    xpath_once(document, CACHE_QUERY)  # prime
+    cached_time = best_of(lambda: xpath_once(document, CACHE_QUERY), n=7)
+
+    def cold():
+        clear_plan_cache()
+        xpath_once(document, CACHE_QUERY)
+
+    cold_time = best_of(cold, n=7)
+    clear_plan_cache()
+    return {
+        "words": words,
+        "query": CACHE_QUERY,
+        "cached_ms": cached_time * 1e3,
+        "cold_ms": cold_time * 1e3,
+        "speedup": cold_time / cached_time,
+    }
+
+
+def report_batch(rows) -> str:
+    lines = [
+        "E12 — batch kernels vs object walk (same plan choices)",
+        f"{'query':<34} {'words':>6} {'rows':>6} {'object':>10} "
+        f"{'batch':>10} {'speedup':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['query']:<34} {row['words']:>6} {row['rows']:>6} "
+            f"{row['object_ms']:>8.3f}ms {row['batch_ms']:>8.3f}ms "
+            f"{row['speedup']:>7.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def report_parity(rows) -> str:
+    lines = [
+        "E12 — IntervalTable vs StaticIntervalIndex "
+        f"({PARITY_PROBES} stab probes, identical results)",
+        f"{'words':>6} {'object':>10} {'table':>10} {'ratio':>7}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['words']:>6} {row['object_ms']:>8.3f}ms "
+            f"{row['table_ms']:>8.3f}ms {row['ratio']:>6.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def report_cache(rows) -> str:
+    lines = [
+        "E12 — compiled-plan cache (one-shot xpath, cached vs cold)",
+        f"{'words':>6} {'cold':>10} {'cached':>10} {'speedup':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['words']:>6} {row['cold_ms']:>8.3f}ms "
+            f"{row['cached_ms']:>8.3f}ms {row['speedup']:>7.1f}x"
+        )
+    return "\n".join(lines)
+
+
+#: Scenarios accumulate across the module's tests; every emit rewrites
+#: the file with everything gathered so far (see _emit.emit).
+_SCENARIOS: list[dict] = []
+
+
+def emit_json() -> None:
+    from _emit import emit
+
+    emit("e12_kernels", list(_SCENARIOS))
+
+
+def collect_scenarios(kind: str, rows) -> None:
+    from repro.obs.benchjson import scenario
+
+    for row in rows:
+        if kind == "batch":
+            _SCENARIOS.append(scenario(
+                f"batch:{row['query']}", row["words"],
+                [row["batch_ms"] / 1e3], speedup=round(row["speedup"], 2)))
+        elif kind == "parity":
+            _SCENARIOS.append(scenario(
+                "parity:stabbing", row["words"],
+                [row["table_ms"] / 1e3], ratio=round(row["ratio"], 2)))
+        else:
+            _SCENARIOS.append(scenario(
+                f"plan-cache:{row['query']}", row["words"],
+                [row["cached_ms"] / 1e3], speedup=round(row["speedup"], 2)))
+
+
+def run_all() -> tuple[list[dict], list[dict], list[dict]]:
+    batch_rows: list[dict] = []
+    parity_rows: list[dict] = []
+    cache_rows: list[dict] = []
+    for words in SIZES:
+        document, manager = corpus(words)
+        batch_rows.extend(measure_batch(document, manager, words))
+        parity_rows.append(measure_parity(document, manager, words))
+        cache_rows.append(measure_plan_cache(document, words))
+    return batch_rows, parity_rows, cache_rows
+
+
+def test_e12_kernel_speedup_and_identity():
+    """Acceptance bar: the heavy E9/E10 shapes clear ≥ 5x through the
+    kernel path at the largest size, results byte-identical."""
+    batch_rows, parity_rows, cache_rows = run_all()
+    print("\n" + report_batch(batch_rows))
+    print("\n" + report_parity(parity_rows))
+    print("\n" + report_cache(cache_rows))
+    collect_scenarios("batch", batch_rows)
+    collect_scenarios("parity", parity_rows)
+    collect_scenarios("cache", cache_rows)
+    emit_json()
+    largest = [row for row in batch_rows if row["words"] == max(SIZES)]
+    for row in largest:
+        assert row["speedup"] >= row["floor"], report_batch(largest)
+    for row in cache_rows:
+        assert row["speedup"] >= 2.0, report_cache(cache_rows)
+
+
+if __name__ == "__main__":
+    rows = run_all()
+    print(report_batch(rows[0]))
+    print()
+    print(report_parity(rows[1]))
+    print()
+    print(report_cache(rows[2]))
+    collect_scenarios("batch", rows[0])
+    collect_scenarios("parity", rows[1])
+    collect_scenarios("cache", rows[2])
+    emit_json()

@@ -5,8 +5,11 @@ Pairs every ``BENCH_<name>.json`` in the results directory with the
 file of the same name in the baseline directory, matches scenarios by
 ``(scenario, size)``, and exits nonzero if any matched scenario's
 median regressed by more than the threshold (default 20%, the
-``repro-bench/1`` contract).  Scenarios present on only one side are
-reported but never fail the run — benches grow.
+``repro-bench/1`` contract).  A results file with no committed baseline
+fails the run with instructions — a new bench must land with its
+baseline, or regressions in it are invisible from day one.  Scenarios
+present on only one side of a matched pair are reported but never fail
+— benches grow.
 
 Usage::
 
@@ -74,7 +77,9 @@ def main(argv: list[str] | None = None) -> int:
             print(f"      improved   {entry['scenario']} "
                   f"(size {entry['size']}): {entry['ratio']:.2f}x")
     for name in sorted(current_files.keys() - baseline_files.keys()):
-        print(f" new  {name}: no baseline yet")
+        failed = True
+        print(f"FAIL  {name}: no committed baseline — copy "
+              f"{args.current / name} to {args.baseline}/ and commit it")
     for name in sorted(baseline_files.keys() - current_files.keys()):
         print(f"miss  {name}: baseline present but bench did not run")
 

@@ -1,0 +1,354 @@
+"""Batch kernels: flat ``array('q')`` columns behind the index fast paths.
+
+Two data layouts live here, both plain parallel columns of signed
+64-bit integers (``array('q')``) instead of per-node Python objects:
+
+* :class:`IntervalTable` — one hierarchy's sorted interval table as
+  ``starts`` / ``ends`` / ``ordinals`` columns plus a ``tags`` list,
+  with an implicit max-end segment tree for ``O(log n + k)`` stabbing,
+  intersection, and containment.  It is the flat-array counterpart of
+  :class:`~repro.core.intervals.StaticIntervalIndex` and answers with
+  the same *anchored* zero-width semantics (the PR 1 contract): a
+  zero-width query window ``[a, a)`` behaves like the position ``a``,
+  and items are matched per ``item.start < window.end and item.end >
+  window.start`` after anchoring.  The delta-maintained overlap tables
+  (:mod:`repro.index.overlap`) are built on it, so the incremental and
+  rebuilt paths share one kernel.
+
+* :class:`CandidateVector` — a document-order candidate list
+  (structural-summary posting or attribute posting) captured once as
+  ``starts`` / ``ends`` / ``ordinals`` columns next to the element
+  list.  Batch query execution (:mod:`repro.xpath.planner`'s
+  :class:`~repro.xpath.planner.BatchProgram`) filters *row indices*
+  through the merge-walk kernels below and materializes ``Element``
+  objects only for the rows that survive every filter — the
+  ordinal-vector flow of the batch pipeline.
+
+The filter kernels (:func:`rows_span_contains`,
+:func:`rows_span_starts_with`) are single merge walks: candidate rows
+arrive in document order, so their start offsets are non-decreasing and
+one forward pointer into the (sorted) term-occurrence array serves
+every row.  For each row the first occurrence at or after the row's
+start is the unique one that can fit before the row's end — exactly the
+binary-search argument of :meth:`~repro.index.term.TermIndex.span_contains`,
+amortized to O(rows + occurrences) for a whole vector.
+
+Everything here is exact: each kernel ships with a differential test
+arm against the object-walking implementation it replaces
+(``tests/test_kernels.py``), and the engine falls back to the classic
+path whenever a precondition fails, so answers are byte-identical with
+and without the kernels.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left, bisect_right
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..core.node import Element
+
+#: Type code of every integer column: signed 64-bit.
+COLUMN_TYPECODE = "q"
+
+#: Segment-tree sentinel below any real end offset.
+_NEG_INF = -(2 ** 62)
+
+#: Ordinal column value for rows whose element identity is unknown
+#: (tables reloaded from persisted payloads, which carry no ordinals).
+NO_ORDINAL = -1
+
+
+def column(values: Iterable[int] = ()) -> array:
+    """A fresh signed 64-bit column holding ``values``."""
+    return array(COLUMN_TYPECODE, values)
+
+
+class IntervalTable:
+    """Parallel sorted interval columns with a max-end segment tree.
+
+    Rows are kept sorted by ``(start, -end, tag)`` — widest-first among
+    rows that begin together, ties broken by tag so the order is
+    deterministic under incremental maintenance.  ``ordinals`` rides
+    along untouched by the sort (it is payload, not key); rows loaded
+    from persisted artifacts use :data:`NO_ORDINAL`.
+
+    The segment tree is rebuilt lazily after any row mutation; queries
+    return **row indices** in table order (callers map them to hits or
+    elements), so no Python object is touched until the caller decides
+    to materialize.
+    """
+
+    __slots__ = ("starts", "ends", "ordinals", "tags", "_tree")
+
+    def __init__(
+        self,
+        starts: Iterable[int] = (),
+        ends: Iterable[int] = (),
+        tags: Iterable[str] = (),
+        ordinals: Iterable[int] | None = None,
+    ) -> None:
+        self.starts = column(starts)
+        self.ends = column(ends)
+        self.tags = list(tags)
+        if ordinals is None:
+            self.ordinals = column([NO_ORDINAL] * len(self.starts))
+        else:
+            self.ordinals = column(ordinals)
+        if not (
+            len(self.starts) == len(self.ends)
+            == len(self.tags) == len(self.ordinals)
+        ):
+            raise ValueError("parallel interval columns must agree in length")
+        self._tree: array | None = None
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+    # -- the implicit max-(anchored-)end segment tree --------------------------
+
+    def _max_tree(self) -> array:
+        """Max anchored-end per implicit segment; leaf ``i`` holds row
+        ``i``'s end, with zero-width rows anchored at ``start + 1`` so
+        intersection sees them as their anchor position (the
+        :class:`~repro.core.intervals.StaticIntervalIndex` contract)."""
+        tree = self._tree
+        if tree is not None:
+            return tree
+        n = len(self.starts)
+        tree_len = 1
+        while tree_len < max(1, n):
+            tree_len *= 2
+        tree = column([_NEG_INF]) * (2 * tree_len)
+        starts, ends = self.starts, self.ends
+        for i in range(n):
+            end = ends[i]
+            start = starts[i]
+            tree[tree_len + i] = end if end > start else start + 1
+        for i in range(tree_len - 1, 0, -1):
+            left, right = tree[2 * i], tree[2 * i + 1]
+            tree[i] = left if left >= right else right
+        self._tree = tree
+        return tree
+
+    def _rows_gt(self, hi: int, threshold: int) -> list[int]:
+        """Rows in ``[0, hi)`` whose anchored end > ``threshold``, in
+        table order (the segment-tree descent visits leaves left to
+        right)."""
+        out: list[int] = []
+        if hi <= 0 or not len(self.starts):
+            return out
+        tree = self._max_tree()
+        leaves = len(tree) // 2
+
+        def descend(node: int, node_lo: int, node_hi: int) -> None:
+            if node_lo >= hi or tree[node] <= threshold:
+                return
+            if node_hi - node_lo == 1:
+                out.append(node_lo)
+                return
+            mid = (node_lo + node_hi) // 2
+            descend(2 * node, node_lo, mid)
+            descend(2 * node + 1, mid, node_hi)
+
+        descend(1, 0, leaves)
+        return out
+
+    # -- queries (row indices, table order) ------------------------------------
+
+    def rows_intersecting(self, start: int, end: int) -> list[int]:
+        """Rows sharing at least one position with ``[start, end)``;
+        zero-width rows anchored at ``a`` are included when ``start <=
+        a < end``."""
+        hi = bisect_left(self.starts, end)
+        return self._rows_gt(hi, start)
+
+    def rows_stabbing(self, offset: int) -> list[int]:
+        """Rows whose span contains the position ``offset`` (including
+        zero-width rows anchored exactly there)."""
+        return self.rows_intersecting(offset, offset + 1)
+
+    def rows_containing(self, start: int, end: int) -> list[int]:
+        """Rows whose span contains ``[start, end)`` entirely (allows
+        equal); boundary-inclusive for zero-width targets."""
+        hi = bisect_right(self.starts, start)
+        ends = self.ends
+        return [i for i in self._rows_gt(hi, end - 1) if ends[i] >= end]
+
+    def rows_contained_in(self, start: int, end: int) -> list[int]:
+        """Rows whose span lies entirely within ``[start, end)``; a
+        zero-width row anchored at ``a`` qualifies when ``start <= a <=
+        end``."""
+        starts, ends = self.starts, self.ends
+        lo = bisect_left(starts, start)
+        hi = bisect_right(starts, end)
+        return [i for i in range(lo, hi) if ends[i] <= end]
+
+    # -- incremental maintenance -----------------------------------------------
+
+    def row_position(self, start: int, end: int, tag: str) -> int:
+        """Leftmost position for ``(start, -end, tag)`` in sort order."""
+        starts, ends, tags = self.starts, self.ends, self.tags
+        return bisect_left(
+            range(len(starts)),
+            (start, -end, tag),
+            key=lambda row: (starts[row], -ends[row], tags[row]),
+        )
+
+    def insert_row(
+        self, start: int, end: int, tag: str, ordinal: int = NO_ORDINAL
+    ) -> int:
+        """Insert one row at its sorted position; returns the position."""
+        position = self.row_position(start, end, tag)
+        self.starts.insert(position, start)
+        self.ends.insert(position, end)
+        self.tags.insert(position, tag)
+        self.ordinals.insert(position, ordinal)
+        self._tree = None
+        return position
+
+    def remove_row(self, start: int, end: int, tag: str) -> int:
+        """Remove the leftmost row matching ``(start, end, tag)``;
+        returns its former position.  Rows are content-identified —
+        duplicates are interchangeable, so the ordinal column is not
+        part of the match.  Raises :class:`ValueError` when absent.
+        """
+        position = self.row_position(start, end, tag)
+        if (
+            position >= len(self.starts)
+            or self.starts[position] != start
+            or self.ends[position] != end
+            or self.tags[position] != tag
+        ):
+            raise ValueError(f"no interval row ({start}, {end}, {tag!r})")
+        del self.starts[position]
+        del self.ends[position]
+        del self.tags[position]
+        del self.ordinals[position]
+        self._tree = None
+        return position
+
+
+class CandidateVector:
+    """A document-order candidate list captured as flat columns.
+
+    Built once per (manager build, posting) from a candidate
+    ``Element`` list; batch execution then works on row indices over
+    the ``starts`` / ``ends`` / ``ordinals`` columns and calls
+    :meth:`materialize` only for the surviving rows — the single point
+    where ``Element`` objects re-enter the pipeline.
+    """
+
+    __slots__ = ("elements", "starts", "ends", "ordinals")
+
+    def __init__(self, elements: Sequence["Element"]) -> None:
+        self.elements = list(elements)
+        self.starts = column(e.start for e in self.elements)
+        self.ends = column(e.end for e in self.elements)
+        self.ordinals = column(e.ordinal for e in self.elements)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def all_rows(self) -> range:
+        return range(len(self.elements))
+
+    def materialize(self, rows: Iterable[int]) -> list["Element"]:
+        """The elements of ``rows``, in row (= document) order."""
+        elements = self.elements
+        if isinstance(rows, range) and len(rows) == len(elements):
+            return list(elements)
+        return [elements[row] for row in rows]
+
+
+def rows_span_contains(
+    starts: Sequence[int], ends: Sequence[int],
+    occurrences: Sequence[int], needle_length: int,
+    rows: Iterable[int],
+) -> list[int]:
+    """Rows whose span contains a needle occurrence — the batch form of
+    ``needle in text[start:end]``.
+
+    ``rows`` must arrive with non-decreasing ``starts[row]`` (document
+    order guarantees it), so one forward merge pointer into the sorted
+    ``occurrences`` serves every row: the first occurrence at or after
+    a row's start is the only one that can end before the row's end.
+    """
+    out: list[int] = []
+    n = len(occurrences)
+    if not n:
+        return out
+    append = out.append
+    i = 0
+    cur = occurrences[0]
+    if isinstance(rows, range) and rows == range(len(starts)):
+        # Full-vector walk: zip streams both columns without per-row
+        # subscripting, and the occurrence pointer advances by bisect so
+        # occurrence runs between two row starts cost O(log) not O(run).
+        for row, (start, end) in enumerate(zip(starts, ends)):
+            if cur < start:
+                i = bisect_left(occurrences, start, i + 1)
+                if i == n:
+                    break
+                cur = occurrences[i]
+            if cur + needle_length <= end:
+                append(row)
+        return out
+    for row in rows:
+        start = starts[row]
+        if cur < start:
+            i = bisect_left(occurrences, start, i + 1)
+            if i == n:
+                break
+            cur = occurrences[i]
+        if cur + needle_length <= ends[row]:
+            append(row)
+    return out
+
+
+def rows_span_starts_with(
+    starts: Sequence[int], ends: Sequence[int],
+    occurrences: Sequence[int], needle_length: int,
+    rows: Iterable[int],
+) -> list[int]:
+    """Rows whose span *begins* with a needle occurrence — the batch
+    form of ``text[start:end].startswith(needle)`` (same merge-walk
+    contract as :func:`rows_span_contains`)."""
+    out: list[int] = []
+    n = len(occurrences)
+    if not n:
+        return out
+    append = out.append
+    i = 0
+    cur = occurrences[0]
+    if isinstance(rows, range) and rows == range(len(starts)):
+        for row, (start, end) in enumerate(zip(starts, ends)):
+            if cur < start:
+                i = bisect_left(occurrences, start, i + 1)
+                if i == n:
+                    break
+                cur = occurrences[i]
+            if cur == start and start + needle_length <= end:
+                append(row)
+        return out
+    for row in rows:
+        start = starts[row]
+        if cur < start:
+            i = bisect_left(occurrences, start, i + 1)
+            if i == n:
+                break
+            cur = occurrences[i]
+        if cur == start and start + needle_length <= ends[row]:
+            append(row)
+    return out
+
+
+def rows_in_ordinal_set(
+    ordinals: Sequence[int], members: frozenset[int] | set[int],
+    rows: Iterable[int],
+) -> list[int]:
+    """Rows whose element ordinal is in ``members`` — the batch form of
+    an index-served ``@name='value'`` predicate (the attribute posting's
+    ordinal set stands in for per-element attribute dict probes)."""
+    return [row for row in rows if ordinals[row] in members]

@@ -34,10 +34,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from array import array
+
 from ..errors import IndexDeltaError
 from ..obs import fallback as _obs_fallback
 from ..obs.metrics import metrics
 from ..obs.stats import stats_dict
+from .kernels import CandidateVector
 from .overlap import OverlapIndex
 from .structural import StructuralSummary, encode_path
 from .term import AttributeIndex, TermIndex
@@ -161,6 +164,14 @@ class IndexManager:
         # different target.
         self._pending: PersistDeltas | None = None
         self._persist_token: object = None
+        # Flat-column caches for the batch pipeline: candidate vectors
+        # keyed by posting, plus cached attr-posting ordinal sets.  Both
+        # snapshot the summary at one built version, so any catch-up or
+        # rebuild drops them wholesale (see refresh/_catch_up).  The
+        # term-occurrence arrays are text-keyed like the term index and
+        # therefore never invalidated.
+        self._vectors: dict = {}
+        self._occ_arrays: dict[str, array] = {}
         if build:
             self.refresh()
 
@@ -246,6 +257,7 @@ class IndexManager:
         self._built_version = self.document.version
         self.build_count += 1
         self._pending = None  # a rebuild invalidates any delta backlog
+        self._vectors.clear()  # flat-column snapshots of the old summary
         return self
 
     def _catch_up(self) -> bool:
@@ -289,6 +301,8 @@ class IndexManager:
             self._pending = None
         self._built_version = self.document.version
         self.delta_count += len(changes)
+        if changes:
+            self._vectors.clear()  # flat-column snapshots of the old summary
         metrics.incr("index.patches")
         metrics.incr("index.deltas_applied", len(changes))
         return True
@@ -372,12 +386,28 @@ class IndexManager:
         return TermIndex.is_indexable(needle)
 
     def contains_span(self, start: int, end: int, needle: str) -> bool:
-        """Exactly ``needle in document.text[start:end]`` (indexable needles)."""
+        """Exactly ``needle in document.text[start:end]``.
+
+        Indexable needles are answered by one binary search over the
+        term index's occurrence offsets; non-indexable ones (empty, or
+        spanning a token boundary — whitespace/punctuation) route to
+        the naive string operation on the document text, never to a
+        wrong index answer (the :class:`~repro.index.term.TermIndex`
+        itself stays strict and would raise).
+        """
+        if not TermIndex.is_indexable(needle):
+            return needle in self.document.text[start:end]
         return self.terms.span_contains(start, end, needle)
 
     def starts_with_span(self, start: int, end: int, needle: str) -> bool:
-        """Exactly ``document.text[start:end].startswith(needle)`` for
-        indexable needles — one binary search over the occurrences."""
+        """Exactly ``document.text[start:end].startswith(needle)``.
+
+        One binary search over the occurrence offsets for indexable
+        needles; the naive string operation for non-indexable ones
+        (same routing contract as :meth:`contains_span`).
+        """
+        if not TermIndex.is_indexable(needle):
+            return self.document.text[start:end].startswith(needle)
         return self.terms.span_starts_with(start, end, needle)
 
     def occurrence_count(self, needle: str) -> int:
@@ -393,6 +423,65 @@ class IndexManager:
         """Posting length of ``(name, value)`` — the planner's
         attribute-predicate selectivity statistic."""
         return self.attrs.posting_length(name, value)
+
+    # -- flat-column batch surface (the batch-program pipeline) ----------------
+    #
+    # Candidate lists re-surfaced as CandidateVector flat columns, cached
+    # per posting until the next catch-up or rebuild drops the cache
+    # (any document version bump reaches one of those through refresh),
+    # so a compiled BatchProgram touches Python Element objects only
+    # when it materializes its final result.
+
+    def candidate_vector(
+        self, name: str, hierarchy: str | None = None
+    ) -> CandidateVector | None:
+        """The name-test candidate list as flat columns, or ``None``
+        when the summary cannot prune (a bare ``*``)."""
+        self.refresh()  # a stale snapshot must be dropped before probing
+        key = ("name", name, hierarchy)
+        vector = self._vectors.get(key)
+        if vector is None:
+            # candidates_view avoids the per-call defensive copy; the
+            # vector snapshots the membership into its own columns.
+            elements = self._structural.candidates_view(name, hierarchy)
+            if elements is None:
+                return None
+            vector = CandidateVector(elements)
+            self._vectors[key] = vector
+        return vector
+
+    def attr_vector(self, name: str, value: str) -> CandidateVector:
+        """The ``@name='value'`` posting as flat columns."""
+        self.refresh()  # a stale snapshot must be dropped before probing
+        key = ("attr", name, value)
+        vector = self._vectors.get(key)
+        if vector is None:
+            vector = CandidateVector(self.attr_candidates(name, value))
+            self._vectors[key] = vector
+        return vector
+
+    def attr_ordinal_set(self, name: str, value: str) -> frozenset[int]:
+        """Ordinals of the elements carrying ``name`` = ``value`` — the
+        membership set batch attr-eq filters probe instead of touching
+        per-element attribute dicts."""
+        self.refresh()  # a stale snapshot must be dropped before probing
+        key = ("attrset", name, value)
+        members = self._vectors.get(key)
+        if members is None:
+            members = frozenset(
+                e.ordinal for e in self.attrs.candidates(name, value)
+            )
+            self._vectors[key] = members
+        return members
+
+    def occurrence_array(self, needle: str) -> array:
+        """Sorted occurrence offsets of an indexable needle as an
+        ``array('q')`` column (text-keyed, cached forever)."""
+        occurrences = self._occ_arrays.get(needle)
+        if occurrences is None:
+            occurrences = array("q", self.terms.occurrences(needle))
+            self._occ_arrays[needle] = occurrences
+        return occurrences
 
     def element(self, ordinal: int) -> "Element | None":
         """Keyed element lookup by persistent id (birth ordinal).

@@ -3,25 +3,28 @@
 The in-memory GODDAG answers cross-hierarchy overlap queries from its
 lazily built :class:`~repro.core.intervals.StaticIntervalIndex` per
 hierarchy.  Those structures live and die with the document object; this
-module is their *persistent* counterpart: plain sorted arrays of
-``(start, end, tag)`` per hierarchy that serialize to storage (SQLite
-rows or a binary ``.gidx`` sidecar) and answer stabbing, intersection
-and proper-overlap queries on *stored* documents without materializing
-a single GODDAG node — the overlap-index design of Hasibi & Bratsberg
-applied to the framework's storage layer.
+module is their *persistent* counterpart: per-hierarchy
+:class:`~repro.index.kernels.IntervalTable` columns — parallel sorted
+``array('q')`` arrays of ``(start, end, ordinal)`` plus a tag list —
+that serialize to storage (SQLite rows or a binary ``.gidx`` sidecar)
+and answer stabbing, intersection and proper-overlap queries on
+*stored* documents without materializing a single GODDAG node — the
+overlap-index design of Hasibi & Bratsberg applied to the framework's
+storage layer.
 
-Queries run through a :class:`StaticIntervalIndex` built over the
-arrays (indices as items), so a reloaded index keeps the ``O(log n +
-k)`` bound of the in-memory one.
+Queries run through the table's implicit max-end segment tree, so a
+reloaded index keeps the ``O(log n + k)`` bound of the in-memory one,
+with the same anchored zero-width semantics (shared edge-case fixtures
+in ``tests/test_kernels.py`` pin both paths to the
+:class:`~repro.core.intervals.StaticIntervalIndex` contract).
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left
 from typing import TYPE_CHECKING, Iterator
 
-from ..core.intervals import StaticIntervalIndex
 from ..errors import IndexDeltaError
+from .kernels import NO_ORDINAL, IntervalTable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from ..core.changes import ChangeRecord
@@ -31,10 +34,19 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 SpanHit = tuple[str, str, int, int]  # (hierarchy, tag, start, end)
 
 
-class HierarchyIntervals:
-    """The sorted interval table of one hierarchy's solid elements."""
+class HierarchyIntervals(IntervalTable):
+    """The sorted interval table of one hierarchy's solid elements.
 
-    __slots__ = ("hierarchy", "starts", "ends", "tags", "_index")
+    A named :class:`~repro.index.kernels.IntervalTable`: flat
+    ``starts`` / ``ends`` / ``ordinals`` columns (``array('q')``) and a
+    parallel ``tags`` list, sorted by ``(start, -end, tag)``.  The
+    ordinal column carries each row's element identity for
+    delta-maintained tables; tables reloaded from persisted payloads
+    (which predate ordinals in this section) carry
+    :data:`~repro.index.kernels.NO_ORDINAL`.
+    """
+
+    __slots__ = ("hierarchy",)
 
     def __init__(
         self,
@@ -42,74 +54,36 @@ class HierarchyIntervals:
         starts: list[int],
         ends: list[int],
         tags: list[str],
+        ordinals: list[int] | None = None,
     ) -> None:
-        if not (len(starts) == len(ends) == len(tags)):
-            raise ValueError("parallel interval arrays must agree in length")
+        try:
+            super().__init__(starts, ends, tags, ordinals)
+        except ValueError:
+            raise ValueError(
+                "parallel interval arrays must agree in length"
+            ) from None
         self.hierarchy = hierarchy
-        self.starts = starts
-        self.ends = ends
-        self.tags = tags
-        self._index: StaticIntervalIndex[int] | None = None
-
-    def __len__(self) -> int:
-        return len(self.starts)
-
-    def _interval_index(self) -> StaticIntervalIndex[int]:
-        # Items are row indices; the arrays are already (start, -end)
-        # sorted, so the index construction keeps row order stable.
-        if self._index is None:
-            self._index = StaticIntervalIndex(
-                range(len(self.starts)),
-                start_of=self.starts.__getitem__,
-                end_of=self.ends.__getitem__,
-            )
-        return self._index
 
     def hit(self, row: int) -> SpanHit:
         return (self.hierarchy, self.tags[row], self.starts[row], self.ends[row])
 
     # -- incremental maintenance ----------------------------------------------
 
-    def _row_position(self, start: int, end: int, tag: str) -> int:
-        """Leftmost position for ``(start, -end, tag)`` in the sorted
-        parallel arrays (the order ``from_document`` sorts rows into)."""
-        return bisect_left(
-            range(len(self.starts)),
-            (start, -end, tag),
-            key=lambda row: (self.starts[row], -self.ends[row],
-                             self.tags[row]),
-        )
-
-    def insert_row(self, start: int, end: int, tag: str) -> None:
-        position = self._row_position(start, end, tag)
-        self.starts.insert(position, start)
-        self.ends.insert(position, end)
-        self.tags.insert(position, tag)
-        self._index = None
-
-    def remove_row(self, start: int, end: int, tag: str) -> None:
-        position = self._row_position(start, end, tag)
-        if (
-            position >= len(self.starts)
-            or self.starts[position] != start
-            or self.ends[position] != end
-            or self.tags[position] != tag
-        ):
+    def remove_row(self, start: int, end: int, tag: str) -> int:
+        try:
+            return super().remove_row(start, end, tag)
+        except ValueError:
             raise IndexDeltaError(
                 f"no interval row ({start}, {end}, {tag!r}) in "
                 f"hierarchy {self.hierarchy!r}"
-            )
-        del self.starts[position]
-        del self.ends[position]
-        del self.tags[position]
-        self._index = None
+            ) from None
 
     def intersecting(self, start: int, end: int) -> list[int]:
         """Row indices of intervals sharing a position with ``[start, end)``."""
-        return self._interval_index().intersecting(start, end)
+        return self.rows_intersecting(start, end)
 
     def stabbing(self, offset: int) -> list[int]:
-        return self._interval_index().stabbing(offset)
+        return self.rows_stabbing(offset)
 
 
 class OverlapIndex:
@@ -126,16 +100,17 @@ class OverlapIndex:
         for name in document.hierarchy_names():
             rows = sorted(
                 (
-                    (element.start, -element.end, element.tag)
+                    (element.start, -element.end, element.tag, element.ordinal)
                     for element in document.elements(hierarchy=name)
                     if not element.is_empty
                 ),
             )
             tables[name] = HierarchyIntervals(
                 name,
-                [start for (start, _, _) in rows],
-                [-negated for (_, negated, _) in rows],
-                [tag for (_, _, tag) in rows],
+                [start for (start, _, _, _) in rows],
+                [-negated for (_, negated, _, _) in rows],
+                [tag for (_, _, tag, _) in rows],
+                [ordinal for (_, _, _, ordinal) in rows],
             )
         return cls(tables)
 
@@ -163,7 +138,9 @@ class OverlapIndex:
                 f"no interval table for hierarchy {change.hierarchy!r}"
             )
         if isinstance(change, InsertMarkup):
-            table.insert_row(change.start, change.end, change.tag)
+            element = getattr(change, "element", None)
+            ordinal = element.ordinal if element is not None else NO_ORDINAL
+            table.insert_row(change.start, change.end, change.tag, ordinal)
         else:
             table.remove_row(change.start, change.end, change.tag)
 
@@ -218,7 +195,9 @@ class OverlapIndex:
     # -- persistence -----------------------------------------------------------
 
     def payload(self) -> dict[str, dict[str, list]]:
-        """JSON-shaped form: ``{hierarchy: {starts, ends, tags}}``."""
+        """JSON-shaped form: ``{hierarchy: {starts, ends, tags}}`` (the
+        ordinal column is in-memory only; reloaded tables answer
+        :class:`SpanHit` queries, which never need element identity)."""
         return {
             name: {
                 "starts": list(table.starts),

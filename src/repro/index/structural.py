@@ -238,13 +238,27 @@ class StructuralSummary:
             partitions — or ``None`` when the summary cannot prune (a
             bare ``*`` with no hierarchy matches everything).
         """
+        found = self.candidates_view(name, hierarchy)
+        return None if found is None else list(found)
+
+    def candidates_view(
+        self, name: str, hierarchy: str | None = None
+    ) -> list["Element"] | tuple[()] | None:
+        """Zero-copy variant of :meth:`candidates` for callers that
+        *snapshot* the list immediately (the flat-column candidate
+        vectors of :mod:`repro.index.kernels`): the summary's internal
+        document-order list itself, an empty tuple for an absent key,
+        or ``None`` when the summary cannot prune.  Callers must not
+        mutate or retain the returned list — incremental maintenance
+        patches it in place.
+        """
         if hierarchy is None:
             if name == "*":
                 return None
-            return list(self._by_tag.get(name, ()))
+            return self._by_tag.get(name, ())
         if name == "*":
-            return list(self._by_hierarchy.get(hierarchy, ()))
-        return list(self._by_pair.get((hierarchy, name), ()))
+            return self._by_hierarchy.get(hierarchy, ())
+        return self._by_pair.get((hierarchy, name), ())
 
     def tag_count(self, name: str, hierarchy: str | None = None) -> int:
         """Number of elements a name test would match."""

@@ -12,7 +12,11 @@ Three cooperating pieces:
   side; save → coalesce → transaction on the storage side),
   exportable as JSON lines.
 * :data:`metrics` — the process-wide :class:`MetricsRegistry` of
-  counters / timers / histograms every layer reports to.
+  counters / timers / histograms every layer reports to (the compiled
+  query engine lands its ``xpath.plan_cache.hits`` /
+  ``xpath.plan_cache.misses`` pair here, and
+  ``repro.xpath.plan_cache_stats()`` reads the same tallies without
+  enabling metrics).
 * :data:`drift` ring — bounded buffer of per-step estimate-vs-actual
   :class:`DriftRecord` entries, the input feed for cardinality
   feedback.

@@ -314,23 +314,27 @@ class SqliteStore:
 
         The scan streams a dedicated cursor instead of materializing the
         document's attribute blobs, and pushes a cheap prefilter into
-        SQL: only rows whose raw JSON contains the exact encoded
-        ``"attr": "value"`` pair are decoded at all.  The prefilter is
-        sound — inside a JSON-encoded string every quote is escaped, so
-        the unescaped pair text cannot occur within a value — but not
-        exact (the pair of a *longer* key ends with the same bytes), so
-        each candidate is confirmed by one ``json.loads``.
+        SQL: only rows whose raw JSON contains both the encoded key
+        token and the encoded value token are decoded at all.  The
+        tokens are matched separately — never joined with a ``": "``
+        separator, which is writer-dependent (``separators=(",", ":")``
+        emits no space) — and each is truncated at the first non-ASCII
+        character, whose escape depends on the writer's ``ensure_ascii``
+        choice.  That keeps the prefilter complete for any JSON the
+        standard encoder can have produced; it is not exact (a longer
+        key shares the same token bytes), so each candidate is confirmed
+        by one ``json.loads``.
         """
         doc_id, _ = self._document_row(name)
-        # json.dumps of the single pair, braces stripped: '"attr": "value"'.
-        needle = json.dumps({attr: value}, sort_keys=True)[1:-1]
         cursor = self._conn.cursor()
         try:
             cursor.execute(
                 "SELECT attributes FROM elements"
                 " WHERE doc_id = ? AND attributes != '{}'"
+                " AND instr(attributes, ?) > 0"
                 " AND instr(attributes, ?) > 0",
-                (doc_id, needle),
+                (doc_id, _json_token_prefix(attr),
+                 _json_token_prefix(value)),
             )
             return sum(
                 1 for (encoded,) in cursor
@@ -818,3 +822,24 @@ def _stored(row) -> StoredElement:
     elem_id, hierarchy, tag, start, end, attributes = row
     return StoredElement(elem_id, hierarchy, tag, start, end,
                          json.loads(attributes))
+
+
+def _json_token_prefix(value: str) -> str:
+    """An ``instr`` needle matching ``value``'s JSON string token under
+    either ``ensure_ascii`` choice.
+
+    ASCII characters encode identically whichever way the writer was
+    configured (quotes and backslashes always escape, control characters
+    always take their short/``\\uXXXX`` forms), but a non-ASCII character
+    is either a raw codepoint or a ``\\uXXXX`` escape depending on the
+    writer — so the encoded token is truncated right before the first
+    one, keeping the opening quote and dropping the closing quote.  The
+    resulting needle is a prefix of every standard JSON encoding of the
+    token, so an ``instr`` prefilter built from it can never
+    false-negative a row that really holds ``value``.
+    """
+    token = json.dumps(value, ensure_ascii=False)
+    for i, ch in enumerate(token):
+        if ord(ch) >= 128:
+            return token[:i]
+    return token

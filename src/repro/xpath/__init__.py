@@ -27,7 +27,14 @@ from .ast import (
     Unary,
 )
 from .axes import AXES, AttributeNode, DocumentNode, apply_axis, sorted_nodes
-from .engine import ExtendedXPath, explain, register_function, xpath
+from .engine import (
+    ExtendedXPath,
+    clear_plan_cache,
+    explain,
+    plan_cache_stats,
+    register_function,
+    xpath,
+)
 from .evaluator import Context, Evaluator
 from .functions import FUNCTIONS, node_name, string_value
 from .parser import ALL_AXES, CLASSICAL_AXES, EXTENSION_AXES, parse_xpath
@@ -62,7 +69,9 @@ __all__ = [
     "Union",
     "Unary",
     "apply_axis",
+    "clear_plan_cache",
     "explain",
+    "plan_cache_stats",
     "node_name",
     "parse_xpath",
     "register_function",

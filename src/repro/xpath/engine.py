@@ -1,18 +1,166 @@
-"""The public Extended XPath facade: compiled, reusable queries."""
+"""The public Extended XPath facade: compiled, reusable queries.
+
+This module also hosts the process-wide **compiled-plan cache**: parsed
+ASTs and priced :class:`~repro.xpath.planner.QueryPlan` objects keyed
+by ``(expression, generation stamp)``, where the generation stamp is
+``(document.version, manager.build_count)`` — any journal advance bumps
+the document version and any index rebuild bumps the build count, so a
+cached plan can never serve stale statistics or a stale batch program.
+Hits and misses are counted on ``repro.obs`` metrics
+(``xpath.plan_cache.hits`` / ``xpath.plan_cache.misses``) and surfaced
+by :func:`plan_cache_stats`; repeated queries — including one-shot
+:func:`xpath` calls, which additionally reuse whole compiled query
+objects — skip parse *and* plan entirely.  Unindexed evaluation
+(``index=False`` or no attached manager) bypasses the cache: those
+plans carry no index statistics worth sharing, and the differential
+harness relies on the unindexed arm staying an independent oracle.
+"""
 
 from __future__ import annotations
 
 import weakref
+from collections import OrderedDict
 from typing import Callable
 
 from ..core.goddag import GoddagDocument
 from ..core.node import Node
+from ..obs.metrics import metrics
+from ..obs.stats import stats_dict
 from ..obs.trace import Tracer, current_tracer
 from .ast import Expr
 from .evaluator import Evaluator, XPathValue, resolve_manager
 from .optimizer import optimize
 from .parser import parse_xpath
 from .planner import Planner, QueryPlan
+
+#: Bound on distinct expressions the plan cache retains (LRU beyond it).
+PLAN_CACHE_LIMIT = 256
+
+#: Per-expression bound on distinct (document, manager) plan slots.
+_PLAN_SLOTS = 4
+
+
+class _PlanCacheEntry:
+    __slots__ = ("ast", "slots")
+
+    def __init__(self, ast: Expr) -> None:
+        self.ast = ast
+        # Each slot: (ast, doc_ref, manager_ref, version, builds, plan).
+        # The ast rides along because an evicted-and-reparsed expression
+        # yields new Expr objects, and plans key their step tables by
+        # id(expr) — a plan only serves the ast it was built against.
+        self.slots: list[tuple] = []
+
+
+class PlanCache:
+    """Expression-keyed cache of parsed ASTs and per-generation plans."""
+
+    def __init__(self, limit: int = PLAN_CACHE_LIMIT) -> None:
+        self._entries: OrderedDict[str, _PlanCacheEntry] = OrderedDict()
+        self.limit = limit
+        self.hits = 0
+        self.misses = 0
+
+    def entry(self, expression: str) -> _PlanCacheEntry | None:
+        """The (LRU-refreshed) cache entry for ``expression``, if any."""
+        found = self._entries.get(expression)
+        if found is not None:
+            self._entries.move_to_end(expression)
+        return found
+
+    def ensure_entry(self, expression: str, ast: Expr) -> _PlanCacheEntry:
+        found = self._entries.get(expression)
+        if found is None:
+            found = _PlanCacheEntry(ast)
+            self._entries[expression] = found
+            while len(self._entries) > self.limit:
+                self._entries.popitem(last=False)
+        else:
+            self._entries.move_to_end(expression)
+        return found
+
+    def plan_for(
+        self, expression: str, ast: Expr, document, manager
+    ) -> QueryPlan:
+        """The cached plan for this generation, or a freshly priced one.
+
+        A hit requires the same ast object, the same live document and
+        manager (weakref identity — ids are never compared, CPython
+        recycles them), and an unchanged generation stamp.
+        """
+        entry = self.ensure_entry(expression, ast)
+        version = document.version
+        builds = manager.build_count
+        slots = entry.slots
+        for i, slot in enumerate(slots):
+            (slot_ast, doc_ref, manager_ref, slot_version, slot_builds,
+             plan) = slot
+            if (
+                slot_ast is ast
+                and doc_ref() is document
+                and manager_ref() is manager
+                and slot_version == version
+                and slot_builds == builds
+            ):
+                if i:
+                    slots.insert(0, slots.pop(i))
+                self.hits += 1
+                metrics.incr("xpath.plan_cache.hits")
+                return plan
+        self.misses += 1
+        metrics.incr("xpath.plan_cache.misses")
+        plan = Planner(document, manager).plan(ast, expression)
+        # Replace a dead-or-stale slot for this same document/manager
+        # pair before spilling into a fresh slot.
+        replaced = False
+        for i, slot in enumerate(slots):
+            if slot[1]() is document and slot[2]() is manager:
+                slots[i] = (ast, slot[1], slot[2], version, builds, plan)
+                slots.insert(0, slots.pop(i))
+                replaced = True
+                break
+        if not replaced:
+            slots.insert(0, (
+                ast, weakref.ref(document), weakref.ref(manager),
+                version, builds, plan,
+            ))
+            del slots[_PLAN_SLOTS:]
+        return plan
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: The process-wide compiled-plan cache.
+_plan_cache = PlanCache()
+
+#: One-shot ``xpath()`` reuses whole compiled queries, so a repeated
+#: expression skips parsing as well as planning.
+_query_cache: OrderedDict[str, "ExtendedXPath"] = OrderedDict()
+
+
+def plan_cache_stats() -> dict:
+    """Compiled-plan cache counters in the ``repro-stats/1`` envelope:
+    ``plan_cache.hits`` / ``plan_cache.misses`` / ``plan_cache.entries``
+    (the same hit/miss tallies land on ``repro.obs`` metrics as
+    ``xpath.plan_cache.hits`` / ``xpath.plan_cache.misses`` whenever
+    metrics are enabled)."""
+    return stats_dict("xpath.plan_cache", {
+        "plan_cache.hits": _plan_cache.hits,
+        "plan_cache.misses": _plan_cache.misses,
+        "plan_cache.entries": len(_plan_cache),
+    })
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached AST, plan, and one-shot query (test isolation)."""
+    _plan_cache.clear()
+    _query_cache.clear()
 
 
 class ExtendedXPath:
@@ -37,13 +185,21 @@ class ExtendedXPath:
 
     def __init__(self, expression: str) -> None:
         self.expression = expression
-        self.ast: Expr = optimize(parse_xpath(expression))
-        # One-slot plan cache, keyed by (document, version, manager):
-        # re-planning is cheap but not free, and the common pattern is
-        # many evaluations of one compiled query against one document.
-        # Identity is held via weakrefs (never raw id(), which CPython
-        # recycles after GC), so the cache cannot serve a plan priced
-        # against a dead document's statistics.
+        cached = _plan_cache.entry(expression)
+        if cached is not None:
+            self.ast: Expr = cached.ast
+        else:
+            self.ast = optimize(parse_xpath(expression))
+            _plan_cache.ensure_entry(expression, self.ast)
+        # One-slot *unindexed* plan cache, keyed by (document, version).
+        # Indexed plans live in the process-wide PlanCache instead (see
+        # module docstring); ``index=False``/manager-less evaluation
+        # bypasses that cache by contract, but re-planning is cheap and
+        # the common pattern is many evaluations of one compiled query
+        # against one document, so a private slot still pays.  Identity
+        # is held via weakrefs (never raw id(), which CPython recycles
+        # after GC), so the cache cannot serve a plan priced against a
+        # dead document's statistics.
         self._plan_document: weakref.ref | None = None
         self._plan_manager: weakref.ref | None = None
         self._plan_version: int | None = None
@@ -51,6 +207,10 @@ class ExtendedXPath:
 
     def _cached_plan(self, document: GoddagDocument, index) -> QueryPlan:
         manager = resolve_manager(document, index)
+        if manager is not None:
+            return _plan_cache.plan_for(
+                self.expression, self.ast, document, manager
+            )
         cached_document = (
             self._plan_document() if self._plan_document is not None else None
         )
@@ -85,6 +245,25 @@ class ExtendedXPath:
         tracer = current_tracer()
         if tracer is None:
             plan = self._cached_plan(document, index)
+            if (
+                plan.whole_program is not None
+                and context is None
+                and not variables
+                and not metrics.enabled
+            ):
+                # The whole query compiled to one batch program: run the
+                # kernels directly, skipping evaluator construction and
+                # the recursive walk.  A None result means the program
+                # declined at runtime (stale manager, root in result) —
+                # fall through to the classic engine, which computes the
+                # same answer.  Under metrics the evaluator path is kept
+                # so per-step observation stays complete.
+                result = plan.whole_program.run(
+                    resolve_manager(document, index), document,
+                    plan.steps_for(self.ast)[0],
+                )
+                if result is not None:
+                    return result
             return Evaluator(document, index=index, plan=plan).evaluate(
                 self.ast, context, variables
             )
@@ -184,11 +363,28 @@ class ExtendedXPath:
         return f"ExtendedXPath({self.expression!r})"
 
 
+#: Bound on compiled queries retained for the one-shot helper.
+_QUERY_CACHE_LIMIT = 256
+
+
 def xpath(
     document: GoddagDocument, expression: str, context: Node | None = None
 ) -> XPathValue:
-    """One-shot evaluation convenience."""
-    return ExtendedXPath(expression).evaluate(document, context)
+    """One-shot evaluation convenience.
+
+    Repeated expressions reuse the same compiled query object (LRU,
+    bounded), so a loop of ``xpath(doc, q)`` calls pays parse+plan once
+    and then runs from the compiled-plan cache like a held
+    :class:`ExtendedXPath` would."""
+    query = _query_cache.get(expression)
+    if query is None:
+        query = ExtendedXPath(expression)
+        _query_cache[expression] = query
+        while len(_query_cache) > _QUERY_CACHE_LIMIT:
+            _query_cache.popitem(last=False)
+    else:
+        _query_cache.move_to_end(expression)
+    return query.evaluate(document, context)
 
 
 def explain(

@@ -355,7 +355,25 @@ class Evaluator:
     def _eval_location_path(
         self, expr: LocationPath, context: Context
     ) -> list[XNode]:
+        plan = self._active_plan
         if expr.absolute:
+            # Fully kernel-servable absolute paths run as a compiled
+            # batch program over flat candidate columns; a None return
+            # (or observation, which wants per-step spans and drift)
+            # falls through to the object-walking evaluation.
+            if (
+                plan is not None
+                and not self._observing
+                and self.index is not None
+            ):
+                program = plan.program_for(expr)
+                if program is not None:
+                    step_plans = plan.steps_for(expr)
+                    result = program.run(
+                        self.index, self.document, step_plans[0]
+                    )
+                    if result is not None:
+                        return result
             start: list[XNode] = [DocumentNode(self.document)]
         else:
             start = [context.node]

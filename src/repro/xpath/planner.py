@@ -56,10 +56,16 @@ estimates *and* actuals::
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 
 from ..core import relations
 from ..core.node import Element
+from ..index.kernels import (
+    rows_in_ordinal_set,
+    rows_span_contains,
+    rows_span_starts_with,
+)
 from .ast import (
     Binary,
     Expr,
@@ -153,6 +159,108 @@ class PredicatePlan:
 
 
 @dataclass
+class BatchFilter:
+    """One compiled, index-served predicate of a batch program."""
+
+    kind: str                           #: 'contains' | 'starts-with' | 'attr-eq'
+    needle: str = ""                    #: the literal (contains/starts-with)
+    key: tuple[str, str] | None = None  #: the (name, value) of an attr-eq
+
+
+class BatchProgram:
+    """A fully index-served location path compiled to array kernels.
+
+    The compilable shape is an *absolute* single-step
+    descendant/descendant-or-self name test whose predicates are all
+    provably order-insensitive and index-served (``contains`` /
+    ``starts-with`` / ``@name='value'``) — the planner's SUMMARY and
+    ATTR access paths.  Execution never walks nodes: the candidate
+    posting arrives as a :class:`~repro.index.kernels.CandidateVector`,
+    predicates filter **row indices** through the merge-walk kernels,
+    and elements are materialized only for the surviving rows.
+
+    :meth:`run` re-checks its preconditions and returns ``None`` to
+    decline — the evaluator then takes the classic object-walking path,
+    so a program can never change an answer, only skip work.  The rare
+    shapes the kernels do not model (a name test matching the shared
+    root, which the classic path would prepend) decline the same way.
+    """
+
+    __slots__ = ("_manager_ref", "test", "source", "attr_key", "filters")
+
+    def __init__(self, manager, test, source: str,
+                 attr_key: tuple[str, str] | None,
+                 filters: list[BatchFilter]) -> None:
+        self._manager_ref = weakref.ref(manager)
+        self.test = test                #: the step's NodeTest
+        self.source = source            #: SUMMARY or ATTR
+        self.attr_key = attr_key        #: candidate source when ATTR
+        self.filters = filters          #: in planned evaluation order
+
+    def run(self, manager, document, splan: "StepPlan"):
+        """The path's result node-set, or ``None`` to decline."""
+        if manager is None or self._manager_ref() is not manager:
+            return None
+        if splan.choice != self.source:
+            # The step's access path was forced to an alternative after
+            # planning (the bench_e10 plan-quality study does exactly
+            # this) — the program no longer represents the plan.
+            return None
+        test = self.test
+        if _node_test_matcher()(test, document.root):
+            return None  # root would join the result; classic path handles it
+        if self.source == ATTR:
+            vector = manager.attr_vector(*self.attr_key)
+            elements = vector.elements
+            name, hierarchy = test.name, test.hierarchy
+            if hierarchy is not None:
+                rows = [
+                    row for row in vector.all_rows()
+                    if elements[row].hierarchy == hierarchy
+                    and (name == "*" or elements[row].tag == name)
+                ]
+            elif name != "*":
+                rows = [
+                    row for row in vector.all_rows()
+                    if elements[row].tag == name
+                ]
+            else:
+                rows = vector.all_rows()
+        else:
+            vector = manager.candidate_vector(test.name, test.hierarchy)
+            if vector is None:
+                return None
+            rows = vector.all_rows()
+        for spec in self.filters:
+            if not rows:
+                break
+            if spec.kind == "contains":
+                rows = rows_span_contains(
+                    vector.starts, vector.ends,
+                    manager.occurrence_array(spec.needle),
+                    len(spec.needle), rows,
+                )
+            elif spec.kind == "starts-with":
+                rows = rows_span_starts_with(
+                    vector.starts, vector.ends,
+                    manager.occurrence_array(spec.needle),
+                    len(spec.needle), rows,
+                )
+            else:  # attr-eq
+                rows = rows_in_ordinal_set(
+                    vector.ordinals,
+                    manager.attr_ordinal_set(*spec.key), rows,
+                )
+        result = vector.materialize(rows)
+        # The same per-run accounting the classic path keeps: one
+        # context node (the document node) in, one serve, k rows out.
+        splan.actual_in += 1
+        splan.served += 1
+        splan.actual_out += len(result)
+        return result
+
+
+@dataclass
 class StepPlan:
     """The chosen access path and estimates for one location step.
 
@@ -233,6 +341,11 @@ class QueryPlan:
         self.paths: list[tuple[str, list[StepPlan]]] = []
         # Span tree of the analyzed run; set by explain(analyze=True).
         self.trace = None
+        # Batch programs per compilable location path, plus the
+        # shortcut slot for when the whole expression is one such path
+        # (the engine then skips evaluator dispatch entirely).
+        self.whole_program: BatchProgram | None = None
+        self._programs: dict[int, BatchProgram] = {}
         self._by_expr: dict[int, list[StepPlan]] = {}
         self._exprs: list[Expr] = []  # keeps id() keys alive
 
@@ -249,6 +362,14 @@ class QueryPlan:
     def steps_for(self, expr: Expr) -> list[StepPlan] | None:
         """The step plans the planner assigned to ``expr``, if any."""
         return self._by_expr.get(id(expr))
+
+    def set_program(self, expr: Expr, program: BatchProgram) -> None:
+        self._programs[id(expr)] = program
+
+    def program_for(self, expr: Expr) -> BatchProgram | None:
+        """The batch program compiled for ``expr``'s location path, if
+        the path's shape was fully kernel-servable at plan time."""
+        return self._programs.get(id(expr))
 
     def choices(self) -> list[str]:
         """The chosen access path of every planned step, in plan order."""
@@ -359,12 +480,17 @@ class Planner:
     benchmark uses to isolate the reordering win).
     """
 
-    def __init__(self, document, manager=None, reorder: bool = True) -> None:
+    def __init__(self, document, manager=None, reorder: bool = True,
+                 batch: bool = True) -> None:
         if manager is not None and manager.document is not document:
             manager = None
         self.document = document
         self.manager = manager
         self.reorder = reorder
+        # batch=False skips BatchProgram compilation — the plan then
+        # always executes on the object-walking path (the differential
+        # baseline arm of bench_e12 and the kernel tests).
+        self.batch = batch
         # The population census is taken lazily on the first plan() call:
         # a planner used only to *serve* a prebuilt plan never pays it.
         self._census_taken = False
@@ -392,7 +518,67 @@ class Planner:
         self._take_census()
         plan = QueryPlan(expression, indexed=self.manager is not None)
         self._walk(expr, plan, toplevel=True)
+        if self.manager is not None and self.batch:
+            for registered in plan._exprs:
+                program = self._compile_batch(registered, plan)
+                if program is not None:
+                    plan.set_program(registered, program)
+            if isinstance(expr, LocationPath):
+                plan.whole_program = plan.program_for(expr)
         return plan
+
+    def _compile_batch(
+        self, expr: Expr, plan: QueryPlan
+    ) -> BatchProgram | None:
+        """Compile one registered location path to a :class:`BatchProgram`,
+        or ``None`` when its shape is not fully kernel-servable.
+
+        The compilable shape: an absolute, single-step descendant (or
+        descendant-or-self) name test whose access path is SUMMARY or
+        ATTR and whose predicates are *all* order-insensitive and
+        index-served — any generic or positional predicate, multi-step
+        path, or relative path keeps the object-walking evaluation.
+        """
+        if not isinstance(expr, LocationPath) or not expr.absolute:
+            return None
+        if len(expr.steps) != 1:
+            return None
+        step = expr.steps[0]
+        if step.axis not in _DESCENDANT_AXES:
+            return None
+        test = step.test
+        if test.kind != "name" or (test.name == "*" and test.hierarchy is None):
+            return None
+        splans = plan.steps_for(expr)
+        if splans is None or len(splans) != 1:
+            return None
+        splan = splans[0]
+        if splan.choice not in (SUMMARY, ATTR) or splan.exact_order_only:
+            return None
+        filters: list[BatchFilter] = []
+        for position in splan.order:
+            pplan = splan.predicates[position]
+            if not (pplan.safe and pplan.index_served):
+                return None
+            if splan.choice == ATTR and position == splan.attr_pred:
+                continue  # consumed by the candidate source
+            predicate = step.predicates[position]
+            if pplan.kind in ("contains", "starts-with"):
+                needle = (
+                    indexable_contains(predicate)
+                    if pplan.kind == "contains"
+                    else indexable_starts_with(predicate)
+                )
+                if needle is None or not self.manager.supports_contains(needle):
+                    return None
+                filters.append(BatchFilter(pplan.kind, needle=needle))
+            elif pplan.kind == "attr-eq" and pplan.key is not None:
+                filters.append(BatchFilter("attr-eq", key=pplan.key))
+            else:
+                return None
+        return BatchProgram(
+            self.manager, test, splan.choice, splan.attr_key, filters
+        )
 
     def _walk(self, expr: Expr, plan: QueryPlan, toplevel: bool = False) -> None:
         if isinstance(expr, LocationPath):

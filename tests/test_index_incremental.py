@@ -57,6 +57,7 @@ from repro.obs import tracing
 from repro.storage import GoddagStore
 from repro.workloads import WorkloadSpec, generate
 from repro.xpath import ExtendedXPath
+from repro.xpath.engine import _plan_cache
 
 #: Edit steps per session; 3 workloads x 1 seed x 70 = 210 >= the
 #: 200-step acceptance bar at the defaults.
@@ -148,6 +149,14 @@ def check_equivalence(live: GoddagDocument, plain: GoddagDocument,
         indexed = snapshot(query.evaluate(live))
         unindexed = snapshot(query.evaluate(plain))
         assert indexed == unindexed, query.expression
+        # The cached-plan arm: repeat the indexed run immediately — the
+        # second evaluation must serve the compiled plan (and batch
+        # program, where the shape compiled) from the process-wide
+        # cache and stay byte-identical.
+        hits_before = _plan_cache.hits
+        cached = snapshot(query.evaluate(live))
+        assert _plan_cache.hits == hits_before + 1, query.expression
+        assert cached == unindexed, query.expression
         # The planner-off arm: same document, cost-based planner and
         # every index fast path disabled — byte-identical again.
         planner_off = snapshot(query.evaluate(live, index=False))

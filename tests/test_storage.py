@@ -124,6 +124,105 @@ class TestSqliteStore:
             assert documents_isomorphic(doc, store.load("f"))
 
 
+class TestAttributeScanPrefilter:
+    """The instr() prefilter in count_attribute_scan must never
+    false-negative a row, whatever the attribute values contain and
+    however the row's JSON happened to be encoded."""
+
+    TRICKY_VALUES = [
+        'he said "hi"',
+        "back\\slash",
+        '\\" both',
+        "naïve",
+        "日本語",
+        "Ωmega leads",
+        'mix "q" \\ café',
+        "tab\tand\nnewline",
+    ]
+
+    def _scan_store(self):
+        doc = figure_one_document()
+        from repro.editing import Editor
+
+        editor = Editor(doc)
+        lines = [e for e in doc.elements(tag="line")]
+        for line, value in zip(lines, self.TRICKY_VALUES):
+            editor.set_attribute(line, "note", value)
+        store = SqliteStore()
+        store.save(doc, "tricky")
+        expected = {
+            value: sum(
+                1 for e in doc.elements()
+                if e.attributes.get("note") == value
+            )
+            for value in self.TRICKY_VALUES
+        }
+        return store, expected
+
+    def test_escaped_and_non_ascii_values_are_counted(self):
+        store, expected = self._scan_store()
+        with store:
+            for value, count in expected.items():
+                assert store.count_attribute_scan(
+                    "tricky", "note", value
+                ) == count, value
+
+    def test_non_ascii_attribute_name(self):
+        doc = figure_one_document()
+        from repro.editing import Editor
+
+        editor = Editor(doc)
+        line = next(iter(doc.elements(tag="line")))
+        editor.set_attribute(line, "rôle", "héros")
+        with SqliteStore() as store:
+            store.save(doc, "accents")
+            assert store.count_attribute_scan(
+                "accents", "rôle", "héros"
+            ) == 1
+
+    def test_externally_normalized_rows_still_match(self):
+        # A legal writer may re-encode the attribute JSON with compact
+        # separators and raw (ensure_ascii=False) non-ASCII characters;
+        # the prefilter must still admit such rows.
+        import json
+
+        store, expected = self._scan_store()
+        with store:
+            cursor = store._conn.execute(
+                "SELECT elem_id, attributes FROM elements"
+                " WHERE attributes != '{}'"
+            )
+            rewrites = [
+                (json.dumps(json.loads(encoded), separators=(",", ":"),
+                            ensure_ascii=False), elem_id)
+                for elem_id, encoded in cursor.fetchall()
+            ]
+            with store._conn:
+                store._conn.executemany(
+                    "UPDATE elements SET attributes = ? WHERE elem_id = ?",
+                    rewrites,
+                )
+            for value, count in expected.items():
+                assert store.count_attribute_scan(
+                    "tricky", "note", value
+                ) == count, value
+
+    def test_prefilter_still_exact_on_near_misses(self):
+        doc = figure_one_document()
+        from repro.editing import Editor
+
+        editor = Editor(doc)
+        lines = list(doc.elements(tag="line"))
+        # Same value under a longer key, and a superstring value under
+        # the right key: instr() admits both, json.loads must reject.
+        editor.set_attribute(lines[0], "note", "target")
+        editor.set_attribute(lines[1], "footnote", "target")
+        editor.set_attribute(lines[2], "note", "target practice")
+        with SqliteStore() as store:
+            store.save(doc, "near")
+            assert store.count_attribute_scan("near", "note", "target") == 1
+
+
 class TestBinaryBackend:
     def test_roundtrip(self, doc, tmp_path):
         path = tmp_path / "doc.gdag"
