@@ -58,6 +58,7 @@ from .serialize import (
     export_milestones,
     export_standoff,
 )
+from .service import DocumentService, ReadSession, WriteSession
 from .storage import GoddagStore
 from .xpath import ExtendedXPath, xpath
 from .xquery import XQuery, xquery
@@ -66,14 +67,20 @@ from .errors import (
     EditError,
     HierarchyError,
     MarkupConflictError,
+    PoolExhaustedError,
     PotentialValidityError,
     ReproError,
     SerializationError,
+    ServiceError,
+    SnapshotSupersededError,
     SpanError,
     StorageError,
+    StoreBusyError,
     TextMismatchError,
     ValidationError,
     WellFormednessError,
+    WriteConflictError,
+    WriteLockTimeoutError,
     XPathEvaluationError,
     XPathSyntaxError,
 )
@@ -84,6 +91,7 @@ __all__ = [
     "ConcurrentSchema",
     "DTD",
     "DTDSyntaxError",
+    "DocumentService",
     "EditError",
     "Editor",
     "Element",
@@ -97,19 +105,27 @@ __all__ = [
     "Leaf",
     "MarkupConflictError",
     "Node",
+    "PoolExhaustedError",
     "PotentialValidity",
     "PotentialValidityError",
+    "ReadSession",
     "ReproError",
     "Root",
     "SACXParser",
     "SerializationError",
+    "ServiceError",
+    "SnapshotSupersededError",
     "Span",
     "SpanError",
     "SpanTable",
     "StorageError",
+    "StoreBusyError",
     "TextMismatchError",
     "ValidationError",
     "WellFormednessError",
+    "WriteConflictError",
+    "WriteLockTimeoutError",
+    "WriteSession",
     "XPathEvaluationError",
     "XPathSyntaxError",
     "__version__",

@@ -119,3 +119,61 @@ class EditError(ReproError):
 class IndexDeltaError(ReproError):
     """An incremental index update could not be applied (the delta and
     the index state disagree); the consumer falls back to a rebuild."""
+
+
+class StoreBusyError(StorageError):
+    """The database stayed locked past the bounded retry budget (another
+    writer held it longer than the backoff schedule tolerates).  The
+    failed transaction was rolled back cleanly; retrying the operation
+    later is safe."""
+
+    def __init__(self, message: str, *, attempts: int | None = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class PoolExhaustedError(StorageError):
+    """Every pooled connection was in use for the whole acquisition
+    timeout.  Nothing was read or written; raise the pool size or shed
+    load."""
+
+
+class ServiceError(ReproError):
+    """Base class of the concurrent document-service errors."""
+
+
+class SnapshotSupersededError(ServiceError):
+    """A writer published a newer version of the document after this
+    read session opened.  The session's snapshot is still fully
+    queryable — snapshots are immutable — but it no longer reflects the
+    stored document; open a new read session to see the new version."""
+
+    def __init__(self, message: str, *, name: str | None = None,
+                 snapshot: str | None = None,
+                 current: str | None = None) -> None:
+        super().__init__(message)
+        self.name = name
+        self.snapshot = snapshot
+        self.current = current
+
+
+class WriteConflictError(ServiceError):
+    """A second writer published the document between this write
+    session's open and its publish (they raced through different
+    service instances or processes — within one service the
+    per-document write lock serializes writers).  Nothing was written;
+    re-open a write session on the new version and re-apply the edits."""
+
+    def __init__(self, message: str, *, name: str | None = None,
+                 expected: str | None = None,
+                 found: str | None = None) -> None:
+        super().__init__(message)
+        self.name = name
+        self.expected = expected
+        self.found = found
+
+
+class WriteLockTimeoutError(ServiceError):
+    """The per-document write lock stayed held past the acquisition
+    timeout (a long-lived write session on the same document).  No
+    session was opened."""

@@ -23,6 +23,7 @@ so a long-running process can leave drift capture on without growth.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 #: Default capacity of the process-wide drift ring.
@@ -71,26 +72,34 @@ class DriftRing:
     total_recorded: int = 0
     _buffer: list = field(default_factory=list, repr=False)
     _head: int = field(default=0, repr=False)
+    # The process-wide ring is fed from every thread that evaluates
+    # with observation on; append/rotate is a multi-step mutation.
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def record(self, record: DriftRecord) -> None:
-        self.total_recorded += 1
-        if len(self._buffer) < self.capacity:
-            self._buffer.append(record)
-        else:
-            self._buffer[self._head] = record
-            self._head = (self._head + 1) % self.capacity
+        with self._lock:
+            self.total_recorded += 1
+            if len(self._buffer) < self.capacity:
+                self._buffer.append(record)
+            else:
+                self._buffer[self._head] = record
+                self._head = (self._head + 1) % self.capacity
 
     def records(self) -> list[DriftRecord]:
         """Retained records, oldest first."""
-        return self._buffer[self._head:] + self._buffer[:self._head]
+        with self._lock:
+            return self._buffer[self._head:] + self._buffer[:self._head]
 
     def clear(self) -> None:
-        self._buffer.clear()
-        self._head = 0
-        self.total_recorded = 0
+        with self._lock:
+            self._buffer.clear()
+            self._head = 0
+            self.total_recorded = 0
 
     def __len__(self) -> int:
-        return len(self._buffer)
+        with self._lock:
+            return len(self._buffer)
 
     def to_dicts(self) -> list[dict]:
         return [record.to_dict() for record in self.records()]

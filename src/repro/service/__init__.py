@@ -1,0 +1,9 @@
+"""Concurrent document service: WAL-mode sessions over a GODDAG store.
+
+Many snapshot-isolated readers and one serialized writer per document;
+see :mod:`repro.service.service` for the concurrency contract.
+"""
+
+from .service import DocumentService, ReadSession, WriteSession
+
+__all__ = ["DocumentService", "ReadSession", "WriteSession"]

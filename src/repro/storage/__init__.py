@@ -16,7 +16,7 @@ from .schema import (
     decode_document,
     encode_document,
 )
-from .sqlite_backend import SqliteStore, StoredElement
+from .sqlite_backend import SqliteConnectionPool, SqliteStore, StoredElement
 from .store import GoddagStore
 
 __all__ = [
@@ -25,6 +25,7 @@ __all__ = [
     "GoddagStore",
     "HierarchyRow",
     "ROOT_ID",
+    "SqliteConnectionPool",
     "SqliteStore",
     "StoredElement",
     "decode_document",

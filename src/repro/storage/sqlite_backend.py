@@ -10,12 +10,15 @@ from __future__ import annotations
 
 import json
 import sqlite3
-from contextlib import nullcontext
+import threading
+import time
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 
 from .._util import pack_u32, unpack_u32
 from ..core.goddag import GoddagDocument
-from ..errors import StorageError
+from ..errors import PoolExhaustedError, StorageError, StoreBusyError, \
+    WriteConflictError
 from ..index.structural import encode_path
 from ..index.term import occurrences_from_terms
 from ..obs import fallback as _obs_fallback
@@ -116,15 +119,93 @@ class StoredElement:
     attributes: dict[str, str]
 
 
-class SqliteStore:
-    """A persistent multi-document GODDAG store on SQLite."""
+#: SQLITE_BUSY retry budget: total attempts per write transaction.
+BUSY_RETRY_ATTEMPTS = 5
 
-    def __init__(self, path: str = ":memory:") -> None:
+#: Base backoff before the first retry; doubles per attempt (so the
+#: default schedule waits 10, 20, 40, 80 ms — bounded, never unbounded
+#: spinning against a stuck writer).
+BUSY_RETRY_BASE_S = 0.01
+
+
+def _is_busy(exc: sqlite3.OperationalError) -> bool:
+    """True for the SQLITE_BUSY / SQLITE_LOCKED family — transient
+    contention worth retrying, as opposed to a real statement error."""
+    message = str(exc).lower()
+    return "locked" in message or "busy" in message
+
+
+class SqliteStore:
+    """A persistent multi-document GODDAG store on SQLite.
+
+    One instance owns one connection.  The connection is created with
+    ``check_same_thread=False`` so a :class:`SqliteConnectionPool` can
+    hand it from thread to thread, but an instance is **not** itself
+    thread-safe: at most one thread may use it at a time (the pool
+    guarantees exclusive use between acquire and release).
+
+    ``wal=True`` puts a file-backed database in write-ahead-log mode —
+    the journal mode that lets readers on other connections proceed
+    while one writer commits — and is what the concurrent document
+    service (:mod:`repro.service`) runs under.  ``busy_timeout_ms``
+    sets SQLite's own in-connection wait for a locked database; on top
+    of it, every write transaction retries with bounded exponential
+    backoff (``BUSY_RETRY_ATTEMPTS`` attempts) before surfacing a
+    typed :class:`~repro.errors.StoreBusyError`, counting each retry on
+    the ``storage.busy_retries`` metric and its wait on the
+    ``storage.busy_backoff`` timer.
+    """
+
+    def __init__(self, path: str = ":memory:", *, wal: bool = False,
+                 busy_timeout_ms: int = 5000) -> None:
         self.path = path
-        self._conn = sqlite3.connect(path)
+        self.busy_timeout_ms = busy_timeout_ms
+        self._conn = sqlite3.connect(path, check_same_thread=False)
         self._conn.execute("PRAGMA foreign_keys = ON")
+        self._conn.execute(f"PRAGMA busy_timeout = {int(busy_timeout_ms)}")
+        self.journal_mode = "memory" if path == ":memory:" else "delete"
+        if wal:
+            # WAL only takes on file-backed databases (an in-memory
+            # database reports 'memory' and keeps working) — and once
+            # set it is a property of the *file*, shared by every
+            # connection.  synchronous=NORMAL is the documented safe
+            # pairing: a crash can lose the tail of the WAL but never
+            # corrupt the database.
+            (self.journal_mode,) = self._conn.execute(
+                "PRAGMA journal_mode = WAL"
+            ).fetchone()
+            self._conn.execute("PRAGMA synchronous = NORMAL")
         self._conn.executescript(_DDL)
         self._migrate()
+
+    def _write_retry(self, operation, what: str):
+        """Run one whole write transaction, retrying on SQLITE_BUSY.
+
+        ``operation`` must be self-contained and idempotent-on-retry: it
+        opens its own ``with self._conn:`` transaction, so a failed
+        attempt is rolled back before the backoff sleep and the next
+        attempt replays it from scratch.  Non-busy errors propagate
+        untouched; exhausting the budget raises
+        :class:`~repro.errors.StoreBusyError` with the attempt count.
+        """
+        attempt = 1
+        while True:
+            try:
+                return operation()
+            except sqlite3.OperationalError as exc:
+                if not _is_busy(exc):
+                    raise
+                if attempt >= BUSY_RETRY_ATTEMPTS:
+                    raise StoreBusyError(
+                        f"{what}: database still locked after "
+                        f"{attempt} attempts ({exc})",
+                        attempts=attempt,
+                    ) from exc
+                metrics.incr("storage.busy_retries")
+                delay = BUSY_RETRY_BASE_S * (2 ** (attempt - 1))
+                with metrics.time("storage.busy_backoff"):
+                    time.sleep(delay)
+                attempt += 1
 
     def _migrate(self) -> None:
         """Bring a store created by an older release up to the current
@@ -162,26 +243,31 @@ class SqliteStore:
                 raise StorageError(f"document {name!r} already stored")
             self.delete(name)
         doc_row, hierarchy_rows, element_rows = encode_document(document, name)
-        with self._conn:
-            cursor = self._conn.execute(
-                "INSERT INTO documents (name, root_tag, text, root_attributes)"
-                " VALUES (?, ?, ?, ?)",
-                (doc_row.name, doc_row.root_tag, doc_row.text,
-                 doc_row.root_attributes),
-            )
-            doc_id = cursor.lastrowid
-            self._conn.executemany(
-                "INSERT INTO hierarchies VALUES (?, ?, ?, ?)",
-                [(doc_id, row.rank, row.name, row.dtd_source)
-                 for row in hierarchy_rows],
-            )
-            self._conn.executemany(
-                "INSERT INTO elements VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                [(doc_id, row.elem_id, row.hierarchy, row.tag, row.start,
-                  row.end, row.parent_id, row.child_rank, row.attributes)
-                 for row in element_rows],
-            )
-        return doc_id
+
+        def transaction() -> int:
+            with self._conn:
+                cursor = self._conn.execute(
+                    "INSERT INTO documents"
+                    " (name, root_tag, text, root_attributes)"
+                    " VALUES (?, ?, ?, ?)",
+                    (doc_row.name, doc_row.root_tag, doc_row.text,
+                     doc_row.root_attributes),
+                )
+                doc_id = cursor.lastrowid
+                self._conn.executemany(
+                    "INSERT INTO hierarchies VALUES (?, ?, ?, ?)",
+                    [(doc_id, row.rank, row.name, row.dtd_source)
+                     for row in hierarchy_rows],
+                )
+                self._conn.executemany(
+                    "INSERT INTO elements VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    [(doc_id, row.elem_id, row.hierarchy, row.tag, row.start,
+                      row.end, row.parent_id, row.child_rank, row.attributes)
+                     for row in element_rows],
+                )
+                return doc_id
+
+        return self._write_retry(transaction, f"save {name!r}")
 
     def load(self, name: str) -> GoddagDocument:
         """Reconstruct the full GODDAG for ``name``."""
@@ -205,8 +291,14 @@ class SqliteStore:
 
     def delete(self, name: str) -> None:
         doc_id, _ = self._document_row(name)
-        with self._conn:
-            self._conn.execute("DELETE FROM documents WHERE doc_id = ?", (doc_id,))
+
+        def transaction() -> None:
+            with self._conn:
+                self._conn.execute(
+                    "DELETE FROM documents WHERE doc_id = ?", (doc_id,)
+                )
+
+        self._write_retry(transaction, f"delete {name!r}")
 
     def names(self) -> list[str]:
         return [
@@ -367,9 +459,13 @@ class SqliteStore:
     def save_index(self, name: str, payload: dict, stamp: str = "") -> None:
         """Persist an ``IndexManager.payload()`` for a stored document."""
         doc_id, _ = self._document_row(name)
-        with self._conn:
-            self._delete_index_rows(doc_id)
-            self._insert_index_rows(doc_id, payload, stamp)
+
+        def transaction() -> None:
+            with self._conn:
+                self._delete_index_rows(doc_id)
+                self._insert_index_rows(doc_id, payload, stamp)
+
+        self._write_retry(transaction, f"save_index {name!r}")
 
     def _insert_index_rows(self, doc_id: int, payload: dict,
                            stamp: str = "") -> None:
@@ -491,7 +587,8 @@ class SqliteStore:
                           deltas, partition_spans, payload_factory,
                           stamp: str = "",
                           expected_stamp: str | None = None,
-                          attr_spans=None) -> None:
+                          attr_spans=None,
+                          strict_stamp: bool = False) -> None:
         """Atomically bring a stored document's rows *and* its index in
         step, in one transaction — a crash can never pair a newer
         document with a stale index.  ``deltas`` (when applicable and an
@@ -523,7 +620,32 @@ class SqliteStore:
         ``storage.full_rewrites.*`` metrics ('stale-deltas',
         'broken-coalescer', 'missing-attr-spans', 'no-stored-index',
         'stamp-mismatch') and warns under ``REPRO_OBS_STRICT=1``.
+
+        ``strict_stamp=True`` turns the stamp-mismatch fallback into a
+        typed :class:`~repro.errors.WriteConflictError` instead: the
+        transaction rolls back untouched rather than rewriting a
+        concurrent writer's rows wholesale.  This is the write-session
+        publish contract of :mod:`repro.service` — a second writer
+        racing the publish surfaces as a conflict, never as silent
+        last-writer-wins corruption of the other session's artifact.
+
+        The whole transaction sits behind the bounded SQLITE_BUSY retry
+        (:meth:`_write_retry`); a retried attempt re-runs the
+        in-transaction stamp verification from scratch, so a writer that
+        published during the backoff is still detected.
         """
+        self._write_retry(
+            lambda: self._resave_transaction(
+                document, name, deltas, partition_spans, payload_factory,
+                stamp, expected_stamp, attr_spans, strict_stamp,
+            ),
+            f"resave_with_index {name!r}",
+        )
+
+    def _resave_transaction(self, document: GoddagDocument, name: str,
+                            deltas, partition_spans, payload_factory,
+                            stamp: str, expected_stamp: str | None,
+                            attr_spans, strict_stamp: bool) -> None:
         doc_id, indexed = self._doc_index_row(name)
         tracer = current_tracer()
         span_cm = (
@@ -572,6 +694,16 @@ class SqliteStore:
                 row_level = cursor.rowcount == 1
                 if not row_level:
                     reason = "stamp-mismatch"
+            if reason == "stamp-mismatch" and strict_stamp:
+                # Raising inside the transaction rolls everything back
+                # (including the document-row update above): the racing
+                # writer's artifact stays exactly as it published it.
+                metrics.incr("service.conflicts")
+                raise WriteConflictError(
+                    f"document {name!r} was published by another writer "
+                    "during this session; nothing was written",
+                    name=name, expected=expected_stamp or "",
+                )
             if row_level:
                 if tracer is not None:
                     with tracer.span("coalesce") as coalesce_span:
@@ -678,8 +810,12 @@ class SqliteStore:
 
     def drop_index(self, name: str) -> None:
         doc_id, _ = self._document_row(name)
-        with self._conn:
-            self._delete_index_rows(doc_id)
+
+        def transaction() -> None:
+            with self._conn:
+                self._delete_index_rows(doc_id)
+
+        self._write_retry(transaction, f"drop_index {name!r}")
 
     def _corrupt(self, name: str, exc: Exception) -> StorageError:
         """Wrap a blob-decoding failure in the module's error contract."""
@@ -816,6 +952,144 @@ class SqliteStore:
             " WHERE doc_id = ? AND tag = ?", (doc_id, tag),
         ).fetchone()
         return count
+
+
+class SqliteConnectionPool:
+    """A bounded pool of :class:`SqliteStore` connections over one file.
+
+    The concurrency substrate of the document service: every session
+    borrows a connection for exactly as long as it touches the database
+    (a snapshot load, a stamp probe, a publish transaction) and returns
+    it immediately, so ``size`` bounds the *simultaneous* database
+    work, not the number of sessions.  All connections share one
+    WAL-mode database file — readers on other connections proceed while
+    a writer commits — and each carries the per-connection pragmas of
+    :class:`SqliteStore` (``busy_timeout``, ``foreign_keys``,
+    ``synchronous=NORMAL``).
+
+    Connections are created lazily up to ``size`` and reused
+    indefinitely.  :meth:`acquire` past capacity blocks up to
+    ``acquire_timeout_s`` and then raises the typed
+    :class:`~repro.errors.PoolExhaustedError` — never a silent
+    deadlock.  Occupancy lands on the ``storage.pool.in_use`` gauge
+    (observed at every acquire), waits on the ``storage.pool.wait``
+    timer, and each acquisition on the ``storage.pool.acquires``
+    counter.
+
+    An in-memory path is rejected: every ``:memory:`` connection is a
+    *different* database, so a pool over one is incoherent by
+    construction.
+    """
+
+    def __init__(self, path: str, size: int = 8, *, wal: bool = True,
+                 busy_timeout_ms: int = 5000,
+                 acquire_timeout_s: float = 30.0) -> None:
+        if str(path) == ":memory:":
+            raise StorageError(
+                "a connection pool needs a file-backed database: every "
+                "':memory:' connection is a distinct database"
+            )
+        if size < 1:
+            raise StorageError(f"pool size must be >= 1, got {size}")
+        self.path = str(path)
+        self.size = size
+        self.acquire_timeout_s = acquire_timeout_s
+        self._wal = wal
+        self._busy_timeout_ms = busy_timeout_ms
+        self._idle: list[SqliteStore] = []
+        self._created = 0
+        self._closed = False
+        self._available = threading.Condition(threading.Lock())
+
+    @property
+    def in_use(self) -> int:
+        """Connections currently out on loan."""
+        with self._available:
+            return self._created - len(self._idle)
+
+    def acquire(self, timeout: float | None = None) -> SqliteStore:
+        """Borrow a connection (create one lazily under the bound).
+
+        Blocks up to ``timeout`` (default: the pool's
+        ``acquire_timeout_s``) when all ``size`` connections are out,
+        then raises :class:`~repro.errors.PoolExhaustedError`.
+        """
+        if timeout is None:
+            timeout = self.acquire_timeout_s
+        deadline = time.monotonic() + timeout
+        with metrics.time("storage.pool.wait"):
+            with self._available:
+                while True:
+                    if self._closed:
+                        raise StorageError(
+                            f"connection pool over {self.path!r} is closed"
+                        )
+                    if self._idle:
+                        store = self._idle.pop()
+                        break
+                    if self._created < self.size:
+                        # Count the slot before connecting so a slow
+                        # connect cannot over-allocate past the bound.
+                        self._created += 1
+                        store = None
+                        break
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._available.wait(remaining):
+                        raise PoolExhaustedError(
+                            f"all {self.size} pooled connections over "
+                            f"{self.path!r} stayed busy for {timeout:.1f}s"
+                        )
+                metrics.incr("storage.pool.acquires")
+                metrics.observe(
+                    "storage.pool.in_use", self._created - len(self._idle)
+                )
+        if store is None:
+            try:
+                store = SqliteStore(
+                    self.path, wal=self._wal,
+                    busy_timeout_ms=self._busy_timeout_ms,
+                )
+            except BaseException:
+                with self._available:
+                    self._created -= 1
+                    self._available.notify()
+                raise
+        return store
+
+    def release(self, store: SqliteStore) -> None:
+        """Return a borrowed connection to the idle set."""
+        with self._available:
+            if self._closed:
+                self._created -= 1
+                store.close()
+            else:
+                self._idle.append(store)
+            self._available.notify()
+
+    @contextmanager
+    def connection(self, timeout: float | None = None):
+        """``with pool.connection() as store:`` — borrow for the block."""
+        store = self.acquire(timeout)
+        try:
+            yield store
+        finally:
+            self.release(store)
+
+    def close(self) -> None:
+        """Close every idle connection and refuse further acquires.
+        Connections currently on loan close when released."""
+        with self._available:
+            self._closed = True
+            while self._idle:
+                self._created -= 1
+                self._idle.pop().close()
+            self._available.notify_all()
+
+    def __enter__(self) -> "SqliteConnectionPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def _stored(row) -> StoredElement:

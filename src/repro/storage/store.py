@@ -72,6 +72,7 @@ class GoddagStore:
         # Per-name cache of sidecar sections loaded for the binary
         # backend (the sqlite backend queries its tables directly).
         self._sidecars: dict[str, dict] = {}
+        self._owns_backend = True
         if backend == "sqlite":
             self._sqlite: SqliteStore | None = SqliteStore(str(location))
         else:
@@ -80,6 +81,22 @@ class GoddagStore:
             if str(location) == ":memory:":
                 raise StorageError("the binary backend needs a directory")
             self._directory.mkdir(parents=True, exist_ok=True)
+
+    @classmethod
+    def over(cls, backend: SqliteStore) -> "GoddagStore":
+        """The facade over an *existing* sqlite connection — typically
+        one on loan from a
+        :class:`~repro.storage.sqlite_backend.SqliteConnectionPool`.
+        The wrapped connection stays the lender's to close:
+        :meth:`close` on the returned store is a no-op, so releasing a
+        pooled connection back is always safe afterwards."""
+        store = cls.__new__(cls)
+        store.backend = "sqlite"
+        store.location = backend.path
+        store._sidecars = {}
+        store._owns_backend = False
+        store._sqlite = backend
+        return store
 
     # -- helpers -----------------------------------------------------------------
 
@@ -90,7 +107,7 @@ class GoddagStore:
         return sidecar_path(self._file(name))
 
     def close(self) -> None:
-        if self._sqlite is not None:
+        if self._sqlite is not None and self._owns_backend:
             self._sqlite.close()
 
     def __enter__(self) -> "GoddagStore":
@@ -169,7 +186,8 @@ class GoddagStore:
 
     def save_indexed(self, document: GoddagDocument, name: str,
                      manager: IndexManager | None = None,
-                     overwrite: bool = False) -> dict:
+                     overwrite: bool = False,
+                     strict_stamp: bool = False) -> dict:
         """Save (or re-save) a document *and* keep its persisted index in
         step — the editing-session alternative to save + :meth:`build_index`.
 
@@ -204,6 +222,14 @@ class GoddagStore:
         ``overwrite=True``, like :meth:`save`, and always gets a full
         index write rather than a row-level patch.
 
+        ``strict_stamp=True`` (sqlite only) is the document service's
+        publish contract: instead of demanding ``overwrite=True`` when
+        the stored artifact is not this session's — or silently
+        rewriting a racing writer's rows when the in-transaction stamp
+        re-verification fails — the save raises the typed
+        :class:`~repro.errors.WriteConflictError` and leaves the store
+        exactly as the other writer published it.
+
         Returns the manager's size census, like :meth:`build_index`.
         """
         if manager is None:
@@ -216,15 +242,18 @@ class GoddagStore:
         tracer = current_tracer()
         if tracer is None:
             with metrics.time("storage.save"):
-                self._save_indexed(document, name, manager, overwrite)
+                self._save_indexed(document, name, manager, overwrite,
+                                   strict_stamp)
         else:
             with tracer.span("save", document=name, backend=self.backend):
                 with metrics.time("storage.save"):
-                    self._save_indexed(document, name, manager, overwrite)
+                    self._save_indexed(document, name, manager, overwrite,
+                                       strict_stamp)
         return manager.stats()
 
     def _save_indexed(self, document: GoddagDocument, name: str,
-                      manager: IndexManager, overwrite: bool) -> None:
+                      manager: IndexManager, overwrite: bool,
+                      strict_stamp: bool = False) -> None:
         # The token pins delta accounting to one exact artifact
         # *generation*: deltas accumulated against another store,
         # another name, or an artifact someone replaced since our last
@@ -235,6 +264,15 @@ class GoddagStore:
             token = (self.backend, str(self.location), name, generation)
             deltas = manager.pending_persist(token)  # refreshes the manager
             if exists and not overwrite and not manager.persisted_to(token):
+                if strict_stamp:
+                    from ..errors import WriteConflictError
+
+                    metrics.incr("service.conflicts")
+                    raise WriteConflictError(
+                        f"document {name!r} was published by another "
+                        "writer during this session; nothing was written",
+                        name=name, found=generation or "",
+                    )
                 raise StorageError(
                     f"document {name!r} already stored and is not this "
                     "session's artifact; pass overwrite=True to replace it"
@@ -251,6 +289,7 @@ class GoddagStore:
                     stamp=stamp,
                     expected_stamp=generation,
                     attr_spans=manager.attrs.spans,
+                    strict_stamp=strict_stamp,
                 )
             else:
                 self._sqlite.save(document, name)

@@ -18,6 +18,7 @@ harness relies on the unindexed arm staying an independent oracle.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from collections import OrderedDict
 from typing import Callable
@@ -60,15 +61,26 @@ class PlanCache:
         self.limit = limit
         self.hits = 0
         self.misses = 0
+        # One mutex guards the entry map, the per-entry slot lists, and
+        # the counters: the cache is process-wide and service read
+        # sessions evaluate on arbitrary threads, while OrderedDict
+        # reorders and slot-list rotations are multi-step mutations.
+        # Planning itself always runs outside the lock.
+        self._lock = threading.Lock()
 
     def entry(self, expression: str) -> _PlanCacheEntry | None:
         """The (LRU-refreshed) cache entry for ``expression``, if any."""
-        found = self._entries.get(expression)
-        if found is not None:
-            self._entries.move_to_end(expression)
-        return found
+        with self._lock:
+            found = self._entries.get(expression)
+            if found is not None:
+                self._entries.move_to_end(expression)
+            return found
 
     def ensure_entry(self, expression: str, ast: Expr) -> _PlanCacheEntry:
+        with self._lock:
+            return self._ensure_entry(expression, ast)
+
+    def _ensure_entry(self, expression: str, ast: Expr) -> _PlanCacheEntry:
         found = self._entries.get(expression)
         if found is None:
             found = _PlanCacheEntry(ast)
@@ -79,18 +91,9 @@ class PlanCache:
             self._entries.move_to_end(expression)
         return found
 
-    def plan_for(
-        self, expression: str, ast: Expr, document, manager
-    ) -> QueryPlan:
-        """The cached plan for this generation, or a freshly priced one.
-
-        A hit requires the same ast object, the same live document and
-        manager (weakref identity — ids are never compared, CPython
-        recycles them), and an unchanged generation stamp.
-        """
-        entry = self.ensure_entry(expression, ast)
-        version = document.version
-        builds = manager.build_count
+    @staticmethod
+    def _slot_plan(entry: _PlanCacheEntry, ast: Expr, document, manager,
+                   version: int, builds: int) -> QueryPlan | None:
         slots = entry.slots
         for i, slot in enumerate(slots):
             (slot_ast, doc_ref, manager_ref, slot_version, slot_builds,
@@ -104,36 +107,68 @@ class PlanCache:
             ):
                 if i:
                     slots.insert(0, slots.pop(i))
-                self.hits += 1
-                metrics.incr("xpath.plan_cache.hits")
                 return plan
-        self.misses += 1
+        return None
+
+    def plan_for(
+        self, expression: str, ast: Expr, document, manager
+    ) -> QueryPlan:
+        """The cached plan for this generation, or a freshly priced one.
+
+        A hit requires the same ast object, the same live document and
+        manager (weakref identity — ids are never compared, CPython
+        recycles them), and an unchanged generation stamp.  The hot
+        (hit) path takes the mutex exactly once.
+        """
+        version = document.version
+        builds = manager.build_count
+        with self._lock:
+            entry = self._ensure_entry(expression, ast)
+            plan = self._slot_plan(entry, ast, document, manager,
+                                   version, builds)
+            if plan is not None:
+                self.hits += 1
+            else:
+                self.misses += 1
+        if plan is not None:
+            metrics.incr("xpath.plan_cache.hits")
+            return plan
         metrics.incr("xpath.plan_cache.misses")
         plan = Planner(document, manager).plan(ast, expression)
-        # Replace a dead-or-stale slot for this same document/manager
-        # pair before spilling into a fresh slot.
-        replaced = False
-        for i, slot in enumerate(slots):
-            if slot[1]() is document and slot[2]() is manager:
-                slots[i] = (ast, slot[1], slot[2], version, builds, plan)
-                slots.insert(0, slots.pop(i))
-                replaced = True
-                break
-        if not replaced:
-            slots.insert(0, (
-                ast, weakref.ref(document), weakref.ref(manager),
-                version, builds, plan,
-            ))
-            del slots[_PLAN_SLOTS:]
+        with self._lock:
+            # Another thread may have planned the same generation while
+            # this one did; keep the slot list single-plan-per-pair.
+            raced = self._slot_plan(entry, ast, document, manager,
+                                    version, builds)
+            if raced is not None:
+                return raced
+            # Replace a dead-or-stale slot for this same document/manager
+            # pair before spilling into a fresh slot.
+            slots = entry.slots
+            replaced = False
+            for i, slot in enumerate(slots):
+                if slot[1]() is document and slot[2]() is manager:
+                    slots[i] = (ast, slot[1], slot[2], version, builds, plan)
+                    slots.insert(0, slots.pop(i))
+                    replaced = True
+                    break
+            if not replaced:
+                slots.insert(0, (
+                    ast, weakref.ref(document), weakref.ref(manager),
+                    version, builds, plan,
+                ))
+                del slots[_PLAN_SLOTS:]
         return plan
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 #: The process-wide compiled-plan cache.
@@ -142,6 +177,10 @@ _plan_cache = PlanCache()
 #: One-shot ``xpath()`` reuses whole compiled queries, so a repeated
 #: expression skips parsing as well as planning.
 _query_cache: OrderedDict[str, "ExtendedXPath"] = OrderedDict()
+
+#: Guards ``_query_cache`` (same rationale as :class:`PlanCache`'s
+#: internal lock); compilation runs outside it.
+_query_cache_lock = threading.Lock()
 
 
 def plan_cache_stats() -> dict:
@@ -160,7 +199,8 @@ def plan_cache_stats() -> dict:
 def clear_plan_cache() -> None:
     """Drop every cached AST, plan, and one-shot query (test isolation)."""
     _plan_cache.clear()
-    _query_cache.clear()
+    with _query_cache_lock:
+        _query_cache.clear()
 
 
 class ExtendedXPath:
@@ -199,11 +239,11 @@ class ExtendedXPath:
         # against one document, so a private slot still pays.  Identity
         # is held via weakrefs (never raw id(), which CPython recycles
         # after GC), so the cache cannot serve a plan priced against a
-        # dead document's statistics.
-        self._plan_document: weakref.ref | None = None
-        self._plan_manager: weakref.ref | None = None
-        self._plan_version: int | None = None
-        self._plan: QueryPlan | None = None
+        # dead document's statistics.  The slot is one tuple written in
+        # a single store: a compiled query shared across threads (the
+        # one-shot ``xpath()`` cache hands them out) can never observe
+        # a plan paired with another version's key fields.
+        self._plan_slot: tuple | None = None
 
     def _cached_plan(self, document: GoddagDocument, index) -> QueryPlan:
         manager = resolve_manager(document, index)
@@ -211,29 +251,14 @@ class ExtendedXPath:
             return _plan_cache.plan_for(
                 self.expression, self.ast, document, manager
             )
-        cached_document = (
-            self._plan_document() if self._plan_document is not None else None
-        )
-        cached_manager = (
-            self._plan_manager() if self._plan_manager is not None else None
-        )
-        fresh = (
-            self._plan is not None
-            and cached_document is document
-            and self._plan_version == document.version
-            and cached_manager is manager
-            and (manager is not None) == (self._plan_manager is not None)
-        )
-        if not fresh:
-            self._plan = Planner(document, manager).plan(
-                self.ast, self.expression
-            )
-            self._plan_document = weakref.ref(document)
-            self._plan_manager = (
-                weakref.ref(manager) if manager is not None else None
-            )
-            self._plan_version = document.version
-        return self._plan
+        slot = self._plan_slot
+        if slot is not None:
+            doc_ref, version, plan = slot
+            if doc_ref() is document and version == document.version:
+                return plan
+        plan = Planner(document, manager).plan(self.ast, self.expression)
+        self._plan_slot = (weakref.ref(document), document.version, plan)
+        return plan
 
     def evaluate(
         self, document: GoddagDocument, context: Node | None = None,
@@ -268,7 +293,8 @@ class ExtendedXPath:
                 self.ast, context, variables
             )
         with tracer.span("query", expression=self.expression):
-            cached_before = self._plan
+            slot_before = self._plan_slot
+            cached_before = slot_before[2] if slot_before is not None else None
             with tracer.span("plan") as plan_span:
                 plan = self._cached_plan(document, index)
             plan_span.set(cached=plan is cached_before)
@@ -376,14 +402,21 @@ def xpath(
     bounded), so a loop of ``xpath(doc, q)`` calls pays parse+plan once
     and then runs from the compiled-plan cache like a held
     :class:`ExtendedXPath` would."""
-    query = _query_cache.get(expression)
+    with _query_cache_lock:
+        query = _query_cache.get(expression)
+        if query is not None:
+            _query_cache.move_to_end(expression)
     if query is None:
         query = ExtendedXPath(expression)
-        _query_cache[expression] = query
-        while len(_query_cache) > _QUERY_CACHE_LIMIT:
-            _query_cache.popitem(last=False)
-    else:
-        _query_cache.move_to_end(expression)
+        with _query_cache_lock:
+            existing = _query_cache.get(expression)
+            if existing is not None:
+                query = existing
+                _query_cache.move_to_end(expression)
+            else:
+                _query_cache[expression] = query
+                while len(_query_cache) > _QUERY_CACHE_LIMIT:
+                    _query_cache.popitem(last=False)
     return query.evaluate(document, context)
 
 
