@@ -26,6 +26,7 @@ Quickstart::
         print(element.tag, element.text)
 """
 
+from .collection import CollectionPlan, CollectionResult, Corpus
 from .compare import canonical_form, describe_difference, documents_isomorphic
 from .core import (
     ConcurrentSchema,
@@ -88,7 +89,10 @@ from .errors import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CollectionPlan",
+    "CollectionResult",
     "ConcurrentSchema",
+    "Corpus",
     "DTD",
     "DTDSyntaxError",
     "DocumentService",

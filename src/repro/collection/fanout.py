@@ -1,0 +1,186 @@
+"""Per-document fan-out for cross-document queries.
+
+One routed query visits many documents; this module evaluates the
+per-document expression against each of them in one of three execution
+modes — ``serial``, ``thread``, ``process`` — and guarantees the merged
+answer is **byte-identical** across all three:
+
+* every document is loaded under the service's snapshot discipline
+  (stamp → load → stamp, retried when a writer publishes in between),
+  so a result row set is always internally consistent with the
+  generation it reports;
+* node results are flattened to plain comparable tuples
+  (:func:`node_rows`) — picklable for the process pool and
+  order-stable, since the evaluator already emits document order;
+* chunks are reassembled in the caller's document-name order whatever
+  order the workers finished in.
+
+Process workers re-open the store read-only from the database *path*
+(one cached connection per worker process — never a connection
+inherited across ``fork``, which SQLite forbids).  When a process pool
+cannot be used (no ``fork``/spawn support, pickling trouble, a broken
+pool), the fan-out falls back to threads and reports itself on the
+``collection.fanout`` fallback metric rather than failing the query.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from ..core.node import Element
+from ..errors import ServiceError
+from ..obs import fallback as _obs_fallback
+from ..obs.metrics import metrics
+from ..storage.sqlite_backend import SqliteStore
+from ..storage.store import GoddagStore
+from ..xpath.axes import AttributeNode, DocumentNode
+from ..xpath.engine import ExtendedXPath
+
+_SNAPSHOT_ATTEMPTS = 8
+
+#: One read-only store connection per (worker process, database path).
+#: Keyed by pid so a connection is never reused across a fork — each
+#: worker opens its own on first use.
+_process_stores: dict[tuple[int, str], SqliteStore] = {}
+
+
+def snapshot_load(backend: SqliteStore, name: str):
+    """``(document, generation)`` under the service's snapshot
+    discipline: the generation stamp is probed before and after the
+    load, and the load retried when a writer published in between."""
+    store = GoddagStore.over(backend)
+    for _ in range(_SNAPSHOT_ATTEMPTS):
+        before = backend.index_stamp(name)
+        document = store.load(name)
+        if backend.index_stamp(name) == before:
+            return document, before
+    raise ServiceError(
+        f"document {name!r} kept being republished while opening "
+        f"a snapshot ({_SNAPSHOT_ATTEMPTS} attempts)"
+    )
+
+
+def node_rows(value) -> tuple:
+    """Flatten an XPath result into comparable, picklable row tuples.
+
+    Node-sets become one row per node in the order the evaluator
+    produced (document order); scalar results become a single
+    ``("value", ...)`` row.  The encoding is total over every node kind
+    the evaluator can emit, so two evaluations agree exactly when their
+    rows agree.
+    """
+    if not isinstance(value, list):
+        return (("value", type(value).__name__, value),)
+    rows = []
+    for node in value:
+        if isinstance(node, AttributeNode):
+            rows.append(("attribute", node.owner.elem_id, node.name,
+                         node.value))
+        elif isinstance(node, DocumentNode):
+            rows.append(("document",))
+        elif isinstance(node, Element):
+            rows.append((
+                "element", node.elem_id, node.hierarchy, node.tag,
+                node.start, node.end,
+                tuple(sorted(node.attributes.items())),
+            ))
+        else:  # Leaf
+            rows.append(("leaf", node.start, node.end))
+    return tuple(rows)
+
+
+def evaluate_documents(
+    backend: SqliteStore, names: list[str], expression: str
+) -> list[tuple[str, str | None, tuple]]:
+    """Evaluate ``expression`` per document over one borrowed
+    connection; returns ``(name, generation, rows)`` triples.
+
+    Evaluation runs the classic unindexed engine (``index=False``): the
+    answers are identical by the index contract, and a cold
+    per-document manager build would dominate a one-shot visit.
+    """
+    query = ExtendedXPath(expression)
+    out = []
+    for name in names:
+        document, generation = snapshot_load(backend, name)
+        value = query.evaluate(document, index=False)
+        out.append((name, generation, node_rows(value)))
+    return out
+
+
+def _worker_chunk(
+    path: str, names: list[str], expression: str
+) -> list[tuple[str, str | None, tuple]]:
+    """Process-pool entry point: evaluate one chunk against a
+    per-worker read-only connection (module-level so it pickles)."""
+    key = (os.getpid(), path)
+    backend = _process_stores.get(key)
+    if backend is None:
+        backend = _process_stores[key] = SqliteStore(path, wal=True)
+    return evaluate_documents(backend, names, expression)
+
+
+def run_fanout(pool, names: list[str], expression: str, *,
+               mode: str = "serial", workers: int | None = None,
+               process_pool=None, thread_pool=None
+               ) -> list[tuple[str, str | None, tuple]]:
+    """Fan ``expression`` out over ``names`` and merge the answers back
+    in the caller's name order (the stable ``(doc, document-order)``
+    contract — identical whatever mode ran).
+
+    ``pool`` is the corpus's :class:`SqliteConnectionPool`; ``mode`` is
+    ``"serial"``, ``"thread"`` or ``"process"``; ``process_pool`` /
+    ``thread_pool`` are reusable executors owned by the caller.
+    """
+    if mode not in ("serial", "thread", "process"):
+        raise ServiceError(
+            f"unknown fan-out mode {mode!r}: use 'serial', 'thread' "
+            "or 'process'"
+        )
+    if workers is None:
+        workers = min(4, len(os.sched_getaffinity(0)) or 1)
+    if mode == "serial" or workers <= 1 or len(names) <= 1:
+        with metrics.time("collection.fanout.serial"):
+            with pool.connection() as backend:
+                return evaluate_documents(backend, names, expression)
+    chunks = [names[i::workers] for i in range(workers) if names[i::workers]]
+    if mode == "process" and process_pool is None:
+        _obs_fallback("collection.fanout", "process-unavailable",
+                      "no process pool could be created")
+        mode = "thread"
+    if mode == "process":
+        try:
+            with metrics.time("collection.fanout.process"):
+                results = list(process_pool.map(
+                    _worker_chunk,
+                    [pool.path] * len(chunks),
+                    chunks,
+                    [expression] * len(chunks),
+                ))
+            return _merge(names, results)
+        except (BrokenProcessPool, OSError, ImportError) as exc:
+            _obs_fallback("collection.fanout", "process-unavailable",
+                          str(exc))
+            mode = "thread"
+
+    def chunk_on_pool(chunk: list[str]):
+        with pool.connection() as backend:
+            return evaluate_documents(backend, chunk, expression)
+
+    with metrics.time("collection.fanout.thread"):
+        results = list(thread_pool.map(chunk_on_pool, chunks))
+    return _merge(names, results)
+
+
+def _merge(names: list[str], results) -> list:
+    by_name = {
+        entry[0]: entry for chunk in results for entry in chunk
+    }
+    return [by_name[name] for name in names]
+
+
+__all__ = [
+    "evaluate_documents", "node_rows", "run_fanout", "snapshot_load",
+]

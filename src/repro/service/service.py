@@ -259,6 +259,8 @@ class DocumentService:
         )
         self._write_locks: dict[str, threading.Lock] = {}
         self._locks_guard = threading.Lock()
+        self._corpus = None
+        self._corpus_guard = threading.Lock()
 
     # -- plumbing ---------------------------------------------------------------
 
@@ -266,6 +268,30 @@ class DocumentService:
     def pool(self) -> SqliteConnectionPool:
         """The underlying connection pool (occupancy via ``pool.in_use``)."""
         return self._pool
+
+    @property
+    def corpus(self):
+        """The collection-scale view over this service's store: a
+        :class:`~repro.collection.Corpus` sharing the service's
+        connection pool, so cross-document queries
+        (``collection()//sp``) run against exactly the documents the
+        sessions serve — including their routing summary, which every
+        publish maintains as a delta."""
+        with self._corpus_guard:
+            if self._corpus is None:
+                from ..collection import Corpus
+
+                self._corpus = Corpus.over(self._pool)
+            return self._corpus
+
+    def collection_query(self, expression: str, *, routing: bool = True,
+                         mode: str = "serial",
+                         workers: int | None = None):
+        """Run a cross-document ``collection()...`` query over every
+        stored document (see :meth:`repro.collection.Corpus.query`)."""
+        return self.corpus.query(
+            expression, routing=routing, mode=mode, workers=workers
+        )
 
     def _write_lock(self, name: str) -> threading.Lock:
         with self._locks_guard:
@@ -398,6 +424,10 @@ class DocumentService:
     # -- lifecycle ---------------------------------------------------------------
 
     def close(self) -> None:
+        with self._corpus_guard:
+            if self._corpus is not None:
+                self._corpus.close()  # executors only; the pool is ours
+                self._corpus = None
         self._pool.close()
 
     def __enter__(self) -> "DocumentService":

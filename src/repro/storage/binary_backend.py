@@ -62,6 +62,15 @@ class BinaryHeader:
     element_count: int
     text_bytes: int
     attrs_bytes: int
+    #: True when the record table is strictly increasing in ``elem_id``,
+    #: letting :func:`read_element` bisect the fixed-width table with
+    #: O(log n) seeks instead of scanning every record.  Records are in
+    #: per-hierarchy preorder, so this holds for freshly built documents
+    #: but not necessarily after edits (a late-born element keeps its
+    #: high ordinal wherever it nests); the writer checks and records
+    #: the truth.  Files written before the flag existed default to
+    #: False and keep the scan path — old artifacts stay readable.
+    ids_sorted: bool = False
 
 
 def save_file(document: GoddagDocument, path: str | Path, name: str = "") -> None:
@@ -104,6 +113,10 @@ def save_file(document: GoddagDocument, path: str | Path, name: str = "") -> Non
         element_count=len(element_rows),
         text_bytes=len(text_bytes),
         attrs_bytes=blob_size,
+        ids_sorted=all(
+            element_rows[i].elem_id < element_rows[i + 1].elem_id
+            for i in range(len(element_rows) - 1)
+        ),
     )
     header_bytes = json.dumps(header.__dict__, sort_keys=True).encode("utf-8")
 
@@ -221,34 +234,64 @@ def read_element(
 
     Returns ``(hierarchy, tag, start, end, attributes)`` for the record
     whose ``elem_id`` matches, or ``None`` — the binary backend's half
-    of the cross-session node handle (``GoddagStore.element``).  Reads
-    the header and the fixed-width element table, and the attribute blob
-    only when the match carries attributes; the text region is skipped
-    and no document is materialized.
+    of the cross-session node handle (``GoddagStore.element``).
+
+    When the header records a strictly id-sorted table
+    (``ids_sorted``), the lookup bisects the fixed-width records with
+    O(log n) seek-and-unpack probes instead of reading the whole table
+    — the single-handle access stops being O(rows).  Tables written
+    unsorted (edited documents, pre-flag files) keep the full scan.
+    Either way only the matching record's attribute line is read from
+    the blob; the text region is skipped and no document is
+    materialized.
     """
     with open(path, "rb") as fh:
         header = _read_header(fh)
-        fh.seek(header.text_bytes, 1)  # skip the text
+        table_start = fh.tell() + header.text_bytes
+        attrs_start = table_start + header.element_count * _RECORD.size
+        if header.ids_sorted:
+            metrics.incr("storage.element_probe.bisect")
+            lo, hi = 0, header.element_count - 1
+            while lo <= hi:
+                mid = (lo + hi) // 2
+                fh.seek(table_start + mid * _RECORD.size)
+                record = _RECORD.unpack(fh.read(_RECORD.size))
+                if record[0] == elem_id:
+                    return _record_handle(fh, header, attrs_start, record)
+                if record[0] < elem_id:
+                    lo = mid + 1
+                else:
+                    hi = mid - 1
+            return None
+        metrics.incr("storage.element_probe.scan")
+        fh.seek(table_start)
         table = fh.read(header.element_count * _RECORD.size)
         for record in _RECORD.iter_unpack(table):
-            found, h_idx, tag_idx, start, end, _, attrs_offset = record
-            if found != elem_id:
-                continue
-            attributes: dict[str, str] = {}
-            if attrs_offset != _NO_ATTRS:
-                fh.seek(attrs_offset, 1)
-                encoded = fh.read(header.attrs_bytes - attrs_offset)
-                attributes = json.loads(
-                    encoded[: encoded.index(b"\n")].decode("utf-8")
-                )
-            return (
-                header.hierarchies[h_idx]["name"],
-                header.tags[tag_idx],
-                start,
-                end,
-                attributes,
-            )
+            if record[0] == elem_id:
+                return _record_handle(fh, header, attrs_start, record)
     return None
+
+
+def _record_handle(
+    fh, header: BinaryHeader, attrs_start: int, record: tuple
+) -> tuple[str, str, int, int, dict[str, str]]:
+    """Materialize one unpacked record into the ``read_element`` result,
+    fetching its attribute line from the blob by absolute offset."""
+    _, h_idx, tag_idx, start, end, _, attrs_offset = record
+    attributes: dict[str, str] = {}
+    if attrs_offset != _NO_ATTRS:
+        fh.seek(attrs_start + attrs_offset)
+        encoded = fh.read(header.attrs_bytes - attrs_offset)
+        attributes = json.loads(
+            encoded[: encoded.index(b"\n")].decode("utf-8")
+        )
+    return (
+        header.hierarchies[h_idx]["name"],
+        header.tags[tag_idx],
+        start,
+        end,
+        attributes,
+    )
 
 
 def file_stats(path: str | Path) -> dict[str, int]:

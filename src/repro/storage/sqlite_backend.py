@@ -104,7 +104,59 @@ CREATE INDEX IF NOT EXISTS idx_index_overlap_span
     ON index_overlap(doc_id, start, end);
 CREATE INDEX IF NOT EXISTS idx_index_paths_tag
     ON index_paths(doc_id, tag);
+CREATE TABLE IF NOT EXISTS collection_summary (
+    doc_id INTEGER NOT NULL REFERENCES documents(doc_id) ON DELETE CASCADE,
+    kind INTEGER NOT NULL,
+    key TEXT NOT NULL,
+    n INTEGER NOT NULL,
+    PRIMARY KEY (kind, key, doc_id)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS idx_collection_summary_doc
+    ON collection_summary(doc_id, kind);
 """
+
+#: Schema version recorded in ``PRAGMA user_version``.  Version 1 added
+#: the ``collection_summary`` routing table; opening an older store
+#: backfills it from the per-document index tables (see :meth:`_migrate`).
+SCHEMA_VERSION = 1
+
+#: ``collection_summary.kind`` values — the four feature families the
+#: collection router consults (see :mod:`repro.collection.router`).
+KIND_TAG = 0      # key = tag; n = elements with that tag
+KIND_TERM = 1     # key = term-index token; n = occurrences
+KIND_ATTR = 2     # key = encode_path((name, value)); n = posting length
+KIND_PATH = 3     # key = encoded label path (hierarchy-agnostic); n = members
+
+
+def collection_summary_rows(payload: dict) -> list[tuple[int, str, int]]:
+    """The ``(kind, key, n)`` collection-summary rows of one document,
+    derived from its ``IndexManager.payload()``.
+
+    The same aggregation the row-level delta path recomputes in SQL
+    (:meth:`SqliteStore._patch_collection_rows`): tag populations are
+    label-path counts summed per tag, path populations are summed
+    across hierarchies (routing has no hierarchy context), term rows
+    carry posting lengths, and attribute rows the ``(name, value)``
+    posting length under the injective :func:`~repro.index.structural.encode_path`
+    key.  Keeping both producers aggregation-identical is what makes a
+    delta-patched store byte-identical to a rebuilt one.
+    """
+    tags: dict[str, int] = {}
+    paths: dict[str, int] = {}
+    for _hierarchy, encoded, tag, count, _spans in payload.get("paths", []):
+        tags[tag] = tags.get(tag, 0) + count
+        paths[encoded] = paths.get(encoded, 0) + count
+    rows = [(KIND_TAG, tag, n) for tag, n in tags.items()]
+    rows.extend((KIND_PATH, encoded, n) for encoded, n in paths.items())
+    rows.extend(
+        (KIND_TERM, term, len(starts))
+        for term, starts in payload.get("terms", {}).items()
+    )
+    rows.extend(
+        (KIND_ATTR, encode_path((name, value)), count)
+        for name, value, count, _spans in payload.get("attrs", [])
+    )
+    return rows
 
 
 @dataclass(frozen=True)
@@ -221,6 +273,50 @@ class SqliteStore:
                     "ALTER TABLE index_meta"
                     " ADD COLUMN stamp TEXT NOT NULL DEFAULT ''"
                 )
+        (version,) = self._conn.execute("PRAGMA user_version").fetchone()
+        if version < SCHEMA_VERSION:
+            self._backfill_collection_summary()
+
+    def _backfill_collection_summary(self) -> None:
+        """Populate ``collection_summary`` for a store written before
+        schema version 1, from the per-document index tables already on
+        disk — same aggregation as :func:`collection_summary_rows`, so a
+        migrated store routes identically to a freshly built one.
+        Without this, routing would treat every pre-collection indexed
+        document as matching nothing and silently prune it."""
+        def transaction() -> None:
+            with self._conn:
+                self._conn.execute("DELETE FROM collection_summary")
+                self._conn.execute(
+                    "INSERT INTO collection_summary"
+                    " SELECT doc_id, ?, tag, SUM(n) FROM index_paths"
+                    " GROUP BY doc_id, tag", (KIND_TAG,),
+                )
+                self._conn.execute(
+                    "INSERT INTO collection_summary"
+                    " SELECT doc_id, ?, path, SUM(n) FROM index_paths"
+                    " GROUP BY doc_id, path", (KIND_PATH,),
+                )
+                self._conn.execute(
+                    "INSERT INTO collection_summary"
+                    " SELECT doc_id, ?, term, length(starts) / 4"
+                    " FROM index_terms", (KIND_TERM,),
+                )
+                # Attribute keys need the injective python-side
+                # encoding, so these rows go through a fetch loop.
+                attr_rows = self._conn.execute(
+                    "SELECT doc_id, name, value, n FROM index_attrs"
+                ).fetchall()
+                self._conn.executemany(
+                    "INSERT INTO collection_summary VALUES (?, ?, ?, ?)",
+                    [(doc_id, KIND_ATTR, encode_path((name, value)), n)
+                     for doc_id, name, value, n in attr_rows],
+                )
+                self._conn.execute(
+                    f"PRAGMA user_version = {int(SCHEMA_VERSION)}"
+                )
+
+        self._write_retry(transaction, "collection-summary backfill")
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -512,6 +608,33 @@ class SqliteStore:
                 )
             ],
         )
+        self._conn.executemany(
+            "INSERT INTO collection_summary VALUES (?, ?, ?, ?)",
+            [(doc_id, kind, key, n)
+             for kind, key, n in collection_summary_rows(payload)],
+        )
+
+    def _patch_collection_rows(self, doc_id: int, kind: int, key: str,
+                               count_sql: str, params: tuple) -> None:
+        """Bring one ``collection_summary`` row in step with the index
+        tables just patched (statements only — the caller owns the
+        transaction).  ``count_sql`` recomputes the population from the
+        per-document index rows; zero deletes the summary row, so the
+        routing table never holds a key the document can no longer
+        match."""
+        (n,) = self._conn.execute(count_sql, params).fetchone()
+        if n:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO collection_summary"
+                " VALUES (?, ?, ?, ?)",
+                (doc_id, kind, key, n),
+            )
+        else:
+            self._conn.execute(
+                "DELETE FROM collection_summary"
+                " WHERE doc_id = ? AND kind = ? AND key = ?",
+                (doc_id, kind, key),
+            )
 
     def _apply_index_delta_rows(self, doc_id: int, deltas,
                                 partition_spans, attr_spans) -> None:
@@ -572,6 +695,34 @@ class SqliteStore:
                     " AND name = ? AND value = ?",
                     (doc_id, attr_name, value),
                 )
+        # Collection-summary maintenance: recompute exactly the touched
+        # routing keys from the index rows patched above (same
+        # transaction, so the SELECTs see the new state).  Aggregating
+        # in SQL keeps the result byte-identical to the full-payload
+        # derivation of :func:`collection_summary_rows`.  Term rows
+        # never change — the text is immutable within a session.
+        for tag in {path[-1] for _hierarchy, path in deltas.paths}:
+            self._patch_collection_rows(
+                doc_id, KIND_TAG, tag,
+                "SELECT COALESCE(SUM(n), 0) FROM index_paths"
+                " WHERE doc_id = ? AND tag = ?",
+                (doc_id, tag),
+            )
+        for encoded in {encode_path(path)
+                        for _hierarchy, path in deltas.paths}:
+            self._patch_collection_rows(
+                doc_id, KIND_PATH, encoded,
+                "SELECT COALESCE(SUM(n), 0) FROM index_paths"
+                " WHERE doc_id = ? AND path = ?",
+                (doc_id, encoded),
+            )
+        for attr_name, value in deltas.attrs:
+            self._patch_collection_rows(
+                doc_id, KIND_ATTR, encode_path((attr_name, value)),
+                "SELECT COALESCE(SUM(n), 0) FROM index_attrs"
+                " WHERE doc_id = ? AND name = ? AND value = ?",
+                (doc_id, attr_name, value),
+            )
 
     def index_stamp(self, name: str) -> str | None:
         """The generation stamp of the persisted index (empty for one
@@ -582,6 +733,105 @@ class SqliteStore:
             "SELECT stamp FROM index_meta WHERE doc_id = ?", (doc_id,)
         ).fetchone()
         return row[0] if row else None
+
+    def route_documents(self, features) -> list[str]:
+        """The names of every document that *can* match a query with
+        the given necessary ``features``, in sorted order.
+
+        ``features`` are the router's conservative necessary conditions
+        (:func:`repro.collection.router.routing_features`): tuples of
+        ``("root", tag)``, ``("tag", tag)``, ``("term", needle)``,
+        ``("attr", name, value)`` or ``("path", encoded)``.  A document
+        survives only if *every* feature holds — but the test errs
+        strictly on the side of keeping documents: unindexed documents
+        always route (they have no summary rows to consult), a tag
+        feature also accepts a matching root tag (the shared GODDAG
+        root is reachable by ``//x`` yet is not an element row), and an
+        attribute feature falls back to an ``instr`` prefilter over the
+        stored root-attribute JSON (root attributes are not in the
+        posting index).  False positives cost a wasted per-document
+        evaluation; a false negative would change answers — so there
+        are none by construction.
+        """
+        where = ["m.doc_id IS NULL"]
+        conj: list[str] = []
+        params: list = []
+        for feature in features:
+            kind, key = feature[0], feature[1]
+            if kind == "root":
+                conj.append("d.root_tag = ?")
+                params.append(key)
+            elif kind == "tag":
+                conj.append(
+                    "(EXISTS(SELECT 1 FROM collection_summary s"
+                    " WHERE s.doc_id = d.doc_id AND s.kind = ?"
+                    " AND s.key = ?) OR d.root_tag = ?)"
+                )
+                params.extend((KIND_TAG, key, key))
+            elif kind == "term":
+                conj.append(
+                    "EXISTS(SELECT 1 FROM collection_summary s"
+                    " WHERE s.doc_id = d.doc_id AND s.kind = ?"
+                    " AND instr(s.key, ?) > 0)"
+                )
+                params.extend((KIND_TERM, key))
+            elif kind == "attr":
+                name, value = key, feature[2]
+                conj.append(
+                    "(EXISTS(SELECT 1 FROM collection_summary s"
+                    " WHERE s.doc_id = d.doc_id AND s.kind = ?"
+                    " AND s.key = ?) OR (instr(d.root_attributes, ?) > 0"
+                    " AND instr(d.root_attributes, ?) > 0))"
+                )
+                params.extend((KIND_ATTR, encode_path((name, value)),
+                               _json_token_prefix(name),
+                               _json_token_prefix(value)))
+            elif kind == "path":
+                conj.append(
+                    "EXISTS(SELECT 1 FROM collection_summary s"
+                    " WHERE s.doc_id = d.doc_id AND s.kind = ?"
+                    " AND s.key = ?)"
+                )
+                params.extend((KIND_PATH, key))
+            else:
+                raise StorageError(f"unknown routing feature kind {kind!r}")
+        if not conj:
+            # No necessary condition extracted — every document is a
+            # candidate, indexed or not.
+            return self.names()
+        where.append("(" + " AND ".join(conj) + ")")
+        return [
+            name for (name,) in self._conn.execute(
+                "SELECT d.name FROM documents d"
+                " LEFT JOIN index_meta m USING (doc_id)"
+                f" WHERE {' OR '.join(where)} ORDER BY d.name",
+                params,
+            )
+        ]
+
+    def corpus_counts(self) -> dict[str, int]:
+        """Raw corpus-level counters for the ``repro-stats/1`` stats
+        surfaces (:meth:`repro.storage.GoddagStore.stats` and
+        :meth:`repro.collection.Corpus.stats`)."""
+        counts = {
+            "documents": 0, "indexed_documents": 0, "element_rows": 0,
+            "summary_rows": 0, "tag_keys": 0, "term_keys": 0,
+            "attr_keys": 0, "path_keys": 0,
+        }
+        (counts["documents"],) = self._conn.execute(
+            "SELECT COUNT(*) FROM documents").fetchone()
+        (counts["indexed_documents"],) = self._conn.execute(
+            "SELECT COUNT(*) FROM index_meta").fetchone()
+        (counts["element_rows"],) = self._conn.execute(
+            "SELECT COUNT(*) FROM elements").fetchone()
+        names = {KIND_TAG: "tag_keys", KIND_TERM: "term_keys",
+                 KIND_ATTR: "attr_keys", KIND_PATH: "path_keys"}
+        for kind, n in self._conn.execute(
+            "SELECT kind, COUNT(*) FROM collection_summary GROUP BY kind"
+        ):
+            counts["summary_rows"] += n
+            counts[names[kind]] = n
+        return counts
 
     def resave_with_index(self, document: GoddagDocument, name: str,
                           deltas, partition_spans, payload_factory,
@@ -788,7 +1038,8 @@ class SqliteStore:
 
     def _delete_index_rows(self, doc_id: int) -> None:
         for table in ("index_meta", "index_paths", "index_terms",
-                      "index_overlap", "index_attrs"):
+                      "index_overlap", "index_attrs",
+                      "collection_summary"):
             self._conn.execute(
                 f"DELETE FROM {table} WHERE doc_id = ?", (doc_id,)
             )

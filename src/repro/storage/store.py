@@ -555,14 +555,39 @@ class GoddagStore:
             )
         return self._sqlite.overlapping_pairs(name, tag_a, tag_b)
 
-    def stats(self, name: str) -> dict:
+    def stats(self, name: str | None = None) -> dict:
         """Stored-document counts in the unified ``repro-stats/1`` shape
         (see docs/ARCHITECTURE.md, Observability): element row count on
         sqlite, size accounting on the binary backend.  The old flat
         keys (``elements``, ``total_bytes``, ...) still answer for one
-        release via the deprecation shim."""
+        release via the deprecation shim.
+
+        ``name=None`` reports on the whole store instead: document and
+        element-row totals plus the collection summary's size by
+        feature family (sqlite), or document count and total bytes
+        (binary) — the corpus-level view :meth:`repro.collection.Corpus.stats`
+        serves over its pool.
+        """
         from ..obs.stats import stats_dict
 
+        if name is None:
+            if self._sqlite is not None:
+                raw = self._sqlite.corpus_counts()
+                counts = {
+                    f"collection.{key}": value for key, value in raw.items()
+                }
+            else:
+                names = self.names()
+                counts = {
+                    "collection.documents": len(names),
+                    "collection.total_bytes": sum(
+                        file_stats(self._file(member))["total_bytes"]
+                        for member in names
+                    ),
+                }
+            return stats_dict(
+                "storage.corpus", counts, backend=self.backend,
+            )
         if self._sqlite is not None:
             raw = {"elements": self._sqlite.count_elements(name)}
         else:

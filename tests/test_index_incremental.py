@@ -136,6 +136,7 @@ def _store_rows(store: GoddagStore) -> dict[str, list]:
         "index_terms": "term, starts",
         "index_attrs": "name, value, n, spans",
         "index_overlap": "hierarchy, tag, start, end",
+        "collection_summary": "kind, key, n",
     }
     return {
         table: sorted(conn.execute(f"SELECT {columns} FROM {table}"))
