@@ -23,7 +23,72 @@ except ModuleNotFoundError:
 
 from repro.obs.benchjson import scenario, write_bench_json  # noqa: E402
 
-__all__ = ["scenario", "emit", "output_dir"]
+__all__ = ["scenario", "emit", "output_dir", "measure_peak_rss"]
+
+
+def _rss_child(pipe, fn, args, kwargs):
+    import resource
+
+    before = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    try:
+        result = fn(*args, **kwargs)
+        after = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        pipe.send(("ok", result, before, after))
+    except BaseException as exc:  # surface the real error in the parent
+        pipe.send(("err", repr(exc), 0, 0))
+    finally:
+        pipe.close()
+
+
+def measure_peak_rss(fn, *args, **kwargs):
+    """Run ``fn(*args, **kwargs)`` and sample its peak RSS.
+
+    Returns ``(result, sample)`` where ``sample`` is a dict of the
+    ``repro-bench/1`` memory fields: ``peak_rss_kb`` — the high-water
+    RSS attributable to the call — plus ``rss_mode`` saying how it was
+    measured.  The primary mode forks a child process (``ru_maxrss``
+    is a per-process high-water mark that never resets, so only a
+    fresh process isolates one call); the child reports its baseline
+    and final ``ru_maxrss`` over a pipe and the delta is the call's
+    own footprint.  Platforms without ``fork`` (or with a broken
+    multiprocessing) fall back to an in-process before/after delta —
+    reported on the ``bench.peak_rss`` fallback metric — which can
+    under-read when the process high-water was already above the
+    call's peak.
+
+    ``ru_maxrss`` is kilobytes on Linux; the fields inherit that unit.
+    """
+    import resource
+
+    try:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        parent, child = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=_rss_child,
+                           args=(child, fn, args, kwargs))
+        proc.start()
+        child.close()
+        status, result, before, after = parent.recv()
+        proc.join()
+        parent.close()
+        if status == "err":
+            raise RuntimeError(f"measure_peak_rss child failed: {result}")
+        return result, {
+            "peak_rss_kb": max(0, after - before),
+            "rss_mode": "fork",
+        }
+    except (ImportError, ValueError, OSError, EOFError) as exc:
+        from repro.obs import fallback as _obs_fallback
+
+        _obs_fallback("bench.peak_rss", "no-fork", repr(exc))
+        before = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        result = fn(*args, **kwargs)
+        after = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return result, {
+            "peak_rss_kb": max(0, after - before),
+            "rss_mode": "inline",
+        }
 
 
 def output_dir() -> Path:

@@ -15,21 +15,30 @@ import pytest
 from repro.baselines import parse_and_merge, parse_dom
 from repro.sacx import parse_concurrent
 
+from _emit import measure_peak_rss
 from conftest import paper_row, workload_sources
 
 SIZES = [1000, 2000, 4000, 8000]
+
+
+def _count_elements(sources):
+    return parse_concurrent(sources).element_count()
 
 
 @pytest.mark.parametrize("words", SIZES)
 def test_e1_sacx_parse(benchmark, words):
     sources = workload_sources(words=words)
     document = benchmark(parse_concurrent, sources)
+    # One fork-isolated parse samples the memory fields (``peak_rss_kb``)
+    # that ride along in the repro-bench/1 row next to the timings.
+    _, rss = measure_peak_rss(_count_elements, sources)
     paper_row(
         benchmark,
         experiment="E1",
         system="SACX",
         words=words,
         elements=document.element_count(),
+        **rss,
     )
 
 

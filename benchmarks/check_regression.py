@@ -4,7 +4,8 @@
 Pairs every ``BENCH_<name>.json`` in the results directory with the
 file of the same name in the baseline directory, matches scenarios by
 ``(scenario, size)``, and exits nonzero if any matched scenario's
-median regressed by more than the threshold (default 20%, the
+median — or its ``peak_rss_kb`` memory sample, when both sides carry
+one — regressed by more than the threshold (default 20%, the
 ``repro-bench/1`` contract).  A results file with no committed baseline
 fails the run with instructions — a new bench must land with its
 baseline, or regressions in it are invisible from day one.  Scenarios
@@ -68,14 +69,17 @@ def main(argv: list[str] | None = None) -> int:
               f"{len(result['unmatched'])} unmatched")
         for entry in result["regressions"]:
             failed = True
+            metric = entry.get("metric", "median_s")
             print(f"      REGRESSION {entry['scenario']} "
-                  f"(size {entry['size']}): "
-                  f"{entry['baseline_median_s']:.6f} -> "
-                  f"{entry['current_median_s']:.6f} "
+                  f"(size {entry['size']}, {metric}): "
+                  f"{entry[f'baseline_{metric}']:.6f} -> "
+                  f"{entry[f'current_{metric}']:.6f} "
                   f"({entry['ratio']:.2f}x)")
         for entry in result["improvements"]:
             print(f"      improved   {entry['scenario']} "
-                  f"(size {entry['size']}): {entry['ratio']:.2f}x")
+                  f"(size {entry['size']}, "
+                  f"{entry.get('metric', 'median_s')}): "
+                  f"{entry['ratio']:.2f}x")
     for name in sorted(current_files.keys() - baseline_files.keys()):
         failed = True
         print(f"FAIL  {name}: no committed baseline — copy "

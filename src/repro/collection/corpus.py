@@ -181,7 +181,14 @@ class Corpus:
     def add_many(self, items, *, overwrite: bool = False) -> dict[str, str | None]:
         """Bulk ingest: ``items`` yields ``(document, name)`` pairs;
         one borrowed connection serves the whole batch.  Returns the
-        per-document generation stamps."""
+        per-document generation stamps.
+
+        ``items`` may be any lazy iterable — a generator materializing
+        one document at a time keeps only the current document alive,
+        so a corpus larger than memory ingests fine.  Progress is
+        observable per document on the ``collection.ingest_docs``
+        counter (next to the batch-level ``collection.ingest`` timer).
+        """
         stamps: dict[str, str | None] = {}
         with metrics.time("collection.ingest"):
             with self._pool.connection() as backend:
@@ -189,6 +196,34 @@ class Corpus:
                     stamps[name] = self._add_on(
                         backend, document, name, overwrite
                     )
+                    metrics.incr("collection.ingest_docs")
+        return stamps
+
+    def add_streams(self, items, *, overwrite: bool = False,
+                    chunk_elements: int = 1024,
+                    chunk_chars: int = 1 << 16) -> dict[str, str]:
+        """Bulk ingest straight from sources, never materializing.
+
+        ``items`` lazily yields ``(sources, name)`` pairs, where
+        ``sources`` maps hierarchy names to XML sources as accepted by
+        :func:`repro.streaming.ingest.stream_save`; each member is
+        stream-parsed into its rows (document, index, and collection
+        summary) in chunked transactions over one borrowed connection.
+        Returns the per-document generation stamps; progress lands on
+        the same ``collection.ingest_docs`` counter as :meth:`add_many`.
+        """
+        from ..streaming.ingest import stream_save
+
+        stamps: dict[str, str] = {}
+        with metrics.time("collection.ingest"):
+            with self._pool.connection() as backend:
+                for sources, name in items:
+                    stamps[name] = stream_save(
+                        backend, sources, name, overwrite=overwrite,
+                        chunk_elements=chunk_elements,
+                        chunk_chars=chunk_chars,
+                    )
+                    metrics.incr("collection.ingest_docs")
         return stamps
 
     def _add_on(self, backend, document: GoddagDocument, name: str,

@@ -500,6 +500,39 @@ class IndexManager:
 
     # -- persistence ------------------------------------------------------------
 
+    def payload_stream(self, name: str = ""):
+        """The payload as an incremental item stream.
+
+        Yields ``(section, item)`` pairs: one ``("meta", header)`` first
+        (``format``/``name``/``doc_length``), then one item per index
+        row — ``("overlap", (hierarchy, table_dict))``, ``("paths",
+        partition_row)``, ``("terms", (term, starts))``, ``("attrs",
+        posting_row)``.  Rows are produced lazily, so a chunked
+        consumer (a streaming storage writer) never holds more than its
+        own batch; :meth:`payload` is this stream reassembled.
+        """
+        self.refresh()
+        yield "meta", {
+            "format": PAYLOAD_FORMAT,
+            "name": name,
+            "doc_length": self.document.length,
+        }
+        for hierarchy, table in self.overlap.payload().items():
+            yield "overlap", (hierarchy, table)
+        for hierarchy, path, count in self.structural.label_paths():
+            yield "paths", (
+                hierarchy, encode_path(path), path[-1], count,
+                [(e.start, e.end)
+                 for e in self.structural.partition(hierarchy, path)],
+            )
+        for term, starts in self.terms.items():
+            yield "terms", (term, list(starts))
+        for attr_name, value, elements in self.attrs.items():
+            yield "attrs", (
+                attr_name, value, len(elements),
+                [(e.start, e.end) for e in elements],
+            )
+
     def payload(self, name: str = "") -> dict:
         """The serializable form consumed by both storage backends.
 
@@ -510,29 +543,21 @@ class IndexManager:
             A JSON-shaped dict with ``format`` (see ``PAYLOAD_FORMAT``),
             ``name``, ``doc_length``, ``overlap`` interval tables,
             ``terms`` posting lists, ``paths`` label-path partition
-            rows, and ``attrs`` attribute-value posting rows.
+            rows, and ``attrs`` attribute-value posting rows — the
+            whole :meth:`payload_stream`, reassembled.
         """
-        self.refresh()
-        paths = [
-            (hierarchy, encode_path(path), path[-1], count,
-             [(e.start, e.end)
-              for e in self.structural.partition(hierarchy, path)])
-            for hierarchy, path, count in self.structural.label_paths()
-        ]
-        attrs = [
-            (attr_name, value, len(elements),
-             [(e.start, e.end) for e in elements])
-            for attr_name, value, elements in self.attrs.items()
-        ]
-        return {
-            "format": PAYLOAD_FORMAT,
-            "name": name,
-            "doc_length": self.document.length,
-            "overlap": self.overlap.payload(),
-            "terms": {term: list(starts) for term, starts in self.terms.items()},
-            "paths": paths,
-            "attrs": attrs,
-        }
+        payload: dict = {"overlap": {}, "terms": {}, "paths": [],
+                         "attrs": []}
+        for section, item in self.payload_stream(name):
+            if section == "meta":
+                payload.update(item)
+            elif section == "overlap":
+                payload["overlap"][item[0]] = item[1]
+            elif section == "terms":
+                payload["terms"][item[0]] = item[1]
+            else:
+                payload[section].append(item)
+        return payload
 
     def stats(self) -> dict:
         """Per-index population census — the statistics the query

@@ -16,7 +16,11 @@ output so the perf trajectory is diffable across commits:
 
 :func:`compare` is the engine behind ``benchmarks/check_regression.py``:
 it pairs scenarios by (scenario, size) and flags any whose median wall
-time regressed more than the threshold (default 20%).
+time regressed more than the threshold (default 20%).  Scenarios may
+additionally carry memory fields (``peak_rss_kb``, from
+``benchmarks/_emit.py``'s sampler); when a matched pair carries one on
+*both* sides it is compared under the same relative-threshold rules,
+and flagged entries say which metric tripped via their ``metric`` key.
 """
 
 from __future__ import annotations
@@ -104,6 +108,13 @@ def compare(
     current median exceeds baseline by more than ``threshold``
     (relative).  Scenarios present on only one side are listed as
     unmatched, never flagged.
+
+    Memory is held to the same contract as time: when both sides of a
+    matched pair carry ``peak_rss_kb``, its relative growth is checked
+    against the same threshold and flagged as a separate entry with
+    ``metric: "peak_rss_kb"`` (time entries say ``metric: "median_s"``).
+    A side without the field — an older baseline, a bench that never
+    sampled — is simply not compared on memory, never flagged.
     """
 
     def keyed(payload):
@@ -119,20 +130,24 @@ def compare(
         if key not in base or key not in cur:
             unmatched.append({"scenario": key[0], "size": key[1]})
             continue
-        before = base[key]["median_s"]
-        after = cur[key]["median_s"]
-        ratio = (after / before) if before > 0 else math.inf
-        entry = {
-            "scenario": key[0],
-            "size": key[1],
-            "baseline_median_s": before,
-            "current_median_s": after,
-            "ratio": round(ratio, 4),
-        }
-        if ratio > 1 + threshold:
-            regressions.append(entry)
-        elif ratio < 1 - threshold:
-            improvements.append(entry)
+        for metric in ("median_s", "peak_rss_kb"):
+            before = base[key].get(metric)
+            after = cur[key].get(metric)
+            if before is None or after is None:
+                continue
+            ratio = (after / before) if before > 0 else math.inf
+            entry = {
+                "scenario": key[0],
+                "size": key[1],
+                "metric": metric,
+                f"baseline_{metric}": before,
+                f"current_{metric}": after,
+                "ratio": round(ratio, 4),
+            }
+            if ratio > 1 + threshold:
+                regressions.append(entry)
+            elif ratio < 1 - threshold:
+                improvements.append(entry)
     return {
         "regressions": regressions,
         "improvements": improvements,

@@ -10,7 +10,7 @@ documents over the same text.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from ..errors import WellFormednessError
 from . import scanner as sc
@@ -59,23 +59,38 @@ class ParsedDocument:
     events: tuple[MarkupEvent, ...]
 
 
-def content_events(source: str) -> ParsedDocument:
-    """Parse one XML document into text + content-offset events.
+#: Item kinds yielded by :func:`iter_content_events`.
+ROOT = "root"
+TEXT = "text"
+EVENT = "event"
 
-    Enforces well-formedness (matched tags, single root, no stray
-    non-whitespace text outside the root).  Comments and processing
-    instructions are discarded; CDATA becomes plain text.
+
+def iter_content_events(
+    tokens: Iterable[sc.Token],
+) -> Iterator[tuple]:
+    """Incrementally convert a token stream into content-offset items.
+
+    Yields, in source order:
+
+    - ``(ROOT, tag, attributes)`` exactly once, when the root element
+      opens (before any other item);
+    - ``(TEXT, chunk)`` for each run of character data inside the root
+      (the content offset is the sum of prior chunk lengths);
+    - ``(EVENT, MarkupEvent)`` for each non-root start/end/empty tag.
+
+    This is the single source of truth for SACX well-formedness: matched
+    tags, single root, no stray non-whitespace text outside the root.
+    Comments and processing instructions are discarded; CDATA becomes
+    plain text.  Errors surface lazily, when the offending token is
+    pulled — which is what lets a streaming caller bound its memory.
     """
-    text_parts: list[str] = []
-    events: list[MarkupEvent] = []
     stack: list[str] = []
-    root_tag: str | None = None
-    root_attributes: tuple[tuple[str, str], ...] = ()
+    root_seen = False
     root_closed = False
     offset = 0
     seq = 0
 
-    for token in sc.scan(source):
+    for token in tokens:
         if token.kind == sc.TEXT:
             if not stack:
                 if token.data.strip():
@@ -85,8 +100,8 @@ def content_events(source: str) -> ParsedDocument:
                         line=token.line, column=token.column,
                     )
                 continue
-            text_parts.append(token.data)
             offset += len(token.data)
+            yield (TEXT, token.data)
         elif token.kind == sc.START:
             if root_closed:
                 raise WellFormednessError(
@@ -94,12 +109,14 @@ def content_events(source: str) -> ParsedDocument:
                     line=token.line, column=token.column,
                 )
             if not stack:
-                root_tag = token.name
-                root_attributes = token.attributes
+                root_seen = True
+                yield (ROOT, token.name, token.attributes)
             else:
                 seq += 1
-                events.append(
-                    MarkupEvent(START, token.name, offset, token.attributes, seq)
+                yield (
+                    EVENT,
+                    MarkupEvent(START, token.name, offset, token.attributes,
+                                seq),
                 )
             stack.append(token.name)
         elif token.kind == sc.END:
@@ -117,7 +134,7 @@ def content_events(source: str) -> ParsedDocument:
                 )
             if stack:
                 seq += 1
-                events.append(MarkupEvent(END, token.name, offset, (), seq))
+                yield (EVENT, MarkupEvent(END, token.name, offset, (), seq))
             else:
                 root_closed = True
         elif token.kind == sc.EMPTY:
@@ -128,8 +145,9 @@ def content_events(source: str) -> ParsedDocument:
                     line=token.line, column=token.column,
                 )
             seq += 1
-            events.append(
-                MarkupEvent(EMPTY, token.name, offset, token.attributes, seq)
+            yield (
+                EVENT,
+                MarkupEvent(EMPTY, token.name, offset, token.attributes, seq),
             )
         # comments, PIs and DOCTYPE are ignored
 
@@ -137,8 +155,33 @@ def content_events(source: str) -> ParsedDocument:
         raise WellFormednessError(
             "unexpected end of document; unclosed: " + ", ".join(stack)
         )
-    if root_tag is None:
+    if not root_seen:
         raise WellFormednessError("document has no root element")
+
+
+def content_events(source: str) -> ParsedDocument:
+    """Parse one XML document into text + content-offset events.
+
+    Enforces well-formedness (matched tags, single root, no stray
+    non-whitespace text outside the root).  Comments and processing
+    instructions are discarded; CDATA becomes plain text.  This is the
+    materializing counterpart of :func:`iter_content_events`.
+    """
+    text_parts: list[str] = []
+    events: list[MarkupEvent] = []
+    root_tag: str | None = None
+    root_attributes: tuple[tuple[str, str], ...] = ()
+
+    for item in iter_content_events(sc.scan(source)):
+        kind = item[0]
+        if kind == TEXT:
+            text_parts.append(item[1])
+        elif kind == EVENT:
+            events.append(item[1])
+        else:  # ROOT
+            root_tag, root_attributes = item[1], item[2]
+
+    assert root_tag is not None  # iter_content_events raised otherwise
     return ParsedDocument(
         "".join(text_parts), root_tag, root_attributes, tuple(events)
     )

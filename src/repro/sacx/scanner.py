@@ -212,3 +212,148 @@ class XmlScanner:
 def scan(source: str) -> Iterator[Token]:
     """Convenience wrapper: tokenize ``source``."""
     return XmlScanner(source).tokens()
+
+
+#: Minimum lookahead the markup dispatcher needs before it can decide a
+#: construct kind: ``<![CDATA[`` and ``<!DOCTYPE`` are both 9 chars.
+_DISPATCH_LOOKAHEAD = 9
+
+#: Default incremental read size, in characters.
+DEFAULT_CHUNK_CHARS = 1 << 16
+
+#: When a text run fills the buffer past this size with no markup in
+#: sight, the streaming scanner emits it in pieces (splitting only at
+#: entity-safe points) instead of buffering it whole.
+_TEXT_FLUSH_CHARS = 1 << 16
+
+
+def iter_source_chunks(source, chunk_chars: int = DEFAULT_CHUNK_CHARS):
+    """Normalize a source into an iterator of string chunks.
+
+    Accepts a ``str`` (sliced), an open text-mode file object (anything
+    with ``read(n)``), an ``os.PathLike`` (opened and closed here), or
+    any iterable of string chunks (passed through).
+    """
+    if isinstance(source, str):
+        def _slices() -> Iterator[str]:
+            for at in range(0, len(source), chunk_chars):
+                yield source[at : at + chunk_chars]
+        return _slices()
+    read = getattr(source, "read", None)
+    if callable(read):
+        def _reads() -> Iterator[str]:
+            while True:
+                chunk = read(chunk_chars)
+                if not chunk:
+                    return
+                yield chunk
+        return _reads()
+    fspath = getattr(source, "__fspath__", None)
+    if callable(fspath):
+        def _file() -> Iterator[str]:
+            with open(fspath(), "r", encoding="utf-8") as handle:
+                while True:
+                    chunk = handle.read(chunk_chars)
+                    if not chunk:
+                        return
+                    yield chunk
+        return _file()
+    return iter(source)
+
+
+class StreamingXmlScanner(XmlScanner):
+    """Tokenize XML arriving in chunks, holding only a sliding buffer.
+
+    The batch :class:`XmlScanner` is reused wholesale: its methods see
+    ``self.source`` as the *current window* of the input.  Around each
+    token this class (1) guarantees enough lookahead for the markup
+    dispatcher, (2) snapshots ``(pos, line, column)`` and, when a token
+    raises :class:`WellFormednessError` while more input exists, extends
+    the window and retries — truncation errors ("unterminated comment",
+    "unterminated start tag", …) are indistinguishable from real ones
+    until end of input, so every error is retried until the input is
+    exhausted; and (3) drops the consumed prefix of the window.
+
+    Character data is only emitted once the following ``<`` (or end of
+    input) is in the window, so entities are never split mid-reference —
+    except that a pathological markup-free run longer than the flush
+    limit is emitted in pieces, split just before the last ``&`` so the
+    same guarantee holds piecewise.
+
+    Note the retry rule's memory caveat: input that is *actually*
+    malformed keeps the buffer growing until the input ends and the
+    error becomes final.  Well-formed input is scanned in bounded
+    memory regardless of document size.
+    """
+
+    def __init__(self, chunks, chunk_chars: int = DEFAULT_CHUNK_CHARS) -> None:
+        super().__init__("")
+        self._chunks = iter_source_chunks(chunks, chunk_chars)
+        self._eof = False
+
+    def _fill(self) -> bool:
+        """Append one more chunk to the window; False once input ends."""
+        if self._eof:
+            return False
+        try:
+            chunk = next(self._chunks)
+        except StopIteration:
+            self._eof = True
+            return False
+        self.source += chunk
+        return True
+
+    def _compact(self) -> None:
+        """Drop the consumed window prefix (line/column keep counting)."""
+        if self.pos:
+            self.source = self.source[self.pos :]
+            self.pos = 0
+
+    def tokens(self) -> Iterator[Token]:
+        while True:
+            while (not self._eof
+                   and len(self.source) - self.pos < _DISPATCH_LOOKAHEAD):
+                self._fill()
+            if self._at_end():
+                if self._eof:
+                    return
+                continue
+            if self._peek() == "<":
+                snapshot = (self.pos, self.line, self.column)
+                try:
+                    batch = list(self._markup())
+                except WellFormednessError:
+                    if self._fill():
+                        self.pos, self.line, self.column = snapshot
+                        continue
+                    raise
+                yield from batch
+            else:
+                token = self._buffered_text()
+                if token is None:
+                    continue
+                yield token
+            self._compact()
+
+    def _buffered_text(self) -> Token | None:
+        """Emit character data only once its end is certain.
+
+        Returns ``None`` when more input must be buffered first.
+        """
+        if self.source.find("<", self.pos) == -1 and not self._eof:
+            if len(self.source) - self.pos > _TEXT_FLUSH_CHARS:
+                # No markup in a very long run: flush the entity-safe
+                # prefix (up to the last '&', or everything when the
+                # window holds no '&') rather than buffer it all.
+                split = self.source.rfind("&", self.pos)
+                if split == -1:
+                    split = len(self.source)
+                if split > self.pos:
+                    line, column = self.line, self.column
+                    raw = self.source[self.pos : split]
+                    self._advance(split - self.pos)
+                    return Token(TEXT, data=unescape(raw),
+                                 line=line, column=column)
+            self._fill()
+            return None
+        return self._text()

@@ -14,11 +14,13 @@ import threading
 import time
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
+from uuid import uuid4
 
 from .._util import pack_u32, unpack_u32
 from ..core.goddag import GoddagDocument
 from ..errors import PoolExhaustedError, StorageError, StoreBusyError, \
     WriteConflictError
+from ..index.manager import PAYLOAD_FORMAT as STREAM_PAYLOAD_FORMAT
 from ..index.structural import encode_path
 from ..index.term import occurrences_from_terms
 from ..obs import fallback as _obs_fallback
@@ -126,6 +128,13 @@ KIND_TAG = 0      # key = tag; n = elements with that tag
 KIND_TERM = 1     # key = term-index token; n = occurrences
 KIND_ATTR = 2     # key = encode_path((name, value)); n = posting length
 KIND_PATH = 3     # key = encoded label path (hierarchy-agnostic); n = members
+
+#: Reserved name prefix for in-flight streaming ingests.  A
+#: :class:`StreamIngestSession` accumulates rows under a staging name
+#: with this prefix; ``names()`` hides such rows and the next streaming
+#: ingest reclaims any left behind by a crash, so a partially-written
+#: document is never observable under its real name.
+STAGING_PREFIX = "__repro_ingest__"
 
 
 def collection_summary_rows(payload: dict) -> list[tuple[int, str, int]]:
@@ -397,9 +406,14 @@ class SqliteStore:
         self._write_retry(transaction, f"delete {name!r}")
 
     def names(self) -> list[str]:
+        """All stored document names (staging rows of in-flight
+        streaming ingests excluded)."""
         return [
             name for (name,) in
-            self._conn.execute("SELECT name FROM documents ORDER BY name")
+            self._conn.execute(
+                "SELECT name FROM documents WHERE name NOT GLOB ?"
+                " ORDER BY name", (STAGING_PREFIX + "*",),
+            )
         ]
 
     def has(self, name: str) -> bool:
@@ -562,6 +576,133 @@ class SqliteStore:
                 self._insert_index_rows(doc_id, payload, stamp)
 
         self._write_retry(transaction, f"save_index {name!r}")
+
+    def begin_stream_ingest(self, name: str, root_tag: str,
+                            root_attributes: str, *,
+                            overwrite: bool = False) -> "StreamIngestSession":
+        """Open a chunked streaming write of one document + its index.
+
+        Reclaims any staging rows a crashed ingest left behind, then
+        inserts a placeholder document row under a reserved staging
+        name (see :data:`STAGING_PREFIX`).  The returned session
+        accepts element rows, text chunks and index postings in chunks;
+        nothing is visible under ``name`` until its ``finalize``
+        renames the staging row in the same transaction that writes
+        ``index_meta``.  ``root_attributes`` is the JSON encoding the
+        schema layer uses (``json.dumps(attrs, sort_keys=True)``).
+        """
+        if self.has(name) and not overwrite:
+            raise StorageError(f"document {name!r} already stored")
+        stale = [
+            stale_name for (stale_name,) in self._conn.execute(
+                "SELECT name FROM documents WHERE name GLOB ?",
+                (STAGING_PREFIX + "*",),
+            )
+        ]
+        for stale_name in stale:
+            self.delete(stale_name)
+            metrics.incr("storage.stream_staging_reclaimed")
+        staging = STAGING_PREFIX + uuid4().hex
+
+        def transaction() -> int:
+            with self._conn:
+                cursor = self._conn.execute(
+                    "INSERT INTO documents"
+                    " (name, root_tag, text, root_attributes)"
+                    " VALUES (?, ?, '', ?)",
+                    (staging, root_tag, root_attributes),
+                )
+                return cursor.lastrowid
+
+        doc_id = self._write_retry(transaction, f"stream_ingest {name!r}")
+        metrics.incr("storage.stream_ingests")
+        return StreamIngestSession(self, doc_id, staging, name, overwrite)
+
+    # -- lazy row-level access (see repro.streaming.lazy) -----------------------------
+
+    def document_meta(self, name: str) -> tuple[int, str, str, int]:
+        """``(doc_id, root_tag, root_attributes_json, text_length)``
+        without pulling the document text — the lazy view's handle."""
+        row = self._conn.execute(
+            "SELECT doc_id, root_tag, root_attributes, length(text)"
+            " FROM documents WHERE name = ?", (name,),
+        ).fetchone()
+        if row is None:
+            raise StorageError(f"no stored document {name!r}")
+        return row
+
+    def hierarchy_names_of(self, name: str) -> list[str]:
+        """Hierarchy names in rank (declaration) order."""
+        doc_id, *_ = self.document_meta(name)
+        return [
+            hname for (hname,) in self._conn.execute(
+                "SELECT name FROM hierarchies WHERE doc_id = ?"
+                " ORDER BY rank", (doc_id,),
+            )
+        ]
+
+    _ELEMENT_ROW_COLS = ("elem_id, hierarchy, tag, start, end,"
+                         " parent_id, child_rank, attributes")
+
+    def element_row_full(self, name: str, elem_id: int) -> ElementRow | None:
+        """The full schema row for one element — one keyed probe of the
+        ``(doc_id, elem_id)`` primary key — or ``None``."""
+        doc_id, _ = self._document_row(name)
+        row = self._conn.execute(
+            f"SELECT {self._ELEMENT_ROW_COLS} FROM elements"
+            " WHERE doc_id = ? AND elem_id = ?", (doc_id, elem_id),
+        ).fetchone()
+        return ElementRow(*row) if row is not None else None
+
+    def element_rows_in_span(
+        self, name: str, hierarchy: str, start: int, end: int
+    ) -> list[ElementRow]:
+        """All rows of ``hierarchy`` whose span fits inside
+        ``[start, end]`` (zero-width rows at either boundary included),
+        by the ``(doc_id, start, end)`` index, ordered by ``elem_id``.
+
+        A candidate superset for subtree hydration: the caller still
+        filters by parent-chain reachability, since an overlapping
+        hierarchy sibling can share the interval.
+        """
+        doc_id, _ = self._document_row(name)
+        return [
+            ElementRow(*row) for row in self._conn.execute(
+                f"SELECT {self._ELEMENT_ROW_COLS} FROM elements"
+                " WHERE doc_id = ? AND start >= ? AND end <= ?"
+                " AND hierarchy = ? ORDER BY elem_id",
+                (doc_id, start, end, hierarchy),
+            )
+        ]
+
+    def element_rows_by_tag(
+        self, name: str, tag: str, hierarchy: str | None = None,
+        attr: str | None = None, value: str | None = None,
+    ) -> list[ElementRow]:
+        """Full rows with ``tag``, by the ``(doc_id, tag)`` index,
+        ordered by ``elem_id``.
+
+        With ``attr``/``value``, rows are prefiltered in SQL by the
+        :func:`_json_token_prefix` ``instr`` needle — the caller must
+        still confirm the match on the decoded attribute dict (the
+        needle never false-negatives, but may false-positive).
+        """
+        doc_id, _ = self._document_row(name)
+        query = (f"SELECT {self._ELEMENT_ROW_COLS} FROM elements"
+                 " WHERE doc_id = ? AND tag = ?")
+        params: list = [doc_id, tag]
+        if hierarchy is not None:
+            query += " AND hierarchy = ?"
+            params.append(hierarchy)
+        if attr is not None and value is not None:
+            query += " AND instr(attributes, ?) > 0 AND instr(attributes, ?) > 0"
+            params.extend((_json_token_prefix(attr),
+                           _json_token_prefix(value)))
+        query += " ORDER BY elem_id"
+        return [
+            ElementRow(*row)
+            for row in self._conn.execute(query, tuple(params))
+        ]
 
     def _insert_index_rows(self, doc_id: int, payload: dict,
                            stamp: str = "") -> None:
@@ -1341,6 +1482,224 @@ class SqliteConnectionPool:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class StreamIngestSession:
+    """A chunked streaming write of one document and its index.
+
+    Created by :meth:`SqliteStore.begin_stream_ingest`.  Element rows,
+    text and posting appends each commit in their own bounded
+    transaction against the staging document row, so peak memory is the
+    caller's chunk size, not the document.  Append order is the
+    caller's proof obligation: path-partition spans and term posting
+    starts are concatenated blob-wise, so they must arrive in the same
+    order a materialized ``IndexManager.payload()`` would emit them
+    (document order — which streaming close order provides, see
+    :mod:`repro.streaming.ingest`).  ``finalize`` writes everything
+    order-sensitive-at-once (hierarchies, sorted attribute and overlap
+    rows, ``index_meta``, SQL-derived ``collection_summary`` rows) and
+    renames the staging row to the real name in one transaction;
+    ``abort`` deletes the staging rows.
+    """
+
+    def __init__(self, store: SqliteStore, doc_id: int, staging: str,
+                 name: str, overwrite: bool) -> None:
+        self._store = store
+        self._doc_id = doc_id
+        self._staging = staging
+        self.name = name
+        self._overwrite = overwrite
+        self._done = False
+
+    # -- chunk appends (one bounded transaction each) ----------------------------
+
+    def add_elements(self, rows) -> None:
+        """Insert element rows ``(elem_id, hierarchy, tag, start, end,
+        parent_id, child_rank, attributes_json)`` — any order."""
+        conn = self._store._conn
+        doc_id = self._doc_id
+
+        def transaction() -> None:
+            with conn:
+                conn.executemany(
+                    "INSERT INTO elements VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    [(doc_id, *row) for row in rows],
+                )
+
+        self._store._write_retry(transaction, "stream elements")
+        metrics.incr("storage.stream_chunks")
+
+    def append_text(self, chunk: str) -> None:
+        """Append a confirmed text chunk to the document row."""
+        if not chunk:
+            return
+        conn = self._store._conn
+
+        def transaction() -> None:
+            with conn:
+                conn.execute(
+                    "UPDATE documents SET text = text || ?"
+                    " WHERE doc_id = ?", (chunk, self._doc_id),
+                )
+
+        self._store._write_retry(transaction, "stream text")
+
+    def append_paths(self, rows) -> None:
+        """Upsert-append label-path partition postings: rows of
+        ``(hierarchy, encoded_path, tag, n, spans_blob)`` whose spans
+        concatenate onto any prior append for the same partition.
+
+        The blob append happens in Python (read, concat, update) — SQL
+        ``||`` converts BLOB operands to TEXT, which would corrupt the
+        packed u32 spans as soon as they stop being valid UTF-8.
+        """
+        conn = self._store._conn
+        doc_id = self._doc_id
+
+        def transaction() -> None:
+            with conn:
+                for hierarchy, path, tag, n, spans in rows:
+                    prior = conn.execute(
+                        "SELECT n, spans FROM index_paths WHERE doc_id = ?"
+                        " AND hierarchy = ? AND path = ?",
+                        (doc_id, hierarchy, path),
+                    ).fetchone()
+                    if prior is None:
+                        conn.execute(
+                            "INSERT INTO index_paths VALUES"
+                            " (?, ?, ?, ?, ?, ?)",
+                            (doc_id, hierarchy, path, tag, n, spans),
+                        )
+                    else:
+                        conn.execute(
+                            "UPDATE index_paths SET n = ?, spans = ?"
+                            " WHERE doc_id = ? AND hierarchy = ?"
+                            " AND path = ?",
+                            (prior[0] + n, prior[1] + spans,
+                             doc_id, hierarchy, path),
+                        )
+
+        self._store._write_retry(transaction, "stream paths")
+
+    def append_terms(self, rows) -> None:
+        """Upsert-append term postings: rows of ``(term, starts_blob)``
+        (Python-side blob concat — see :meth:`append_paths`)."""
+        conn = self._store._conn
+        doc_id = self._doc_id
+
+        def transaction() -> None:
+            with conn:
+                for term, starts in rows:
+                    prior = conn.execute(
+                        "SELECT starts FROM index_terms WHERE doc_id = ?"
+                        " AND term = ?", (doc_id, term),
+                    ).fetchone()
+                    if prior is None:
+                        conn.execute(
+                            "INSERT INTO index_terms VALUES (?, ?, ?)",
+                            (doc_id, term, starts),
+                        )
+                    else:
+                        conn.execute(
+                            "UPDATE index_terms SET starts = ?"
+                            " WHERE doc_id = ? AND term = ?",
+                            (prior[0] + starts, doc_id, term),
+                        )
+
+        self._store._write_retry(transaction, "stream terms")
+
+    # -- closing -----------------------------------------------------------------
+
+    def finalize(self, *, hierarchy_rows, doc_length: int, attr_rows,
+                 overlap_rows, stamp: str) -> str:
+        """Publish the document: everything order-sensitive, the
+        ``index_meta`` visibility gate, the SQL-derived collection
+        summary, and the staging→real rename — one transaction.
+
+        ``attr_rows`` are ``(name, value, n, spans_blob)`` sorted by
+        key with members in document order; ``overlap_rows`` are
+        ``(hierarchy, tag, start, end)`` in the payload's order
+        (hierarchy rank, then ``(start, -end, tag, ordinal)``), which
+        keeps ``load_index`` tie-breaks byte-identical to a
+        materialized save.
+        """
+        conn = self._store._conn
+        doc_id = self._doc_id
+
+        def transaction() -> str:
+            with conn:
+                conn.executemany(
+                    "INSERT INTO hierarchies VALUES (?, ?, ?, ?)",
+                    [(doc_id, rank, hname, dtd)
+                     for rank, hname, dtd in hierarchy_rows],
+                )
+                conn.executemany(
+                    "INSERT INTO index_attrs VALUES (?, ?, ?, ?, ?)",
+                    [(doc_id, *row) for row in attr_rows],
+                )
+                conn.executemany(
+                    "INSERT INTO index_overlap VALUES (?, ?, ?, ?, ?)",
+                    [(doc_id, *row) for row in overlap_rows],
+                )
+                conn.execute(
+                    "INSERT INTO index_meta VALUES (?, ?, ?, ?)",
+                    (doc_id, STREAM_PAYLOAD_FORMAT, doc_length, stamp),
+                )
+                conn.execute(
+                    "INSERT INTO collection_summary"
+                    " SELECT doc_id, ?, tag, SUM(n) FROM index_paths"
+                    " WHERE doc_id = ? GROUP BY tag", (KIND_TAG, doc_id),
+                )
+                conn.execute(
+                    "INSERT INTO collection_summary"
+                    " SELECT doc_id, ?, path, SUM(n) FROM index_paths"
+                    " WHERE doc_id = ? GROUP BY path", (KIND_PATH, doc_id),
+                )
+                conn.execute(
+                    "INSERT INTO collection_summary"
+                    " SELECT doc_id, ?, term, length(starts) / 4"
+                    " FROM index_terms WHERE doc_id = ?",
+                    (KIND_TERM, doc_id),
+                )
+                conn.executemany(
+                    "INSERT INTO collection_summary VALUES (?, ?, ?, ?)",
+                    [(doc_id, KIND_ATTR, encode_path((aname, avalue)), n)
+                     for aname, avalue, n, _spans in attr_rows],
+                )
+                existing = conn.execute(
+                    "SELECT doc_id FROM documents WHERE name = ?",
+                    (self.name,),
+                ).fetchone()
+                if existing is not None:
+                    if not self._overwrite:
+                        raise StorageError(
+                            f"document {self.name!r} already stored"
+                        )
+                    conn.execute(
+                        "DELETE FROM documents WHERE doc_id = ?",
+                        (existing[0],),
+                    )
+                conn.execute(
+                    "UPDATE documents SET name = ? WHERE doc_id = ?",
+                    (self.name, doc_id),
+                )
+                return stamp
+
+        result = self._store._write_retry(
+            transaction, f"stream finalize {self.name!r}"
+        )
+        self._done = True
+        return result
+
+    def abort(self) -> None:
+        """Best-effort removal of the staging rows after a failure."""
+        if self._done:
+            return
+        self._done = True
+        try:
+            self._store.delete(self._staging)
+        except StorageError:  # already gone (e.g. reclaimed)
+            pass
 
 
 def _stored(row) -> StoredElement:

@@ -325,6 +325,61 @@ class GoddagStore:
                  _file_identity(target))
             )
 
+    def save_stream(self, sources, name: str, *, overwrite: bool = False,
+                    chunk_elements: int = 1024,
+                    chunk_chars: int = 1 << 16) -> str:
+        """Stream-parse a distributed document straight into storage.
+
+        The bounded-memory counterpart of ``parse_concurrent`` +
+        :meth:`save_indexed`: ``sources`` maps hierarchy names to XML
+        sources (strings, paths, open files, or zero-argument factories
+        returning fresh chunk iterators — the scan makes two passes),
+        and the stored rows — document, elements, and the full persisted
+        index — are byte-identical to the materialized path.  On the
+        sqlite backend the write proceeds in chunked transactions while
+        the SACX merge runs (see :func:`repro.streaming.ingest
+        .stream_save`), never holding the whole document; readers see
+        nothing under ``name`` until the final rename publishes it.
+
+        The binary backend has no row-level surface to stream into, so
+        it materializes — reported on the ``storage.stream_save``
+        fallback metric — then saves and indexes as usual.
+
+        Returns the index generation stamp (sqlite; ``""`` on the
+        binary fallback).
+        """
+        if self._sqlite is not None:
+            from ..streaming.ingest import stream_save
+
+            return stream_save(
+                self._sqlite, sources, name, overwrite=overwrite,
+                chunk_elements=chunk_elements, chunk_chars=chunk_chars,
+            )
+        from ..obs import fallback as _obs_fallback
+        from ..streaming.parse import parse_streaming
+
+        _obs_fallback("storage.stream_save", "backend-unsupported",
+                      f"binary backend materializes {name!r}")
+        document = parse_streaming(sources, chunk_chars=chunk_chars)
+        self.save(document, name, overwrite=overwrite)
+        self.build_index(name)
+        return ""
+
+    def lazy(self, name: str):
+        """An on-demand :class:`~repro.streaming.lazy.LazyDocument` view
+        over a stored document — rows hydrate as queries touch them,
+        nothing is materialized up front.  Sqlite backend only: the
+        binary format is a sequential archive with no keyed row access.
+        """
+        if self._sqlite is None:
+            raise StorageError(
+                "lazy loading needs the sqlite backend "
+                "(the binary archive has no row-level access)"
+            )
+        from ..streaming.lazy import LazyDocument
+
+        return LazyDocument(self._sqlite, name)
+
     def has_index(self, name: str) -> bool:
         """True when a persisted index exists for ``name``."""
         if self._sqlite is not None:

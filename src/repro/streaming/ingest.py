@@ -1,0 +1,327 @@
+"""Streaming ingestion: distributed-document sources → stored rows.
+
+:func:`stream_save` writes a document and its format-2 index payload to
+a :class:`~repro.storage.sqlite_backend.SqliteStore` in chunked
+transactions while the SACX merge is still running.  The resulting
+rows are byte-identical to ``GoddagStore.save_indexed(parse_concurrent
+(sources), name)`` — same element rows (including ``elem_id`` birth
+ordinals, parent links and child ranks), same packed posting blobs,
+same collection-summary aggregates — without ever materializing the
+GODDAG, the full text, or the payload dict.
+
+How identity survives streaming, table by table:
+
+- **elements** — :class:`~repro.streaming.parse.FragmentAssembler`
+  reproduces builder ordinals given per-hierarchy bases from a cheap
+  counting pre-pass (:func:`count_content_events`); rows are keyed by
+  ``(doc_id, elem_id)`` and read back ordered, so chunk insertion
+  order is free.
+- **index_paths** — elements of one ``(hierarchy, label path)``
+  partition never nest or overlap (same path ⇒ sibling subtrees), so
+  their close order *is* their document order and blob-appending spans
+  per close chunk reproduces the one-shot packed blob.
+- **index_terms** — tokens are posted in ascending text offset; the
+  streaming tokenizer (:class:`_TermAccumulator`) carries partial
+  tokens across confirmed-text chunk boundaries.
+- **index_attrs / index_overlap** — cross-hierarchy document order and
+  the payload's ``(start, -end, tag, ordinal)`` order are not close
+  order, so these keep compact integer sort keys in memory (a few
+  dozen bytes per posting, not a node graph) and are sorted once at
+  finalize.
+- **collection_summary** — derived per-document in SQL at finalize,
+  using the same aggregations as ``collection_summary_rows``.
+
+Sources may be strings, paths, or — for true streaming — zero-argument
+callables returning a fresh chunk iterator or file object per call
+(two passes are made: the ordinal-counting pre-pass and the merge).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Mapping
+from uuid import uuid4
+
+from .._util import pack_u32
+from ..errors import StorageError
+from ..index.structural import encode_path
+from ..obs.metrics import metrics
+from ..sacx import events as ev
+from ..sacx import scanner as sc
+from .parse import EventStream, Fragment, FragmentAssembler
+
+#: Element rows buffered per chunked transaction.
+DEFAULT_CHUNK_ELEMENTS = 1024
+
+#: Pending index postings (spans/starts) buffered before a flush.
+_POSTING_FLUSH = 8192
+
+#: Confirmed text buffered before an append, in characters.
+_TEXT_FLUSH = 1 << 16
+
+
+def _fresh(source):
+    """A scannable source for one pass: call factories, pass the rest."""
+    return source() if callable(source) else source
+
+
+def count_content_events(
+    source, chunk_chars: int = sc.DEFAULT_CHUNK_CHARS
+) -> tuple[int, str, tuple[tuple[str, str], ...]]:
+    """Scan one part and return ``(element count, root tag, root attrs)``.
+
+    The count covers non-root start and empty-element events — exactly
+    the elements :class:`~repro.core.goddag.GoddagBuilder` will number
+    for this hierarchy, which is what turns per-hierarchy counts into
+    the ordinal bases :class:`FragmentAssembler` needs.
+    """
+    count = 0
+    root_tag = ""
+    root_attributes: tuple[tuple[str, str], ...] = ()
+    scanner = sc.StreamingXmlScanner(source, chunk_chars)
+    for item in ev.iter_content_events(scanner.tokens()):
+        kind = item[0]
+        if kind == ev.EVENT:
+            if item[1].kind != ev.END:
+                count += 1
+        elif kind == ev.ROOT:
+            root_tag, root_attributes = item[1], item[2]
+    return count, root_tag, root_attributes
+
+
+class _TermAccumulator:
+    """Streaming counterpart of :func:`repro.index.term.tokenize`.
+
+    Feeds confirmed text chunks; a trailing alphanumeric run is carried
+    to the next chunk so tokens split by chunk boundaries post whole,
+    at their true start offsets, in ascending order.
+    """
+
+    def __init__(self) -> None:
+        self._pending: dict[str, list[int]] = {}
+        self._carry = ""
+        self._offset = 0
+        self.pending_postings = 0
+
+    def feed(self, chunk: str) -> None:
+        if not chunk:
+            return
+        run = self._carry + chunk
+        base = self._offset - len(self._carry)
+        self._offset += len(chunk)
+        self._carry = ""
+        emit_to = len(run)
+        if run[-1].isalnum():
+            i = len(run) - 1
+            while i >= 0 and run[i].isalnum():
+                i -= 1
+            emit_to = i + 1
+            self._carry = run[emit_to:]
+        start = -1
+        for i in range(emit_to):
+            if run[i].isalnum():
+                if start < 0:
+                    start = i
+            elif start >= 0:
+                self._post(base + start, run[start:i])
+                start = -1
+        if start >= 0:
+            self._post(base + start, run[start:emit_to])
+
+    def finish(self) -> None:
+        if self._carry:
+            self._post(self._offset - len(self._carry), self._carry)
+            self._carry = ""
+
+    def _post(self, start: int, token: str) -> None:
+        self._pending.setdefault(token, []).append(start)
+        self.pending_postings += 1
+
+    def drain(self) -> list[tuple[str, bytes]]:
+        rows = [
+            (term, bytes(pack_u32(starts)))
+            for term, starts in self._pending.items()
+        ]
+        self._pending.clear()
+        self.pending_postings = 0
+        return rows
+
+
+class _PathAccumulator:
+    """Per-partition span buffers; close order == document order."""
+
+    def __init__(self) -> None:
+        self._pending: dict[tuple[str, tuple[str, ...]], list] = {}
+        self.pending_spans = 0
+
+    def add(self, fragment: Fragment) -> None:
+        entry = self._pending.setdefault((fragment.hierarchy, fragment.path),
+                                         [])
+        entry.append(fragment.start)
+        entry.append(fragment.end)
+        self.pending_spans += 1
+
+    def drain(self) -> list[tuple[str, str, str, int, bytes]]:
+        rows = [
+            (hierarchy, encode_path(path), path[-1],
+             len(flat) // 2, bytes(pack_u32(flat)))
+            for (hierarchy, path), flat in self._pending.items()
+        ]
+        self._pending.clear()
+        self.pending_spans = 0
+        return rows
+
+
+def stream_save(
+    store,
+    sources: Mapping[str, object],
+    name: str,
+    *,
+    overwrite: bool = False,
+    chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+    chunk_chars: int = sc.DEFAULT_CHUNK_CHARS,
+) -> str:
+    """Stream-parse ``sources`` and persist document + index rows into
+    ``store`` (a :class:`SqliteStore`) under ``name``; returns the
+    index stamp, like a materialized ``save_indexed``.
+    """
+    with metrics.time("storage.stream_save"):
+        return _stream_save(store, sources, name, overwrite,
+                            chunk_elements, chunk_chars)
+
+
+def _stream_save(store, sources, name, overwrite, chunk_elements,
+                 chunk_chars) -> str:
+    hierarchy_names = list(sources)
+    if not hierarchy_names:
+        raise StorageError("a streaming save needs at least one source")
+
+    # Pass 1 — ordinal bases and the reference root, without a merge.
+    bases: dict[str, int] = {}
+    next_base = 1
+    root_tag = ""
+    root_attributes_json = "{}"
+    for rank, hname in enumerate(hierarchy_names):
+        count, part_root, part_attrs = count_content_events(
+            _fresh(sources[hname]), chunk_chars
+        )
+        bases[hname] = next_base
+        next_base += count
+        if rank == 0:
+            root_tag = part_root
+            root_attributes_json = json.dumps(dict(part_attrs),
+                                              sort_keys=True)
+
+    session = store.begin_stream_ingest(
+        name, root_tag, root_attributes_json, overwrite=overwrite
+    )
+    try:
+        stamp = _stream_rows(session, sources, hierarchy_names, bases,
+                             chunk_elements, chunk_chars)
+    except BaseException:
+        session.abort()
+        raise
+    return stamp
+
+
+def _stream_rows(session, sources, hierarchy_names, bases, chunk_elements,
+                 chunk_chars) -> str:
+    ranks = {hname: rank for rank, hname in enumerate(hierarchy_names)}
+    terms = _TermAccumulator()
+    paths = _PathAccumulator()
+    element_rows: list[tuple] = []
+    text_pending: list[str] = []
+    text_pending_chars = 0
+    doc_length = 0
+    # Sorted once at finalize — compact scalar tuples, not node graphs.
+    attr_postings: dict[tuple[str, str], list[tuple]] = {}
+    overlap_keys: dict[str, list[tuple]] = {h: [] for h in hierarchy_names}
+
+    def on_text(chunk: str) -> None:
+        nonlocal text_pending_chars, doc_length
+        text_pending.append(chunk)
+        text_pending_chars += len(chunk)
+        doc_length += len(chunk)
+        terms.feed(chunk)
+        if text_pending_chars >= _TEXT_FLUSH:
+            flush_text()
+
+    def flush_text() -> None:
+        nonlocal text_pending_chars
+        if text_pending:
+            session.append_text("".join(text_pending))
+            text_pending.clear()
+            text_pending_chars = 0
+
+    def flush_postings() -> None:
+        if paths.pending_spans:
+            session.append_paths(paths.drain())
+        if terms.pending_postings:
+            session.append_terms(terms.drain())
+
+    stream = EventStream(
+        {h: _fresh(sources[h]) for h in hierarchy_names},
+        chunk_chars=chunk_chars, text_sink=on_text,
+    )
+    assembler = FragmentAssembler(hierarchy_names, bases)
+    for hierarchy, event in stream:
+        fragment = assembler.feed(hierarchy, event)
+        if fragment is None:
+            continue
+        element_rows.append((
+            fragment.ordinal, fragment.hierarchy, fragment.tag,
+            fragment.start, fragment.end, fragment.parent_ordinal,
+            fragment.child_rank,
+            json.dumps(dict(fragment.attributes), sort_keys=True),
+        ))
+        paths.add(fragment)
+        rank = ranks[hierarchy]
+        empty = fragment.start == fragment.end
+        if not empty:
+            overlap_keys[hierarchy].append(
+                (fragment.start, -fragment.end, fragment.tag,
+                 fragment.ordinal)
+            )
+        for attr_name, attr_value in fragment.attributes:
+            attr_postings.setdefault((attr_name, attr_value), []).append(
+                (fragment.start, 0 if empty else 1, -fragment.end, rank,
+                 fragment.depth, fragment.ordinal, fragment.end)
+            )
+        if len(element_rows) >= chunk_elements:
+            session.add_elements(element_rows)
+            element_rows.clear()
+            if (paths.pending_spans >= _POSTING_FLUSH
+                    or terms.pending_postings >= _POSTING_FLUSH):
+                flush_postings()
+
+    terms.finish()
+    if element_rows:
+        session.add_elements(element_rows)
+        element_rows.clear()
+    flush_postings()
+    flush_text()
+
+    attr_rows = []
+    for (attr_name, attr_value) in sorted(attr_postings):
+        members = sorted(attr_postings[(attr_name, attr_value)])
+        flat: list[int] = []
+        for member in members:
+            flat.append(member[0])     # start
+            flat.append(member[6])     # end
+        attr_rows.append(
+            (attr_name, attr_value, len(members), bytes(pack_u32(flat)))
+        )
+    overlap_rows = [
+        (hname, tag, start, -neg_end)
+        for hname in hierarchy_names
+        for start, neg_end, tag, _ordinal in sorted(overlap_keys[hname])
+    ]
+    hierarchy_rows = [(rank, hname, "")
+                      for rank, hname in enumerate(hierarchy_names)]
+    return session.finalize(
+        hierarchy_rows=hierarchy_rows,
+        doc_length=doc_length,
+        attr_rows=attr_rows,
+        overlap_rows=overlap_rows,
+        stamp=uuid4().hex,
+    )

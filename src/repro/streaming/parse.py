@@ -1,0 +1,425 @@
+"""Incremental SACX: merged event streams, fragments, and iterparse.
+
+The batch parser (:class:`repro.sacx.parser.SACXParser`) scans every
+part of a distributed document to a full :class:`ParsedDocument` before
+merging.  :class:`EventStream` performs the same ``(content offset,
+hierarchy rank, source sequence)`` merge over *incremental* per-part
+scanners, so no part's text or event list is ever held whole:
+
+- each part runs through :class:`repro.sacx.scanner.StreamingXmlScanner`
+  and :func:`repro.sacx.events.iter_content_events`, pulling source
+  chunks on demand;
+- the shared character content is verified through one sliding window
+  covering only the offsets between the slowest and fastest part — the
+  confirmed prefix is handed to an optional ``text_sink`` and dropped;
+- root tags are checked as soon as each part opens, and text or length
+  divergence raises :class:`~repro.errors.TextMismatchError` exactly
+  like the batch parser (at the first differing offset).
+
+Memory note: a k-way merge must know every part's *next* event before
+it can emit anything, so the window spans at most the largest gap
+between consecutive markup events among the hierarchies.  For markup-
+sparse hierarchies (a page-break layer with events every few thousand
+characters) that gap — not the document size — bounds peak memory.
+
+On top of the stream, :class:`FragmentAssembler` replays the per-
+hierarchy open stacks of :class:`~repro.core.goddag.GoddagBuilder` and
+emits a :class:`Fragment` per closed element carrying the exact
+identity the builder would assign (ordinal, parent, child rank, depth,
+label path) — the proof obligation behind byte-identical streaming
+ingest.  :func:`iterparse` is the public cursor: fragments are
+released in watermark order under ``high_water`` with overlap-aware
+retention (never before every element that could overlap them has
+closed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Callable, Iterator, Mapping
+
+from ..errors import TextMismatchError, WellFormednessError
+from ..sacx import events as ev
+from ..sacx import scanner as sc
+from ..sacx.parser import GoddagHandler
+
+#: Default cap on retained closed fragments before a flush attempt.
+DEFAULT_HIGH_WATER = 1024
+
+#: ``parent_ordinal`` of top-level fragments — the shared root, which
+#: matches :data:`repro.storage.schema.ROOT_ID`.
+ROOT_ORDINAL = 0
+
+#: Characters of already-confirmed text kept behind the trim point so
+#: mismatch diagnostics can show a ±10 character window.
+_WINDOW_SLACK = 16
+
+
+class _Part:
+    """One hierarchy source reduced to an incremental event cursor."""
+
+    __slots__ = ("name", "rank", "items", "head", "head_key", "offset",
+                 "finished")
+
+    def __init__(self, name: str, rank: int, source,
+                 chunk_chars: int) -> None:
+        self.name = name
+        self.rank = rank
+        tokens = sc.StreamingXmlScanner(source, chunk_chars).tokens()
+        self.items = ev.iter_content_events(tokens)
+        self.head: ev.MarkupEvent | None = None
+        self.head_key: tuple[int, int, int] | None = None
+        self.offset = 0          # confirmed content length so far
+        self.finished = False
+
+
+class EventStream:
+    """Merged ``(hierarchy, MarkupEvent)`` pairs of a distributed
+    document, produced incrementally.
+
+    Iterating yields events in exactly the order
+    :meth:`SACXParser._merged_events` would produce.  ``root_tag`` and
+    ``root_attributes`` (of the first part, the reference) are set once
+    iteration starts; ``length`` is set when it completes.  Pass
+    ``text_sink`` to receive the shared character content as confirmed
+    chunks — confirmed means every part has scanned past them, so the
+    concatenation of all chunks is the document text.
+    """
+
+    def __init__(
+        self,
+        sources: Mapping[str, object],
+        *,
+        chunk_chars: int = sc.DEFAULT_CHUNK_CHARS,
+        text_sink: Callable[[str], None] | None = None,
+    ) -> None:
+        if not sources:
+            raise WellFormednessError(
+                "a distributed document needs at least one part"
+            )
+        self.hierarchies = list(sources)
+        self.root_tag: str | None = None
+        self.root_attributes: tuple[tuple[str, str], ...] = ()
+        self.length: int | None = None
+        self._sink = text_sink
+        self._parts = [
+            _Part(name, rank, source, chunk_chars)
+            for rank, (name, source) in enumerate(sources.items())
+        ]
+        self._window = ""
+        self._window_base = 0
+        self._confirmed = 0
+
+    def __iter__(self) -> Iterator[tuple[str, ev.MarkupEvent]]:
+        parts = self._parts
+        for part in parts:
+            self._pull(part)
+        while True:
+            best = None
+            for part in parts:
+                if part.head is not None and (
+                    best is None or part.head_key < best.head_key
+                ):
+                    best = part
+            if best is None:
+                break
+            event = best.head
+            best.head = None
+            yield (best.name, event)
+            self._pull(best)
+        reference = parts[0]
+        for part in parts[1:]:
+            if part.offset != reference.offset:
+                self._mismatch(part, min(reference.offset, part.offset), "")
+        self.length = reference.offset
+        self._advance_confirmed(final=True)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _pull(self, part: _Part) -> None:
+        """Advance ``part`` to its next markup event (or exhaustion),
+        folding the text it passes into the shared window."""
+        for item in part.items:
+            kind = item[0]
+            if kind == ev.EVENT:
+                event = item[1]
+                part.head = event
+                part.head_key = (event.offset, part.rank, event.seq)
+                return
+            if kind == ev.TEXT:
+                self._ingest_text(part, item[1])
+            else:  # ev.ROOT
+                self._check_root(part, item[1], item[2])
+        part.finished = True
+        self._advance_confirmed()
+
+    def _check_root(self, part: _Part, tag: str,
+                    attributes: tuple[tuple[str, str], ...]) -> None:
+        if part.rank == 0:
+            self.root_tag = tag
+            self.root_attributes = attributes
+        elif tag != self.root_tag:
+            reference = self._parts[0]
+            raise TextMismatchError(
+                f"root tags differ: {reference.name!r} has "
+                f"<{self.root_tag}>, {part.name!r} has <{tag}>"
+            )
+
+    def _ingest_text(self, part: _Part, chunk: str) -> None:
+        rel = part.offset - self._window_base
+        window = self._window
+        overlap = min(len(chunk), len(window) - rel)
+        if overlap > 0:
+            piece, existing = chunk[:overlap], window[rel : rel + overlap]
+            if piece != existing:
+                at = next(
+                    i for i, (a, b) in enumerate(zip(existing, piece))
+                    if a != b
+                )
+                self._mismatch(part, part.offset + at, chunk)
+            if len(chunk) > overlap:
+                self._window += chunk[overlap:]
+        elif chunk:
+            self._window += chunk
+        part.offset += len(chunk)
+        self._advance_confirmed()
+
+    def _advance_confirmed(self, final: bool = False) -> None:
+        confirmed = min(p.offset for p in self._parts)
+        if confirmed > self._confirmed:
+            if self._sink is not None:
+                lo = self._confirmed - self._window_base
+                self._sink(self._window[lo : confirmed - self._window_base])
+            self._confirmed = confirmed
+        keep_from = confirmed if final else confirmed - _WINDOW_SLACK
+        if keep_from > self._window_base:
+            self._window = self._window[keep_from - self._window_base :]
+            self._window_base = keep_from
+
+    def _mismatch(self, part: _Part, at: int, chunk: str) -> None:
+        reference = self._parts[0]
+        lo = max(self._window_base, at - 10)
+        expected = self._window[
+            lo - self._window_base : at - self._window_base + 10
+        ]
+        shared = self._window[lo - self._window_base : at - self._window_base]
+        found = shared + chunk[at - part.offset : at - part.offset + 10]
+        raise TextMismatchError(
+            f"text content differs between {reference.name!r} and "
+            f"{part.name!r} at offset {at}: {expected!r} vs {found!r}",
+            offset=at, expected=expected, found=found,
+        )
+
+
+def parse_streaming(
+    sources: Mapping[str, object],
+    *,
+    chunk_chars: int = sc.DEFAULT_CHUNK_CHARS,
+) -> "GoddagDocument":
+    """Parse a distributed document like :func:`parse_concurrent`, but
+    scanning every part incrementally.
+
+    The returned document is byte-identical to the batch parser's
+    (same events, same handler, same builder) — this is the
+    materializing convenience on top of :class:`EventStream`; it still
+    holds the merged event list and text while building.  Bounded-
+    memory consumers use :func:`iterparse` or
+    :func:`repro.streaming.ingest.stream_save` instead.
+    """
+    text_parts: list[str] = []
+    stream = EventStream(
+        sources, chunk_chars=chunk_chars, text_sink=text_parts.append
+    )
+    merged = list(stream)
+    handler = GoddagHandler(stream.hierarchies)
+    handler.start_document(
+        "".join(text_parts), stream.root_tag, dict(stream.root_attributes)
+    )
+    for hierarchy, event in merged:
+        if event.kind == ev.START:
+            handler.start_element(
+                hierarchy, event.tag, event.offset, event.attribute_dict
+            )
+        elif event.kind == ev.END:
+            handler.end_element(hierarchy, event.tag, event.offset)
+        else:
+            handler.empty_element(
+                hierarchy, event.tag, event.offset, event.attribute_dict
+            )
+    handler.end_document()
+    return handler.document
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """A completed element, as emitted by the streaming parse.
+
+    Carries the full storage identity of the element: ``ordinal`` is
+    the birth ordinal :class:`~repro.core.goddag.GoddagBuilder` would
+    assign (the persistent ``elem_id``) when the assembler was given
+    ordinal bases, or a per-hierarchy ordinal (base 1) otherwise;
+    ``parent_ordinal`` is :data:`ROOT_ORDINAL` for top-level elements;
+    ``depth`` counts ancestors below the root (0 for top-level); and
+    ``path`` is the label path the structural summary partitions by
+    (top-level tag first, own tag last — the root tag excluded).
+    """
+
+    hierarchy: str
+    tag: str
+    start: int
+    end: int
+    attributes: tuple[tuple[str, str], ...]
+    ordinal: int
+    parent_ordinal: int
+    child_rank: int
+    depth: int
+    path: tuple[str, ...]
+
+    @property
+    def is_empty(self) -> bool:
+        return self.start == self.end
+
+
+class _OpenFragment:
+    __slots__ = ("tag", "start", "attributes", "ordinal", "parent_ordinal",
+                 "child_rank", "depth", "path", "children_seen")
+
+    def __init__(self, tag, start, attributes, ordinal, parent_ordinal,
+                 child_rank, depth, path) -> None:
+        self.tag = tag
+        self.start = start
+        self.attributes = attributes
+        self.ordinal = ordinal
+        self.parent_ordinal = parent_ordinal
+        self.child_rank = child_rank
+        self.depth = depth
+        self.path = path
+        self.children_seen = 0
+
+
+class FragmentAssembler:
+    """Replays the builder's per-hierarchy open stacks over a merged
+    event stream, closing one :class:`Fragment` per element.
+
+    With ``bases`` — ``{hierarchy: first ordinal}``, see
+    :func:`repro.streaming.ingest.count_content_events` — fragment
+    ordinals reproduce :class:`GoddagBuilder` birth ordinals exactly:
+    the builder materializes hierarchies in declaration order and,
+    within one hierarchy, numbers elements in source open order (its
+    top-level sort key ``(start, solidity, -end, seq)`` provably
+    restores source order for parser input).  Without ``bases`` each
+    hierarchy numbers its own elements from 1.
+    """
+
+    def __init__(self, hierarchies, bases: Mapping[str, int] | None = None):
+        self._stacks: dict[str, list[_OpenFragment]] = {
+            name: [] for name in hierarchies
+        }
+        if bases is None:
+            self._next = {name: 1 for name in hierarchies}
+        else:
+            self._next = {name: bases[name] for name in hierarchies}
+        self._top_rank = {name: 0 for name in hierarchies}
+
+    def feed(self, hierarchy: str, event: ev.MarkupEvent) -> Fragment | None:
+        """Apply one merged event; returns the closed fragment, if any."""
+        stack = self._stacks[hierarchy]
+        if event.kind == ev.START:
+            stack.append(self._open(hierarchy, stack, event))
+            return None
+        if event.kind == ev.END:
+            record = stack.pop()
+        else:  # EMPTY: opens and closes at one offset, never pushed
+            record = self._open(hierarchy, stack, event)
+        return Fragment(
+            hierarchy, record.tag, record.start, event.offset,
+            record.attributes, record.ordinal, record.parent_ordinal,
+            record.child_rank, record.depth, record.path,
+        )
+
+    def _open(self, hierarchy: str, stack: list[_OpenFragment],
+              event: ev.MarkupEvent) -> _OpenFragment:
+        parent = stack[-1] if stack else None
+        if parent is None:
+            child_rank = self._top_rank[hierarchy]
+            self._top_rank[hierarchy] = child_rank + 1
+            parent_ordinal = ROOT_ORDINAL
+            path = (event.tag,)
+        else:
+            child_rank = parent.children_seen
+            parent.children_seen += 1
+            parent_ordinal = parent.ordinal
+            path = parent.path + (event.tag,)
+        ordinal = self._next[hierarchy]
+        self._next[hierarchy] = ordinal + 1
+        return _OpenFragment(
+            event.tag, event.offset, event.attributes, ordinal,
+            parent_ordinal, child_rank, len(stack), path,
+        )
+
+    def open_frontier(self) -> int | None:
+        """The smallest start offset among still-open elements across
+        all hierarchies, or ``None`` when nothing is open.
+
+        Per-hierarchy open starts are nondecreasing down the stack, so
+        the minimum is the bottom of each stack.
+        """
+        frontier = None
+        for stack in self._stacks.values():
+            if stack and (frontier is None or stack[0].start < frontier):
+                frontier = stack[0].start
+        return frontier
+
+    def open_count(self) -> int:
+        return sum(len(stack) for stack in self._stacks.values())
+
+
+def iterparse(
+    sources: Mapping[str, object],
+    *,
+    high_water: int = DEFAULT_HIGH_WATER,
+    chunk_chars: int = sc.DEFAULT_CHUNK_CHARS,
+    text_sink: Callable[[str], None] | None = None,
+    bases: Mapping[str, int] | None = None,
+) -> Iterator[Fragment]:
+    """Stream completed fragments of a distributed document.
+
+    The iterparse contract, adapted to overlapping hierarchies: a
+    fragment is yielded only once its *overlap context* is complete —
+    its span ends at or before the start of every element still open in
+    any hierarchy, so nothing yielded can later turn out to overlap an
+    unseen element.  Within that rule, fragments are released in
+    ascending ``end`` (ties in close order) whenever more than
+    ``high_water`` closed fragments are retained, and the rest at end
+    of document.  ``high_water=0`` releases eligible fragments after
+    every close.
+
+    Elements still open in any hierarchy are *never* evicted, whatever
+    ``high_water`` says — a document with a giant open element retains
+    its closed children until the overlap context resolves.
+
+    ``bases`` optionally fixes each hierarchy's first ordinal (see
+    :class:`FragmentAssembler`); with per-hierarchy counts from
+    :func:`repro.streaming.ingest.count_content_events` the fragment
+    ordinals equal the ids a materialized parse would assign.
+    """
+    stream = EventStream(sources, chunk_chars=chunk_chars,
+                         text_sink=text_sink)
+    assembler = FragmentAssembler(stream.hierarchies, bases)
+    pending: list[tuple[int, int, Fragment]] = []
+    tie = 0
+    for hierarchy, event in stream:
+        fragment = assembler.feed(hierarchy, event)
+        if fragment is None:
+            continue
+        tie += 1
+        heappush(pending, (fragment.end, tie, fragment))
+        if len(pending) > high_water:
+            frontier = assembler.open_frontier()
+            while pending and (
+                frontier is None or pending[0][0] <= frontier
+            ):
+                yield heappop(pending)[2]
+    while pending:
+        yield heappop(pending)[2]

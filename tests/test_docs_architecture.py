@@ -72,6 +72,38 @@ def test_named_identifiers_are_real():
     assert hasattr(ExtendedXPath, "explain")
 
 
+def test_streaming_identifiers_are_real():
+    """Spot-check the identifiers the Streaming section leans on."""
+    import inspect
+
+    from repro.collection.corpus import Corpus
+    from repro.storage.sqlite_backend import STAGING_PREFIX
+    from repro.storage.store import GoddagStore
+    from repro.streaming import (
+        EventStream,
+        FragmentAssembler,
+        LazyDocument,
+        count_content_events,
+        iterparse,
+        parse_streaming,
+        stream_save,
+    )
+
+    assert STAGING_PREFIX.startswith("__")
+    assert "high_water" in inspect.signature(iterparse).parameters
+    assert "bases" in inspect.signature(iterparse).parameters
+    assert "text_sink" in inspect.signature(EventStream.__init__).parameters
+    assert hasattr(FragmentAssembler, "open_frontier")
+    assert callable(parse_streaming) and callable(count_content_events)
+    assert "chunk_elements" in inspect.signature(stream_save).parameters
+    assert hasattr(GoddagStore, "save_stream")
+    assert hasattr(GoddagStore, "lazy")
+    assert hasattr(Corpus, "add_streams")
+    for name in ("xpath", "subtree", "text"):
+        assert hasattr(LazyDocument, name), name
+    from repro.xpath.shapes import descendant_tag_shape  # noqa: F401
+
+
 def test_observability_identifiers_are_real():
     """Spot-check the identifiers the Observability section leans on."""
     import inspect

@@ -33,7 +33,15 @@ After **every** step the harness asserts four equivalences:
    plus index-row patches), and the store's entire row set — document,
    hierarchy, element, and index tables — must be byte-identical to a
    store written from scratch, while the delta store never once falls
-   back to a full element-table rewrite.
+   back to a full element-table rewrite;
+6. *streamed vs materialized ingest* (checked at session start, every
+   tenth step, and session end — a full reparse per check): the live
+   replica's distributed serialization, stream-ingested in small
+   chunked transactions (``save_stream``), produces a store row-for-row
+   identical to parsing it whole and ``save_indexed``-ing it, and a
+   :class:`~repro.streaming.lazy.LazyDocument` over the streamed store
+   answers an index-served query byte-identically to the unindexed
+   engine on the fresh parse.
 
 Scale: 3 workloads × ``REPRO_DIFF_SEEDS`` sessions × ``STEPS`` steps
 (≥ 200 steps at the defaults).  The nightly CI job raises
@@ -49,12 +57,16 @@ import random
 
 import pytest
 
+from repro.collection.fanout import node_rows
 from repro.core.goddag import GoddagDocument
 from repro.editing import Editor
 from repro.errors import EditError, MarkupConflictError
 from repro.index import IndexManager
 from repro.obs import tracing
+from repro.sacx import parse_concurrent
+from repro.serialize.distributed import export_distributed
 from repro.storage import GoddagStore
+from repro.streaming import LazyDocument
 from repro.workloads import WorkloadSpec, generate
 from repro.xpath import ExtendedXPath
 from repro.xpath.engine import _plan_cache
@@ -283,16 +295,36 @@ class _Session:
             full_store.save_indexed(self.plain, "d", rebuilt)
             assert _store_rows(self.store) == _store_rows(full_store)
 
+    def check_streaming(self) -> None:
+        """The streaming arm: serialize the live replica, ingest it
+        both ways, and demand row identity plus a byte-identical
+        lazy answer (expensive — run at checkpoints, not every step)."""
+        sources = export_distributed(self.live)
+        fresh = parse_concurrent(sources)
+        with GoddagStore(":memory:") as materialized, \
+                GoddagStore(":memory:") as streamed:
+            materialized.save_indexed(fresh, "d", IndexManager(fresh))
+            streamed.save_stream(sources, "d", chunk_elements=16)
+            assert _store_rows(streamed) == _store_rows(materialized)
+            lazy = LazyDocument(streamed._sqlite, "d")
+            witness = node_rows(
+                ExtendedXPath("//w").evaluate(fresh, index=False)
+            )
+            assert tuple(lazy.xpath("//w")) == witness
+
 
 def run_session(workload: str, seed: int, steps: int = STEPS) -> IndexManager:
     """Drive one full session; returns the live manager for inspection."""
     session = _Session(WORKLOADS[workload], seed)
     try:
         session.check()
+        session.check_streaming()
         for step in range(steps):
             try:
                 session.step()
                 session.check()
+                if step % 10 == 9 or step == steps - 1:
+                    session.check_streaming()
             except AssertionError:
                 _log_failing_seed(workload, seed, step)
                 raise
